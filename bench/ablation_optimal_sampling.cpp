@@ -1,0 +1,46 @@
+// Ablation E2 — Theorem 3: the optimal sample size t* minimizing
+// C_total(t) = a1·t·C_trans + a2·C_comp + a3·C_cheat·q^t   (Eq. 17/18).
+//
+// Sweeps the cost coefficients and the per-sample survival q, printing the
+// closed-form optimum, the exhaustive-search optimum (always equal), and the
+// cost landscape around t*.
+#include <cstdio>
+
+#include "analysis/sampling.h"
+
+using namespace seccloud::analysis;
+
+int main() {
+  std::printf("=== E2: Theorem 3 optimal sampling ===\n\n");
+  std::printf("%10s %10s %10s %8s | %8s %8s | %14s %14s\n", "C_trans", "C_cheat", "C_comp",
+              "q", "t* eq18", "t* brute", "C(t*)", "C(t*+5)");
+
+  const double trans_costs[] = {0.1, 1.0, 10.0};
+  const double cheat_costs[] = {1e3, 1e5, 1e7};
+  const double qs[] = {0.3, 0.6, 0.75, 0.9};
+  for (const double ct : trans_costs) {
+    for (const double cc : cheat_costs) {
+      for (const double q : qs) {
+        const CostModel model{1, 1, 1, ct, 5.0, cc};
+        const std::size_t closed = optimal_sample_size(model, q);
+        const std::size_t brute = optimal_sample_size_exhaustive(model, q, 4000);
+        std::printf("%10.1f %10.0e %10.1f %8.2f | %8zu %8zu | %14.2f %14.2f %s\n", ct, cc,
+                    5.0, q, closed, brute, total_cost(model, q, closed),
+                    total_cost(model, q, closed + 5), closed == brute ? "" : "MISMATCH!");
+      }
+    }
+  }
+
+  std::printf("\ncost landscape for C_trans=1, C_cheat=1e5, q=0.75:\n  t:    ");
+  const CostModel model{1, 1, 1, 1.0, 5.0, 1e5};
+  const std::size_t t_star = optimal_sample_size(model, 0.75);
+  for (std::size_t t = t_star > 6 ? t_star - 6 : 0; t <= t_star + 6; t += 2) {
+    std::printf("%10zu", t);
+  }
+  std::printf("\n  cost: ");
+  for (std::size_t t = t_star > 6 ? t_star - 6 : 0; t <= t_star + 6; t += 2) {
+    std::printf("%10.1f", total_cost(model, 0.75, t));
+  }
+  std::printf("\n  (minimum at t* = %zu)\n", t_star);
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Ablation E6 — security-parameter sweep: pairing and point-multiplication
+// cost as the field size p grows (192/256/384/512 bits, q scaling with it).
+// The paper fixes SS512-class parameters (Table I); this ablation shows how
+// T_mult / T_pair — and hence every audit cost — scale with the security
+// level. Parameter sets were generated offline with the param_gen tool.
+#include <chrono>
+#include <cstdio>
+
+#include <functional>
+
+#include "pairing/group.h"
+
+using namespace seccloud;
+
+namespace {
+
+struct NamedParams {
+  const char* name;
+  pairing::TypeAParams params;
+};
+
+double time_ms(const std::function<void()>& fn, int iterations) {
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iterations; ++i) fn();
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+             .count() /
+         iterations;
+}
+
+}  // namespace
+
+int main() {
+  const NamedParams sets[] = {
+      {"SS192/q80",
+       {num::BigUint::from_hex("950f04438e50aa4225d6ceec17c390208f288e3b0768aa2f"),
+        num::BigUint::from_hex("b720f5cdb7e6149f70df"),
+        num::BigUint::from_hex("d05f63b2295a7f39dccf1188abd0")}},
+      {"SS256/q100",
+       {num::BigUint::from_hex("a7743372a8cd177cb6755331fa5aed985388d254b71e04a7aac068feb56f8e53"),
+        num::BigUint::from_hex("c5c058a799f60c08df83992a1"),
+        num::BigUint::from_hex("d8c73e4d5866d4a415a1264c6d08c63457f81d4")}},
+      {"SS384/q128",
+       {num::BigUint::from_hex("c831dc9199205611ad36ee34a328e7fbc690baf5af3f0a9bf4c892564ae4"
+                               "f10922fb14d646b820b9bd65108ce476c27b"),
+        num::BigUint::from_hex("d958e3832e31dd4d3b8f14d8ef51ecf1"),
+        num::BigUint::from_hex("ebcc13e3a7d1fef1c2004259a5205f46075c81a94cdfed8f1d562eb8995e"
+                               "da3c")}},
+      {"SS512/q160 (paper class)", pairing::default_params()},
+  };
+
+  std::printf("=== E6: cost vs security parameter (type-A curves) ===\n\n");
+  std::printf("%-28s %8s %8s | %12s %12s %12s\n", "parameter set", "|p|", "|q|",
+              "T_mult (ms)", "T_pair (ms)", "hashG1 (ms)");
+
+  for (const auto& [name, params] : sets) {
+    num::Xoshiro256 check{1};
+    if (!params.validate(check)) {
+      std::printf("%-28s INVALID PARAMETERS\n", name);
+      continue;
+    }
+    const pairing::PairingGroup group{params};
+    num::Xoshiro256 rng{7};
+    const pairing::Point p = group.generator();
+    const num::BigUint k = group.random_scalar(rng);
+    const pairing::Point q = group.curve().mul(group.random_scalar(rng), p);
+
+    const double mult_ms = time_ms([&] { (void)group.curve().mul(k, p); }, 50);
+    const double pair_ms = time_ms([&] { (void)group.pair(p, q); }, 20);
+    int ctr = 0;
+    const double hash_ms =
+        time_ms([&] { (void)group.hash_to_g1("bench", "x" + std::to_string(ctr++)); }, 20);
+    std::printf("%-28s %8zu %8zu | %12.3f %12.3f %12.3f\n", name, params.p.bit_length(),
+                params.q.bit_length(), mult_ms, pair_ms, hash_ms);
+  }
+
+  std::printf("\npaper reference at the SS512 class: T_mult = 0.86 ms, T_pair = 4.14 ms\n"
+              "(MIRACL, Core 2 Duo E6550). Cost grows superlinearly with |p| as\n"
+              "expected from O(n^2) limb arithmetic under a ~|q|-length Miller loop.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 4 — required sample size t achieving uncheatable cloud computing,
+// over the (SSC, CSC) grid at ε = 1e-4.
+//
+// Paper anchors (Section VII-A): with CSC = SSC = 0.5 and R = 2, t = 33;
+// with R → ∞, t = 15. This harness prints the whole surface the paper
+// plots, for R = 2 and R → ∞.
+#include <cstdio>
+
+#include "analysis/sampling.h"
+
+using namespace seccloud::analysis;
+
+namespace {
+
+void print_surface(double range, const char* label) {
+  std::printf("--- required t, epsilon = 1e-4, %s ---\n", label);
+  const double grid[] = {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9};
+  std::printf("%8s", "CSC\\SSC");
+  for (const double ssc : grid) std::printf("%6.1f", ssc);
+  std::printf("\n");
+  for (const double csc : grid) {
+    std::printf("%8.1f", csc);
+    for (const double ssc : grid) {
+      const CheatModel m{csc, ssc, range, 0.0};
+      const auto t = min_sample_size(m, 1e-4);
+      if (t.has_value()) {
+        std::printf("%6zu", *t);
+      } else {
+        std::printf("%6s", "-");
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 4: required sample size for uncheatable cloud computing ===\n\n");
+  print_surface(2.0, "R = 2 (guessable range)");
+  print_surface(infinite_range(), "R -> infinity (unguessable results)");
+
+  // The two anchors the paper calls out explicitly.
+  const CheatModel anchor_r2{0.5, 0.5, 2.0, 0.0};
+  const CheatModel anchor_inf{0.5, 0.5, infinite_range(), 0.0};
+  std::printf("paper anchor CSC=SSC=0.5, R=2      : paper t = 33, ours t = %zu\n",
+              *min_sample_size(anchor_r2, 1e-4));
+  std::printf("paper anchor CSC=SSC=0.5, R->inf   : paper t = 15, ours t = %zu\n",
+              *min_sample_size(anchor_inf, 1e-4));
+  return 0;
+}

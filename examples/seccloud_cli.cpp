@@ -1,0 +1,138 @@
+// seccloud_cli — a command-line driver over the full library, suitable for
+// scripting demos:
+//
+//   seccloud_cli demo                      # scripted end-to-end session
+//   seccloud_cli sample <csc> <ssc> <R>    # Fig.4 sample size for a profile
+//   seccloud_cli optimal <q> <Ctrans> <Ccheat>  # Theorem-3 t*
+//   seccloud_cli campaign <strategy> <epochs>   # multi-epoch attack game
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "analysis/sampling.h"
+#include "sim/adversary.h"
+#include "sim/workload.h"
+
+using namespace seccloud;
+
+namespace {
+
+int usage() {
+  std::printf(
+      "usage:\n"
+      "  seccloud_cli demo\n"
+      "  seccloud_cli sample <csc> <ssc> <range>\n"
+      "  seccloud_cli optimal <q> <c_trans> <c_cheat>\n"
+      "  seccloud_cli campaign <none|static|mobile|sleeper> <epochs>\n");
+  return 2;
+}
+
+int cmd_demo() {
+  const auto& group = pairing::tiny_group();
+  sim::CloudSim cloud{group, sim::CloudConfig{3, 1, 1}};
+  const std::size_t user = cloud.register_user("cli@example.com");
+  const sim::Workload w = sim::make_ledger_workload(90, 9, 17);
+  cloud.store_data(user, w.blocks);
+  std::printf("stored %zu ledger blocks across %zu servers\n", w.blocks.size(),
+              cloud.num_servers());
+
+  const auto distributed = cloud.submit_task(user, w.task);
+  std::printf("submitted '%s': %zu sub-tasks in %zu parts\n", w.name.c_str(),
+              w.task.requests.size(), distributed.parts.size());
+  const auto report = cloud.audit_task(user, distributed, 6, core::SignatureCheckMode::kBatch);
+  std::printf("audit (t=6/part, batch signatures): %s\n",
+              report.accepted ? "ACCEPTED" : "REJECTED");
+
+  sim::ServerBehavior cheat;
+  cheat.honest_compute_fraction = 0.2;
+  cloud.corrupt_random_servers(cheat, 1);
+  const auto attacked = cloud.submit_task(user, w.task);
+  const auto report2 = cloud.audit_task(user, attacked, 6, core::SignatureCheckMode::kBatch);
+  std::printf("after corrupting one server: %s (%zu part(s) rejected)\n",
+              report2.accepted ? "ACCEPTED" : "CHEATING DETECTED", report2.parts_rejected);
+  return 0;
+}
+
+int cmd_sample(double csc, double ssc, double range) {
+  const analysis::CheatModel model{csc, ssc, range, 0.0};
+  const auto t = analysis::min_sample_size(model, 1e-4);
+  if (!t) {
+    std::printf("no finite sample size detects this profile (undetectable cheat)\n");
+    return 1;
+  }
+  std::printf("CSC=%.2f SSC=%.2f R=%.0f  ->  t = %zu samples for eps = 1e-4\n", csc, ssc,
+              range, *t);
+  std::printf("Pr[cheat survives t samples] = %.3e\n",
+              analysis::pr_cheating_success(model, *t));
+  return 0;
+}
+
+int cmd_optimal(double q, double c_trans, double c_cheat) {
+  analysis::CostModel model;
+  model.c_trans = c_trans;
+  model.c_cheat = c_cheat;
+  const std::size_t t = analysis::optimal_sample_size(model, q);
+  std::printf("t* = %zu  (C_total = %.2f; at t*+1: %.2f; at t*-1: %.2f)\n", t,
+              analysis::total_cost(model, q, t), analysis::total_cost(model, q, t + 1),
+              t > 0 ? analysis::total_cost(model, q, t - 1) : 0.0);
+  return 0;
+}
+
+int cmd_campaign(const std::string& strategy_name, std::size_t epochs) {
+  sim::AdversaryStrategy strategy;
+  if (strategy_name == "none") {
+    strategy = sim::AdversaryStrategy::kNone;
+  } else if (strategy_name == "static") {
+    strategy = sim::AdversaryStrategy::kStatic;
+  } else if (strategy_name == "mobile") {
+    strategy = sim::AdversaryStrategy::kMobile;
+  } else if (strategy_name == "sleeper") {
+    strategy = sim::AdversaryStrategy::kSleeper;
+  } else {
+    return usage();
+  }
+
+  sim::CloudSim cloud{pairing::tiny_group(), sim::CloudConfig{4, 2, 99}};
+  const std::size_t user = cloud.register_user("campaign@example.com");
+  const sim::Workload w = sim::make_shard_aggregation_workload(4, 16, 5);
+  cloud.store_data(user, w.blocks);
+
+  sim::ServerBehavior cheat;
+  cheat.honest_compute_fraction = 0.4;
+  cheat.guess_range = 2.0;
+  sim::EpochAdversary adversary{
+      sim::AdversaryConfig{strategy, 2, cheat, /*wake_epoch=*/epochs / 2}};
+  const auto stats =
+      sim::run_campaign(cloud, adversary, user, w.task, {epochs, 8});
+
+  std::printf("%-7s %-10s %-10s %s\n", "epoch", "corrupted", "cheated", "DA verdict");
+  for (const auto& epoch : stats.epochs) {
+    std::printf("%-7llu %-10zu %-10s %s\n", static_cast<unsigned long long>(epoch.epoch),
+                epoch.corrupted_servers, epoch.any_cheating_executed ? "yes" : "no",
+                epoch.detected ? "REJECTED" : "accepted");
+  }
+  std::printf("\nstrategy=%s: detection rate %.0f%% over %zu cheating epochs, "
+              "%zu false positives, %.1f KiB audit traffic\n",
+              to_string(strategy), 100.0 * stats.detection_rate(), stats.cheating_epochs,
+              stats.false_positives, static_cast<double>(stats.total_audit_bytes) / 1024.0);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "demo") return cmd_demo();
+  if (cmd == "sample" && argc == 5) {
+    return cmd_sample(std::atof(argv[2]), std::atof(argv[3]), std::atof(argv[4]));
+  }
+  if (cmd == "optimal" && argc == 5) {
+    return cmd_optimal(std::atof(argv[2]), std::atof(argv[3]), std::atof(argv[4]));
+  }
+  if (cmd == "campaign" && argc == 4) {
+    return cmd_campaign(argv[2], static_cast<std::size_t>(std::atoll(argv[3])));
+  }
+  return usage();
+}

@@ -1,0 +1,66 @@
+// Storage-cheating scenario (the paper's Storage-Cheating Model): a cloud
+// server semi-honestly deletes rarely-accessed blocks and maliciously
+// corrupts others; the DA's sampled storage audits catch it, with detection
+// probability rising in the sample size exactly as Eq. (12) predicts.
+#include <cstdio>
+
+#include "analysis/sampling.h"
+#include "sim/cloud.h"
+
+using namespace seccloud;
+
+int main() {
+  const auto& group = pairing::tiny_group();  // fast parameters for the sweep
+  sim::CloudSim cloud{group, sim::CloudConfig{/*num_servers=*/2, /*byzantine_limit=*/1,
+                                              /*seed=*/42}};
+  const std::size_t alice = cloud.register_user("alice@example.com");
+
+  std::vector<core::DataBlock> blocks;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    blocks.push_back(core::DataBlock::from_value(i, 5 * i + 7));
+  }
+  cloud.store_data(alice, std::move(blocks));
+  std::printf("=== Storage audit scenario: 200 blocks outsourced to 2 servers ===\n\n");
+
+  // Server 1 turns rogue: keeps only 60%% of blocks, corrupts 10%% of the rest.
+  sim::ServerBehavior rogue;
+  rogue.retain_fraction = 0.6;
+  rogue.corrupt_fraction = 0.1;
+  cloud.server(1).set_behavior(rogue);
+  // Re-ingest under the rogue policy (a fresh user epoch).
+  const std::size_t bob = cloud.register_user("bob@example.com");
+  std::vector<core::DataBlock> bob_blocks;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    bob_blocks.push_back(core::DataBlock::from_value(i, 9 * i + 1));
+  }
+  cloud.store_data(bob, std::move(bob_blocks));
+  std::printf("server cs-1 went rogue: stores %zu/200 of bob's blocks\n\n",
+              cloud.server(1).stored_count(cloud.user_key(bob).id));
+
+  std::printf("%-14s %-22s %-22s %s\n", "sample size", "honest server cs-0",
+              "rogue server cs-1", "Eq.12 survival bound");
+  const double ssc = 0.6;  // what the rogue actually retains intact (approx.)
+  for (const std::size_t t : {1u, 2u, 4u, 8u, 16u, 33u}) {
+    int rogue_detected = 0;
+    int honest_detected = 0;
+    const int rounds = 30;
+    for (int round = 0; round < rounds; ++round) {
+      const auto honest_report = cloud.agency().audit_storage(
+          cloud.server(0), cloud.user_key(bob).q_id, cloud.user_key(bob).id, 200, t,
+          core::SignatureCheckMode::kBatch, cloud.rng());
+      const auto rogue_report = cloud.agency().audit_storage(
+          cloud.server(1), cloud.user_key(bob).q_id, cloud.user_key(bob).id, 200, t,
+          core::SignatureCheckMode::kBatch, cloud.rng());
+      honest_detected += honest_report.accepted ? 0 : 1;
+      rogue_detected += rogue_report.accepted ? 0 : 1;
+    }
+    const analysis::CheatModel model{1.0, ssc, 2.0, 0.0};
+    std::printf("t = %-10zu detected %2d/%-16d detected %2d/%-16d %.4f\n", t,
+                honest_detected, rounds, rogue_detected, rounds,
+                analysis::pr_pcs(model, t));
+  }
+
+  std::printf("\nThe rogue server's survival probability decays geometrically in the\n"
+              "sample size (Eq. 12); the honest server is never flagged.\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+#include "analysis/history.h"
+
+#include <stdexcept>
+
+namespace seccloud::analysis {
+
+CostHistoryLearner::CostHistoryLearner(double smoothing) : smoothing_(smoothing) {
+  if (smoothing <= 0.0 || smoothing > 1.0) {
+    throw std::invalid_argument("CostHistoryLearner: smoothing must be in (0, 1]");
+  }
+}
+
+void CostHistoryLearner::observe_audit(double trans_cost_per_sample, double comp_cost) {
+  if (audits_ == 0) {
+    c_trans_ = trans_cost_per_sample;
+    c_comp_ = comp_cost;
+  } else {
+    c_trans_ += smoothing_ * (trans_cost_per_sample - c_trans_);
+    c_comp_ += smoothing_ * (comp_cost - c_comp_);
+  }
+  ++audits_;
+}
+
+void CostHistoryLearner::observe_cheat_damage(double damage) {
+  if (damages_ == 0) {
+    c_cheat_ = damage;
+  } else {
+    c_cheat_ += smoothing_ * (damage - c_cheat_);
+  }
+  ++damages_;
+}
+
+CostModel CostHistoryLearner::model() const noexcept {
+  CostModel m;
+  m.c_trans = c_trans_;
+  m.c_comp = c_comp_;
+  m.c_cheat = c_cheat_;
+  return m;
+}
+
+}  // namespace seccloud::analysis

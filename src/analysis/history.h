@@ -1,0 +1,40 @@
+// The paper's "history learning process" (Section VII-C): the DA estimates
+// the cost coefficients C_trans, C_comp, C_cheat from past audits and feeds
+// them into the Theorem-3 optimizer. We use exponential moving averages so
+// the estimate tracks drifting workloads.
+#pragma once
+
+#include <cstddef>
+
+#include "analysis/sampling.h"
+
+namespace seccloud::analysis {
+
+class CostHistoryLearner {
+ public:
+  /// `smoothing` ∈ (0, 1]: EMA weight of the newest observation.
+  explicit CostHistoryLearner(double smoothing = 0.2);
+
+  /// Records one audit: measured transmission cost per sampled item,
+  /// measured verification compute cost, and — when a cheat slipped through
+  /// and was later discovered — the damage it caused.
+  void observe_audit(double trans_cost_per_sample, double comp_cost);
+  void observe_cheat_damage(double damage);
+
+  /// Current estimates embedded in a CostModel (weights a1=a2=a3=1; callers
+  /// may override the weights to express policy).
+  CostModel model() const noexcept;
+
+  std::size_t audits_observed() const noexcept { return audits_; }
+  bool has_damage_estimate() const noexcept { return damages_ > 0; }
+
+ private:
+  double smoothing_;
+  double c_trans_ = 0.0;
+  double c_comp_ = 0.0;
+  double c_cheat_ = 0.0;
+  std::size_t audits_ = 0;
+  std::size_t damages_ = 0;
+};
+
+}  // namespace seccloud::analysis

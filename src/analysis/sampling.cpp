@@ -1,0 +1,99 @@
+#include "analysis/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace seccloud::analysis {
+
+double per_sample_fcs(const CheatModel& m) noexcept {
+  return m.csc + (1.0 - m.csc) / m.range;
+}
+
+double per_sample_pcs(const CheatModel& m) noexcept {
+  return m.ssc + (1.0 - m.ssc) * m.pr_forge;
+}
+
+double pr_fcs(const CheatModel& m, std::size_t t) noexcept {
+  return std::pow(per_sample_fcs(m), static_cast<double>(t));
+}
+
+double pr_pcs(const CheatModel& m, std::size_t t) noexcept {
+  return std::pow(per_sample_pcs(m), static_cast<double>(t));
+}
+
+double pr_cheating_success(const CheatModel& m, std::size_t t) noexcept {
+  // A dimension with no dishonest mass (CSC = 1 / SSC = 1) means no cheating
+  // was attempted there, so it contributes nothing to the success event.
+  const double fcs_term = m.csc < 1.0 ? pr_fcs(m, t) : 0.0;
+  const double pcs_term = m.ssc < 1.0 ? pr_pcs(m, t) : 0.0;
+  return std::min(1.0, fcs_term + pcs_term);
+}
+
+double pr_cheating_success_joint(const CheatModel& m, std::size_t t) noexcept {
+  const double pf = m.csc < 1.0 ? per_sample_fcs(m) : 1.0;
+  const double pp = m.ssc < 1.0 ? per_sample_pcs(m) : 1.0;
+  if (m.csc >= 1.0 && m.ssc >= 1.0) return 0.0;  // honest: nothing to succeed at
+  return std::pow(pf * pp, static_cast<double>(t));
+}
+
+std::optional<std::size_t> min_sample_size(const CheatModel& m, double epsilon,
+                                           std::size_t t_max) noexcept {
+  if (pr_cheating_success(m, 0) <= epsilon) return 0;  // honest server
+
+  // Sampling cannot help when an attempted cheat survives every sample with
+  // probability 1 (e.g. |R| = 1: "guessing" is free).
+  const bool fcs_undetectable = m.csc < 1.0 && per_sample_fcs(m) >= 1.0;
+  const bool pcs_undetectable = m.ssc < 1.0 && per_sample_pcs(m) >= 1.0;
+  if (fcs_undetectable || pcs_undetectable) return std::nullopt;
+
+  // Analytic lower bound from the dominant surviving term, then a short
+  // linear scan (the sum of two exponentials has no closed-form inverse).
+  const double pf = m.csc < 1.0 ? per_sample_fcs(m) : 0.0;
+  const double pp = m.ssc < 1.0 ? per_sample_pcs(m) : 0.0;
+  const double dominant = std::max(pf, pp);
+  std::size_t t = 0;
+  if (dominant > 0.0) {
+    const double bound = std::log(epsilon / 2.0) / std::log(dominant);
+    if (bound > 0.0) t = static_cast<std::size_t>(bound);
+    while (t > 0 && pr_cheating_success(m, t - 1) <= epsilon) --t;
+  }
+  for (; t <= t_max; ++t) {
+    if (pr_cheating_success(m, t) <= epsilon) return t;
+  }
+  return std::nullopt;
+}
+
+double total_cost(const CostModel& c, double q, std::size_t t) noexcept {
+  return c.a1 * static_cast<double>(t) * c.c_trans + c.a2 * c.c_comp +
+         c.a3 * c.c_cheat * std::pow(q, static_cast<double>(t));
+}
+
+std::size_t optimal_sample_size(const CostModel& c, double q) noexcept {
+  if (q <= 0.0 || q >= 1.0) return 0;  // degenerate: cheating never/always survives
+  const double ln_q = std::log(q);
+  const double argument = -(c.a1 * c.c_trans) / (c.a3 * c.c_cheat * ln_q);
+  if (argument <= 0.0) return 0;
+  const double t_star = std::log(argument) / ln_q;
+  if (t_star <= 0.0) return 0;
+  // Eq. 18 takes the ceiling; the true integer optimum is one of the two
+  // neighbours of the real-valued stationary point, so compare exactly.
+  const auto floor_t = static_cast<std::size_t>(t_star);
+  const std::size_t ceil_t = floor_t + 1;
+  return total_cost(c, q, floor_t) <= total_cost(c, q, ceil_t) ? floor_t : ceil_t;
+}
+
+std::size_t optimal_sample_size_exhaustive(const CostModel& c, double q,
+                                           std::size_t t_max) noexcept {
+  std::size_t best_t = 0;
+  double best = total_cost(c, q, 0);
+  for (std::size_t t = 1; t <= t_max; ++t) {
+    const double cost = total_cost(c, q, t);
+    if (cost < best) {
+      best = cost;
+      best_t = t;
+    }
+  }
+  return best_t;
+}
+
+}  // namespace seccloud::analysis

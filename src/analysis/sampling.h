@@ -1,0 +1,85 @@
+// Closed-form sampling analysis (Section VII-A and VII-C).
+//
+//   Eq. 10: Pr[FCS] = (CSC + (1 − CSC)/R)^t        — function-guess cheating
+//   Eq. 12: Pr[PCS] = (SSC + (1 − SSC)·Pr[forge])^t — wrong-position cheating
+//   Eq. 14: Pr[cheat] = Pr[FCS] + Pr[PCS]           — union bound, FCS ⟂ PCS
+//   Fig. 4: minimal t with Pr[cheat] ≤ ε
+//   Eq. 17: C_total(t) = a1·t·C_trans + a2·C_comp + a3·C_cheat·q^t
+//   Eq. 18: t* = ⌈ln(−a1·C_trans / (a3·C_cheat·ln q)) / ln q⌉   (Theorem 3)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+namespace seccloud::analysis {
+
+/// Parameters of the cheating model. `range` is |R|, the size of the range
+/// of f (use infinite_range() when guessing is hopeless); `pr_forge` is the
+/// signature-forgery probability (cryptographically negligible; exposed so
+/// the formulas can be exercised).
+struct CheatModel {
+  double csc = 1.0;      ///< Computing Secure Confidence, |F'|/|F| ∈ [0, 1]
+  double ssc = 1.0;      ///< Storage Secure Confidence, |X'|/|X| ∈ [0, 1]
+  double range = 2.0;    ///< |R| ≥ 1; use infinity for unguessable f
+  double pr_forge = 0.0; ///< Pr[SigForge]
+};
+
+constexpr double infinite_range() noexcept { return 1e300; }
+
+/// Per-sample probability that a function-guess cheat survives one sample:
+/// CSC + (1 − CSC)/R.
+double per_sample_fcs(const CheatModel& m) noexcept;
+
+/// Per-sample probability that a position cheat survives one sample:
+/// SSC + (1 − SSC)·Pr[forge].
+double per_sample_pcs(const CheatModel& m) noexcept;
+
+/// Eq. 10.
+double pr_fcs(const CheatModel& m, std::size_t t) noexcept;
+
+/// Eq. 12.
+double pr_pcs(const CheatModel& m, std::size_t t) noexcept;
+
+/// Eq. 14 (clamped to [0, 1]). Note the paper adds the two terms — for a
+/// server running both cheats at once this is an upper bound (each sample
+/// must survive *both* checks); see pr_cheating_success_joint for the exact
+/// value, which the Monte-Carlo simulation reproduces.
+double pr_cheating_success(const CheatModel& m, std::size_t t) noexcept;
+
+/// Exact survival probability under simultaneous cheating: every sampled
+/// sub-task passes both the computation and the signature check, i.e.
+/// (per_sample_fcs · per_sample_pcs)^t ≤ Eq. 14.
+double pr_cheating_success_joint(const CheatModel& m, std::size_t t) noexcept;
+
+/// Smallest t with Pr[cheat] ≤ epsilon (the Figure 4 surface), or
+/// std::nullopt when no finite t achieves it (per-sample survival = 1, i.e.
+/// the server is actually honest in that dimension). t is capped at
+/// `t_max` draws; nullopt is returned if the cap is hit.
+std::optional<std::size_t> min_sample_size(const CheatModel& m, double epsilon,
+                                           std::size_t t_max = 1u << 20) noexcept;
+
+/// Cost model of Eq. 17. Costs are in abstract units (the paper evaluates
+/// them "through a history learning process"; see history.h).
+struct CostModel {
+  double a1 = 1.0;       ///< transmission weight
+  double a2 = 1.0;       ///< computation weight
+  double a3 = 1.0;       ///< cheating-damage weight
+  double c_trans = 1.0;  ///< per-sample transmission cost
+  double c_comp = 1.0;   ///< per-audit computation cost
+  double c_cheat = 1.0;  ///< cost of an undetected cheat
+};
+
+/// Eq. 17: total expected cost of auditing with t samples, where q is the
+/// per-sample cheat-survival probability.
+double total_cost(const CostModel& c, double q, std::size_t t) noexcept;
+
+/// Theorem 3 / Eq. 18: the cost-minimizing integer t (≥ 0). Requires
+/// 0 < q < 1; the result is the better of ⌊t*⌋ and ⌈t*⌉ evaluated exactly.
+std::size_t optimal_sample_size(const CostModel& c, double q) noexcept;
+
+/// Exhaustive argmin over t ∈ [0, t_max] for cross-validation in tests.
+std::size_t optimal_sample_size_exhaustive(const CostModel& c, double q,
+                                           std::size_t t_max) noexcept;
+
+}  // namespace seccloud::analysis

@@ -1,0 +1,67 @@
+#include "baselines/cbs.h"
+
+#include <stdexcept>
+
+#include "seccloud/auditor.h"
+
+namespace seccloud::baselines {
+
+merkle::Digest CbsParticipant::leaf_for(std::uint64_t input, std::uint64_t result) {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(16);
+  for (int i = 0; i < 8; ++i) bytes.push_back(static_cast<std::uint8_t>(result >> (i * 8)));
+  for (int i = 0; i < 8; ++i) bytes.push_back(static_cast<std::uint8_t>(input >> (i * 8)));
+  return merkle::MerkleTree::leaf_hash(bytes);
+}
+
+CbsParticipant CbsParticipant::from_results(std::vector<std::uint64_t> results) {
+  std::vector<merkle::Digest> leaves;
+  leaves.reserve(results.size());
+  for (std::uint64_t i = 0; i < results.size(); ++i) {
+    leaves.push_back(leaf_for(i, results[i]));
+  }
+  return CbsParticipant{std::move(results), merkle::MerkleTree::build(std::move(leaves))};
+}
+
+CbsParticipant CbsParticipant::compute(const GridFunction& f, std::uint64_t domain_size) {
+  if (domain_size == 0) throw std::invalid_argument("CbsParticipant: empty domain");
+  std::vector<std::uint64_t> results;
+  results.reserve(domain_size);
+  for (std::uint64_t x = 0; x < domain_size; ++x) results.push_back(f(x));
+  return from_results(std::move(results));
+}
+
+CbsParticipant CbsParticipant::compute_cheating(const GridFunction& f,
+                                                std::uint64_t domain_size, double fraction,
+                                                num::RandomSource& rng) {
+  if (domain_size == 0) throw std::invalid_argument("CbsParticipant: empty domain");
+  std::vector<std::uint64_t> results;
+  results.reserve(domain_size);
+  for (std::uint64_t x = 0; x < domain_size; ++x) {
+    results.push_back(rng.next_double() < fraction ? f(x) : rng.next_u64());
+  }
+  return from_results(std::move(results));
+}
+
+CbsParticipant::SampleProof CbsParticipant::open(std::uint64_t input) const {
+  if (input >= results_.size()) throw std::out_of_range("CbsParticipant::open");
+  return {input, results_[input], tree_.prove(input)};
+}
+
+CbsSupervisor::Report CbsSupervisor::audit(const GridFunction& f, const merkle::Digest& root,
+                                           const CbsParticipant& participant, std::size_t t,
+                                           num::RandomSource& rng) {
+  Report report;
+  const auto samples = core::sample_indices(participant.domain_size(), t, rng);
+  report.samples = samples.size();
+  for (const auto input : samples) {
+    const auto proof = participant.open(input);
+    if (f(input) != proof.claimed_result) ++report.recompute_failures;
+    const merkle::Digest leaf = CbsParticipant::leaf_for(input, proof.claimed_result);
+    if (!merkle::MerkleTree::verify(root, leaf, proof.path)) ++report.root_failures;
+  }
+  report.accepted = report.recompute_failures == 0 && report.root_failures == 0;
+  return report;
+}
+
+}  // namespace seccloud::baselines

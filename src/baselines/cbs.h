@@ -1,0 +1,77 @@
+// Commitment-Based Sampling (CBS) — Du et al., "Uncheatable Grid Computing"
+// (ICDCS'04), the paper's reference [7] and the direct ancestor of
+// SecCloud's computation audit.
+//
+// CBS: the participant computes every f(x_i), commits via a Merkle tree over
+// H(f(x_i) ‖ i), and the supervisor samples leaves. It provides
+// uncheatability but NO privacy: anything the participant sends (results,
+// commitments) is publicly verifiable, so a cheating participant CAN resell
+// the data with convincing proofs — exactly the gap SecCloud's designated-
+// verifier layer closes. This implementation exists so benches/tests can
+// contrast the two (same sampling math, different privacy).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "bigint/rng.h"
+#include "merkle/tree.h"
+
+namespace seccloud::baselines {
+
+/// The grid task: compute f over each input in a domain.
+using GridFunction = std::function<std::uint64_t(std::uint64_t)>;
+
+/// Participant-side commitment: every result, plus the Merkle root.
+class CbsParticipant {
+ public:
+  /// Honest participant: computes f over [0, domain_size).
+  static CbsParticipant compute(const GridFunction& f, std::uint64_t domain_size);
+
+  /// Cheating participant: computes only a `fraction` of the domain honestly
+  /// and guesses the rest (CSC in the paper's language).
+  static CbsParticipant compute_cheating(const GridFunction& f, std::uint64_t domain_size,
+                                         double fraction, num::RandomSource& rng);
+
+  const merkle::Digest& root() const noexcept { return tree_.root(); }
+  std::uint64_t domain_size() const noexcept { return results_.size(); }
+
+  struct SampleProof {
+    std::uint64_t input = 0;
+    std::uint64_t claimed_result = 0;
+    merkle::Proof path;
+  };
+  SampleProof open(std::uint64_t input) const;
+
+ private:
+  CbsParticipant(std::vector<std::uint64_t> results, merkle::MerkleTree tree)
+      : results_(std::move(results)), tree_(std::move(tree)) {}
+
+  static merkle::Digest leaf_for(std::uint64_t input, std::uint64_t result);
+  static CbsParticipant from_results(std::vector<std::uint64_t> results);
+
+  std::vector<std::uint64_t> results_;
+  merkle::MerkleTree tree_;
+
+  friend struct CbsSupervisor;
+};
+
+/// Supervisor-side sampling verification. PUBLIC: anyone holding the root
+/// can run this — the privacy gap SecCloud fixes.
+struct CbsSupervisor {
+  struct Report {
+    bool accepted = false;
+    std::size_t samples = 0;
+    std::size_t recompute_failures = 0;
+    std::size_t root_failures = 0;
+  };
+
+  /// Samples `t` inputs, recomputes f, and checks each opening against the
+  /// committed root.
+  static Report audit(const GridFunction& f, const merkle::Digest& root,
+                      const CbsParticipant& participant, std::size_t t,
+                      num::RandomSource& rng);
+};
+
+}  // namespace seccloud::baselines

@@ -1,0 +1,32 @@
+// ECDSA over NIST P-256 — the "ECDSA" row of Table II.
+#pragma once
+
+#include <span>
+
+#include "ec/p256.h"
+
+namespace seccloud::baselines {
+
+using ec::P256;
+using ec::Point;
+using num::BigUint;
+
+struct EcdsaKeyPair {
+  BigUint d;  ///< private scalar
+  Point q;    ///< public point d·G
+};
+
+struct EcdsaSignature {
+  BigUint r;
+  BigUint s;
+};
+
+EcdsaKeyPair ecdsa_generate(const P256& curve, num::RandomSource& rng);
+
+EcdsaSignature ecdsa_sign(const P256& curve, const EcdsaKeyPair& key,
+                          std::span<const std::uint8_t> message, num::RandomSource& rng);
+
+bool ecdsa_verify(const P256& curve, const Point& public_key,
+                  std::span<const std::uint8_t> message, const EcdsaSignature& sig);
+
+}  // namespace seccloud::baselines

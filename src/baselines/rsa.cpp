@@ -1,0 +1,37 @@
+#include "baselines/rsa.h"
+
+#include <stdexcept>
+
+#include "bigint/modular.h"
+#include "bigint/primality.h"
+#include "hash/hash_to.h"
+
+namespace seccloud::baselines {
+
+RsaKeyPair rsa_generate(std::size_t modulus_bits, num::RandomSource& rng) {
+  if (modulus_bits < 64) throw std::invalid_argument("rsa_generate: modulus too small");
+  const BigUint e{65537};
+  while (true) {
+    const BigUint p = num::random_prime(modulus_bits / 2, rng);
+    const BigUint q = num::random_prime(modulus_bits - modulus_bits / 2, rng);
+    if (p == q) continue;
+    const BigUint phi = (p - BigUint{1}) * (q - BigUint{1});
+    const auto d = num::inv_mod(e, phi);
+    if (!d) continue;  // gcd(e, phi) != 1; retry with new primes
+    return {p * q, e, *d};
+  }
+}
+
+BigUint rsa_sign(const RsaKeyPair& key, std::span<const std::uint8_t> message) {
+  const BigUint h = hash::hash_to_int("seccloud.baseline.rsa-fdh", message, key.n);
+  return num::pow_mod(h, key.d, key.n);
+}
+
+bool rsa_verify(const BigUint& n, const BigUint& e, std::span<const std::uint8_t> message,
+                const BigUint& signature) {
+  if (signature >= n) return false;
+  const BigUint h = hash::hash_to_int("seccloud.baseline.rsa-fdh", message, n);
+  return num::pow_mod(signature, e, n) == h;
+}
+
+}  // namespace seccloud::baselines

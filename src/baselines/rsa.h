@@ -1,0 +1,31 @@
+// RSA full-domain-hash signatures — the "RSA" row of Table II.
+// Textbook FDH over our own BigUint stack (keygen included); research-grade,
+// not constant time.
+#pragma once
+
+#include <span>
+
+#include "bigint/biguint.h"
+#include "bigint/rng.h"
+
+namespace seccloud::baselines {
+
+using num::BigUint;
+
+struct RsaKeyPair {
+  BigUint n;  ///< modulus p·q
+  BigUint e;  ///< public exponent (65537)
+  BigUint d;  ///< private exponent
+};
+
+/// Generates a fresh key with an n of `modulus_bits` (two primes of half
+/// that size). Throws std::invalid_argument for modulus_bits < 64.
+RsaKeyPair rsa_generate(std::size_t modulus_bits, num::RandomSource& rng);
+
+/// FDH signature: H(m) mapped into [0, n), raised to d.
+BigUint rsa_sign(const RsaKeyPair& key, std::span<const std::uint8_t> message);
+
+bool rsa_verify(const BigUint& n, const BigUint& e, std::span<const std::uint8_t> message,
+                const BigUint& signature);
+
+}  // namespace seccloud::baselines

@@ -1,0 +1,414 @@
+#include "bigint/biguint.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <stdexcept>
+
+namespace seccloud::num {
+namespace {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+constexpr std::size_t kLimbBits = 64;
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+BigUint::BigUint(u64 v) {
+  if (v != 0) limbs_.push_back(v);
+}
+
+void BigUint::normalize() noexcept {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigUint BigUint::from_limbs(std::vector<u64> limbs) {
+  BigUint r;
+  r.limbs_ = std::move(limbs);
+  r.normalize();
+  return r;
+}
+
+BigUint BigUint::from_hex(std::string_view hex) {
+  if (hex.starts_with("0x") || hex.starts_with("0X")) hex.remove_prefix(2);
+  if (hex.empty()) throw std::invalid_argument("BigUint::from_hex: empty string");
+  BigUint r;
+  r.limbs_.assign((hex.size() + 15) / 16, 0);
+  std::size_t bit = 0;
+  for (std::size_t i = hex.size(); i-- > 0;) {
+    const int d = hex_digit(hex[i]);
+    if (d < 0) throw std::invalid_argument("BigUint::from_hex: bad digit");
+    r.limbs_[bit / kLimbBits] |= static_cast<u64>(d) << (bit % kLimbBits);
+    bit += 4;
+  }
+  r.normalize();
+  return r;
+}
+
+BigUint BigUint::from_dec(std::string_view dec) {
+  if (dec.empty()) throw std::invalid_argument("BigUint::from_dec: empty string");
+  BigUint r;
+  for (char c : dec) {
+    if (c < '0' || c > '9') throw std::invalid_argument("BigUint::from_dec: bad digit");
+    r *= 10u;
+    r += static_cast<u64>(c - '0');
+  }
+  return r;
+}
+
+BigUint BigUint::from_bytes(std::span<const std::uint8_t> be) {
+  BigUint r;
+  r.limbs_.assign((be.size() + 7) / 8, 0);
+  for (std::size_t i = 0; i < be.size(); ++i) {
+    // be[be.size()-1-i] is the i-th least-significant byte.
+    r.limbs_[i / 8] |= static_cast<u64>(be[be.size() - 1 - i]) << ((i % 8) * 8);
+  }
+  r.normalize();
+  return r;
+}
+
+std::string BigUint::to_hex() const {
+  if (is_zero()) return "0";
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(limbs_.size() * 16);
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    for (int nib = 15; nib >= 0; --nib) {
+      out.push_back(kDigits[(limbs_[i] >> (nib * 4)) & 0xF]);
+    }
+  }
+  const auto first = out.find_first_not_of('0');
+  return out.substr(first);
+}
+
+std::string BigUint::to_dec() const {
+  if (is_zero()) return "0";
+  BigUint tmp = *this;
+  const BigUint ten{10};
+  std::string out;
+  while (!tmp.is_zero()) {
+    auto [q, r] = divmod(tmp, ten);
+    out.push_back(static_cast<char>('0' + r.to_u64()));
+    tmp = std::move(q);
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::uint8_t> BigUint::to_bytes(std::size_t width) const {
+  const std::size_t need = (bit_length() + 7) / 8;
+  if (width == 0) width = need;
+  if (need > width) throw std::length_error("BigUint::to_bytes: value wider than requested width");
+  std::vector<std::uint8_t> out(width, 0);
+  for (std::size_t i = 0; i < need; ++i) {
+    out[width - 1 - i] = static_cast<std::uint8_t>(limbs_[i / 8] >> ((i % 8) * 8));
+  }
+  return out;
+}
+
+std::size_t BigUint::bit_length() const noexcept {
+  if (limbs_.empty()) return 0;
+  const u64 top = limbs_.back();
+  return (limbs_.size() - 1) * kLimbBits +
+         (kLimbBits - static_cast<std::size_t>(__builtin_clzll(top)));
+}
+
+bool BigUint::bit(std::size_t i) const noexcept {
+  const std::size_t limb_idx = i / kLimbBits;
+  if (limb_idx >= limbs_.size()) return false;
+  return (limbs_[limb_idx] >> (i % kLimbBits)) & 1u;
+}
+
+std::strong_ordering BigUint::operator<=>(const BigUint& rhs) const noexcept {
+  if (limbs_.size() != rhs.limbs_.size()) {
+    return limbs_.size() <=> rhs.limbs_.size();
+  }
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != rhs.limbs_[i]) return limbs_[i] <=> rhs.limbs_[i];
+  }
+  return std::strong_ordering::equal;
+}
+
+BigUint& BigUint::operator+=(const BigUint& rhs) {
+  if (limbs_.size() < rhs.limbs_.size()) limbs_.resize(rhs.limbs_.size(), 0);
+  u64 carry = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const u128 sum = static_cast<u128>(limbs_[i]) + rhs.limb(i) + carry;
+    limbs_[i] = static_cast<u64>(sum);
+    carry = static_cast<u64>(sum >> kLimbBits);
+    if (carry == 0 && i >= rhs.limbs_.size()) break;
+  }
+  if (carry) limbs_.push_back(carry);
+  return *this;
+}
+
+BigUint& BigUint::operator+=(u64 rhs) {
+  u128 carry = rhs;
+  for (std::size_t i = 0; carry != 0; ++i) {
+    if (i == limbs_.size()) {
+      limbs_.push_back(static_cast<u64>(carry));
+      break;
+    }
+    const u128 sum = static_cast<u128>(limbs_[i]) + carry;
+    limbs_[i] = static_cast<u64>(sum);
+    carry = sum >> kLimbBits;
+  }
+  return *this;
+}
+
+BigUint& BigUint::operator-=(const BigUint& rhs) {
+  if (*this < rhs) throw std::underflow_error("BigUint: subtraction underflow");
+  u64 borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const u64 sub = rhs.limb(i);
+    const u128 lhs128 = static_cast<u128>(limbs_[i]);
+    const u128 need = static_cast<u128>(sub) + borrow;
+    if (lhs128 >= need) {
+      limbs_[i] = static_cast<u64>(lhs128 - need);
+      borrow = 0;
+      if (i >= rhs.limbs_.size()) break;
+    } else {
+      limbs_[i] = static_cast<u64>((static_cast<u128>(1) << kLimbBits) + lhs128 - need);
+      borrow = 1;
+    }
+  }
+  normalize();
+  return *this;
+}
+
+BigUint& BigUint::operator-=(u64 rhs) { return *this -= BigUint{rhs}; }
+
+namespace {
+
+BigUint mul_schoolbook(const BigUint& a, const BigUint& b) {
+  std::vector<u64> out(a.limb_count() + b.limb_count(), 0);
+  for (std::size_t i = 0; i < a.limb_count(); ++i) {
+    u64 carry = 0;
+    const u64 ai = a.limb(i);
+    for (std::size_t j = 0; j < b.limb_count(); ++j) {
+      const u128 cur = static_cast<u128>(ai) * b.limb(j) + out[i + j] + carry;
+      out[i + j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    out[i + b.limb_count()] = carry;
+  }
+  return BigUint::from_limbs(std::move(out));
+}
+
+/// Low `count` limbs of v as a value.
+BigUint low_limbs(const BigUint& v, std::size_t count) {
+  const auto& limbs = v.limbs();
+  std::vector<u64> out(limbs.begin(),
+                       limbs.begin() + static_cast<std::ptrdiff_t>(std::min(count, limbs.size())));
+  return BigUint::from_limbs(std::move(out));
+}
+
+// Below this limb count Karatsuba's bookkeeping costs more than it saves;
+// 512-bit (8-limb) field elements always take the schoolbook path.
+constexpr std::size_t kKaratsubaThreshold = 24;
+
+BigUint mul_karatsuba(const BigUint& a, const BigUint& b) {
+  if (std::min(a.limb_count(), b.limb_count()) < kKaratsubaThreshold) {
+    return mul_schoolbook(a, b);
+  }
+  const std::size_t half = std::max(a.limb_count(), b.limb_count()) / 2;
+  const BigUint a0 = low_limbs(a, half);
+  const BigUint a1 = a >> (half * 64);
+  const BigUint b0 = low_limbs(b, half);
+  const BigUint b1 = b >> (half * 64);
+
+  const BigUint z0 = mul_karatsuba(a0, b0);
+  const BigUint z2 = mul_karatsuba(a1, b1);
+  BigUint z1 = mul_karatsuba(a0 + a1, b0 + b1);
+  z1 -= z0;
+  z1 -= z2;
+
+  BigUint result = z2 << (2 * half * 64);
+  result += z1 << (half * 64);
+  result += z0;
+  return result;
+}
+
+}  // namespace
+
+BigUint operator*(const BigUint& a, const BigUint& b) {
+  if (a.is_zero() || b.is_zero()) return BigUint{};
+  return mul_karatsuba(a, b);
+}
+
+BigUint& BigUint::operator*=(const BigUint& rhs) {
+  *this = *this * rhs;
+  return *this;
+}
+
+BigUint& BigUint::operator*=(u64 rhs) {
+  if (rhs == 0 || is_zero()) {
+    limbs_.clear();
+    return *this;
+  }
+  u64 carry = 0;
+  for (auto& limb_ref : limbs_) {
+    const u128 cur = static_cast<u128>(limb_ref) * rhs + carry;
+    limb_ref = static_cast<u64>(cur);
+    carry = static_cast<u64>(cur >> 64);
+  }
+  if (carry) limbs_.push_back(carry);
+  return *this;
+}
+
+BigUint BigUint::squared() const {
+  return *this * *this;
+}
+
+BigUint& BigUint::operator<<=(std::size_t n) {
+  if (is_zero() || n == 0) return *this;
+  const std::size_t limb_shift = n / kLimbBits;
+  const std::size_t bit_shift = n % kLimbBits;
+  limbs_.insert(limbs_.begin(), limb_shift, 0);
+  if (bit_shift != 0) {
+    u64 carry = 0;
+    for (std::size_t i = limb_shift; i < limbs_.size(); ++i) {
+      const u64 next_carry = limbs_[i] >> (kLimbBits - bit_shift);
+      limbs_[i] = (limbs_[i] << bit_shift) | carry;
+      carry = next_carry;
+    }
+    if (carry) limbs_.push_back(carry);
+  }
+  return *this;
+}
+
+BigUint& BigUint::operator>>=(std::size_t n) {
+  if (is_zero() || n == 0) return *this;
+  const std::size_t limb_shift = n / kLimbBits;
+  if (limb_shift >= limbs_.size()) {
+    limbs_.clear();
+    return *this;
+  }
+  limbs_.erase(limbs_.begin(), limbs_.begin() + static_cast<std::ptrdiff_t>(limb_shift));
+  const std::size_t bit_shift = n % kLimbBits;
+  if (bit_shift != 0) {
+    for (std::size_t i = 0; i + 1 < limbs_.size(); ++i) {
+      limbs_[i] = (limbs_[i] >> bit_shift) | (limbs_[i + 1] << (kLimbBits - bit_shift));
+    }
+    limbs_.back() >>= bit_shift;
+  }
+  normalize();
+  return *this;
+}
+
+DivMod BigUint::divmod(const BigUint& num, const BigUint& den) {
+  if (den.is_zero()) throw std::domain_error("BigUint: division by zero");
+  if (num < den) return {BigUint{}, num};
+  if (den.limbs_.size() == 1) {
+    // Fast path: single-limb divisor.
+    const u64 d = den.limbs_[0];
+    std::vector<u64> q(num.limbs_.size(), 0);
+    u128 rem = 0;
+    for (std::size_t i = num.limbs_.size(); i-- > 0;) {
+      const u128 cur = (rem << kLimbBits) | num.limbs_[i];
+      q[i] = static_cast<u64>(cur / d);
+      rem = cur % d;
+    }
+    return {from_limbs(std::move(q)), BigUint{static_cast<u64>(rem)}};
+  }
+
+  // Knuth TAOCP vol. 2, Algorithm 4.3.1-D.
+  const std::size_t shift = static_cast<std::size_t>(__builtin_clzll(den.limbs_.back()));
+  const BigUint v = den << shift;
+  BigUint u = num << shift;
+  const std::size_t n = v.limbs_.size();
+  const std::size_t m = u.limbs_.size() - n;
+  u.limbs_.resize(u.limbs_.size() + 1, 0);  // u has m+n+1 limbs now.
+
+  std::vector<u64> q(m + 1, 0);
+  const u64 v_top = v.limbs_[n - 1];
+  const u64 v_next = v.limbs_[n - 2];
+
+  for (std::size_t j = m + 1; j-- > 0;) {
+    // Estimate q_hat = floor((u[j+n]*B + u[j+n-1]) / v_top).
+    const u128 numerator = (static_cast<u128>(u.limbs_[j + n]) << kLimbBits) | u.limbs_[j + n - 1];
+    u128 q_hat = numerator / v_top;
+    u128 r_hat = numerator % v_top;
+    const u128 kBase = static_cast<u128>(1) << kLimbBits;
+    while (q_hat >= kBase ||
+           q_hat * v_next > ((r_hat << kLimbBits) | u.limbs_[j + n - 2])) {
+      --q_hat;
+      r_hat += v_top;
+      if (r_hat >= kBase) break;
+    }
+
+    // Multiply-subtract: u[j..j+n] -= q_hat * v.
+    u128 borrow = 0;
+    u128 carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const u128 product = q_hat * v.limbs_[i] + carry;
+      carry = product >> kLimbBits;
+      const u64 product_lo = static_cast<u64>(product);
+      const u128 diff = static_cast<u128>(u.limbs_[i + j]) - product_lo - borrow;
+      u.limbs_[i + j] = static_cast<u64>(diff);
+      borrow = (diff >> kLimbBits) & 1u;  // 1 if the subtraction wrapped.
+    }
+    const u128 diff_top = static_cast<u128>(u.limbs_[j + n]) - carry - borrow;
+    u.limbs_[j + n] = static_cast<u64>(diff_top);
+    const bool negative = (diff_top >> kLimbBits) & 1u;
+
+    if (negative) {
+      // q_hat was one too large: add v back.
+      --q_hat;
+      u128 add_carry = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const u128 sum = static_cast<u128>(u.limbs_[i + j]) + v.limbs_[i] + add_carry;
+        u.limbs_[i + j] = static_cast<u64>(sum);
+        add_carry = sum >> kLimbBits;
+      }
+      u.limbs_[j + n] = static_cast<u64>(u.limbs_[j + n] + add_carry);
+    }
+    q[j] = static_cast<u64>(q_hat);
+  }
+
+  u.limbs_.resize(n);
+  u.normalize();
+  u >>= shift;
+  return {from_limbs(std::move(q)), std::move(u)};
+}
+
+BigUint& BigUint::operator/=(const BigUint& rhs) {
+  *this = divmod(*this, rhs).quotient;
+  return *this;
+}
+
+BigUint& BigUint::operator%=(const BigUint& rhs) {
+  *this = divmod(*this, rhs).remainder;
+  return *this;
+}
+
+BigUint BigUint::isqrt() const {
+  if (is_zero()) return BigUint{};
+  // Newton iteration starting from a power-of-two overestimate.
+  BigUint x = BigUint{1} << ((bit_length() + 1) / 2);
+  while (true) {
+    BigUint y = (x + *this / x) >> 1;
+    if (y >= x) break;
+    x = std::move(y);
+  }
+  return x;
+}
+
+BigUint BigUint::gcd(BigUint a, BigUint b) {
+  while (!b.is_zero()) {
+    BigUint r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+}  // namespace seccloud::num

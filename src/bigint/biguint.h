@@ -1,0 +1,137 @@
+// Arbitrary-precision unsigned integer arithmetic.
+//
+// This is the numeric substrate for every cryptographic component in the
+// SecCloud reproduction (prime fields, elliptic curves, the Tate pairing,
+// RSA/ECDSA baselines).  Values are immutable-style: operators return new
+// objects; compound assignment mutates in place.
+//
+// Representation: little-endian vector of 64-bit limbs, normalized so the
+// most significant limb is non-zero (zero is the empty vector).
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace seccloud::num {
+
+class BigUint;
+
+/// Quotient and remainder of an integer division (see BigUint::divmod).
+struct DivMod;
+
+class BigUint {
+ public:
+  /// Zero.
+  BigUint() = default;
+
+  /// From a machine word.
+  explicit BigUint(std::uint64_t v);
+
+  /// Parses a hexadecimal string (no "0x" prefix required; one is accepted).
+  /// Throws std::invalid_argument on malformed input.
+  static BigUint from_hex(std::string_view hex);
+
+  /// Parses a decimal string. Throws std::invalid_argument on malformed input.
+  static BigUint from_dec(std::string_view dec);
+
+  /// Big-endian byte deserialization (leading zero bytes allowed).
+  static BigUint from_bytes(std::span<const std::uint8_t> be);
+
+  /// Lowercase hex, no prefix, "0" for zero.
+  std::string to_hex() const;
+
+  /// Decimal string.
+  std::string to_dec() const;
+
+  /// Big-endian bytes, minimal length ("" for zero) unless `width` is given,
+  /// in which case the result is left-padded with zeros to exactly `width`
+  /// bytes. Throws std::length_error if the value does not fit in `width`.
+  std::vector<std::uint8_t> to_bytes(std::size_t width = 0) const;
+
+  bool is_zero() const noexcept { return limbs_.empty(); }
+  bool is_odd() const noexcept { return !limbs_.empty() && (limbs_[0] & 1u); }
+  bool is_even() const noexcept { return !is_odd(); }
+
+  /// Number of significant bits (0 for zero).
+  std::size_t bit_length() const noexcept;
+
+  /// Value of bit `i` (false beyond bit_length()).
+  bool bit(std::size_t i) const noexcept;
+
+  /// Number of significant limbs.
+  std::size_t limb_count() const noexcept { return limbs_.size(); }
+
+  /// Limb `i` (0 beyond limb_count()).
+  std::uint64_t limb(std::size_t i) const noexcept {
+    return i < limbs_.size() ? limbs_[i] : 0;
+  }
+
+  /// Low 64 bits of the value.
+  std::uint64_t to_u64() const noexcept { return limb(0); }
+
+  /// True iff the value fits in a single 64-bit word.
+  bool fits_u64() const noexcept { return limbs_.size() <= 1; }
+
+  std::strong_ordering operator<=>(const BigUint& rhs) const noexcept;
+  bool operator==(const BigUint& rhs) const noexcept = default;
+
+  BigUint& operator+=(const BigUint& rhs);
+  BigUint& operator-=(const BigUint& rhs);  ///< Throws std::underflow_error if rhs > *this.
+  BigUint& operator*=(const BigUint& rhs);
+  BigUint& operator/=(const BigUint& rhs);  ///< Throws std::domain_error on /0.
+  BigUint& operator%=(const BigUint& rhs);  ///< Throws std::domain_error on %0.
+  BigUint& operator<<=(std::size_t n);
+  BigUint& operator>>=(std::size_t n);
+
+  friend BigUint operator+(BigUint a, const BigUint& b) { return a += b; }
+  friend BigUint operator-(BigUint a, const BigUint& b) { return a -= b; }
+  friend BigUint operator*(const BigUint& a, const BigUint& b);
+  friend BigUint operator/(BigUint a, const BigUint& b) { return a /= b; }
+  friend BigUint operator%(BigUint a, const BigUint& b) { return a %= b; }
+  friend BigUint operator<<(BigUint a, std::size_t n) { return a <<= n; }
+  friend BigUint operator>>(BigUint a, std::size_t n) { return a >>= n; }
+
+  BigUint& operator+=(std::uint64_t rhs);
+  BigUint& operator-=(std::uint64_t rhs);
+  BigUint& operator*=(std::uint64_t rhs);
+
+  /// Quotient and remainder in one pass (Knuth Algorithm D).
+  /// Throws std::domain_error on division by zero.
+  static DivMod divmod(const BigUint& num, const BigUint& den);
+
+  /// `this * this` — slightly faster than general multiplication.
+  BigUint squared() const;
+
+  /// Integer square root: floor(sqrt(*this)).
+  BigUint isqrt() const;
+
+  /// Greatest common divisor.
+  static BigUint gcd(BigUint a, BigUint b);
+
+  /// Removes leading zero limbs. Internal invariant maintenance; public so
+  /// helpers in the same library can build values limb-wise.
+  void normalize() noexcept;
+
+  /// Direct limb access for the field/curve layers (little-endian).
+  const std::vector<std::uint64_t>& limbs() const noexcept { return limbs_; }
+  static BigUint from_limbs(std::vector<std::uint64_t> limbs);
+
+ private:
+  std::vector<std::uint64_t> limbs_;
+};
+
+struct DivMod {
+  BigUint quotient;
+  BigUint remainder;
+};
+
+/// Convenience literals for small constants.
+inline BigUint operator""_bu(unsigned long long v) {
+  return BigUint{static_cast<std::uint64_t>(v)};
+}
+
+}  // namespace seccloud::num

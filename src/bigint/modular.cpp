@@ -1,0 +1,86 @@
+#include "bigint/modular.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace seccloud::num {
+
+BigUint add_mod(const BigUint& a, const BigUint& b, const BigUint& m) {
+  BigUint r = a + b;
+  if (r >= m) r -= m;
+  return r;
+}
+
+BigUint sub_mod(const BigUint& a, const BigUint& b, const BigUint& m) {
+  if (a >= b) return a - b;
+  return a + m - b;
+}
+
+BigUint mul_mod(const BigUint& a, const BigUint& b, const BigUint& m) {
+  return (a * b) % m;
+}
+
+BigUint pow_mod(const BigUint& base, const BigUint& exp, const BigUint& m) {
+  if (m.is_zero()) throw std::domain_error("pow_mod: zero modulus");
+  if (m == BigUint{1}) return BigUint{};
+  BigUint result{1};
+  BigUint b = base % m;
+  const std::size_t bits = exp.bit_length();
+  for (std::size_t i = bits; i-- > 0;) {
+    result = (result * result) % m;
+    if (exp.bit(i)) result = (result * b) % m;
+  }
+  return result;
+}
+
+ExtGcd ext_gcd(const BigUint& a, const BigUint& b) {
+  // Iterative extended Euclid tracking only x, with signs handled via a
+  // parity flag: invariants old_x * a ≡ ± old_r (mod b).
+  if (b.is_zero()) return {a, BigUint{1}};
+  BigUint old_r = a % b;
+  BigUint r = b;
+  BigUint old_x{1};
+  BigUint x{};
+  bool old_x_neg = false;
+  bool x_neg = false;
+  while (!r.is_zero()) {
+    auto [q, rem] = BigUint::divmod(old_r, r);
+    // (old_x, x) = (x, old_x - q * x), with signs.
+    BigUint qx = q * x;
+    BigUint new_x;
+    bool new_x_neg;
+    if (old_x_neg == x_neg) {
+      // old_x - q*x where both share a sign: result sign depends on magnitude.
+      if (old_x >= qx) {
+        new_x = old_x - qx;
+        new_x_neg = old_x_neg;
+      } else {
+        new_x = qx - old_x;
+        new_x_neg = !old_x_neg;
+      }
+    } else {
+      new_x = old_x + qx;
+      new_x_neg = old_x_neg;
+    }
+    old_r = std::move(r);
+    r = std::move(rem);
+    old_x = std::move(x);
+    old_x_neg = x_neg;
+    x = std::move(new_x);
+    x_neg = new_x_neg;
+  }
+  // old_x * (a mod b) ≡ old_r ≡ g (mod b); and a ≡ a mod b (mod b), so the
+  // same coefficient works for a.
+  BigUint coeff = old_x % b;
+  if (old_x_neg && !coeff.is_zero()) coeff = b - coeff;
+  return {std::move(old_r), std::move(coeff)};
+}
+
+std::optional<BigUint> inv_mod(const BigUint& a, const BigUint& m) {
+  if (m.is_zero() || a.is_zero()) return std::nullopt;
+  auto [g, x] = ext_gcd(a % m, m);
+  if (g != BigUint{1}) return std::nullopt;
+  return x;
+}
+
+}  // namespace seccloud::num

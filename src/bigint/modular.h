@@ -1,0 +1,35 @@
+// Modular arithmetic on BigUint: modular exponentiation, inversion,
+// extended gcd, and helpers used by the prime-field and RSA layers.
+#pragma once
+
+#include <optional>
+
+#include "bigint/biguint.h"
+
+namespace seccloud::num {
+
+/// (a + b) mod m, assuming a, b < m.
+BigUint add_mod(const BigUint& a, const BigUint& b, const BigUint& m);
+
+/// (a - b) mod m, assuming a, b < m.
+BigUint sub_mod(const BigUint& a, const BigUint& b, const BigUint& m);
+
+/// (a * b) mod m.
+BigUint mul_mod(const BigUint& a, const BigUint& b, const BigUint& m);
+
+/// base^exp mod m (square-and-multiply, left-to-right).
+/// Throws std::domain_error if m is zero.
+BigUint pow_mod(const BigUint& base, const BigUint& exp, const BigUint& m);
+
+/// Extended gcd: returns g = gcd(a, b) and Bezout coefficient x with
+/// a*x ≡ g (mod b). (Only x is needed for inversion.)
+struct ExtGcd {
+  BigUint g;
+  BigUint x_mod_b;  ///< x reduced into [0, b).
+};
+ExtGcd ext_gcd(const BigUint& a, const BigUint& b);
+
+/// Modular inverse of a mod m, or std::nullopt if gcd(a, m) != 1.
+std::optional<BigUint> inv_mod(const BigUint& a, const BigUint& m);
+
+}  // namespace seccloud::num

@@ -1,0 +1,72 @@
+#include "bigint/primality.h"
+
+#include <array>
+#include <stdexcept>
+
+#include "bigint/modular.h"
+
+namespace seccloud::num {
+namespace {
+
+constexpr std::array<std::uint64_t, 54> kSmallPrimes = {
+    2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,
+    47,  53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107,
+    109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181,
+    191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251};
+
+/// One Miller–Rabin round with base `a`; n-1 = d * 2^s, d odd.
+bool mr_round(const BigUint& n, const BigUint& n_minus_1, const BigUint& d,
+              std::size_t s, const BigUint& a) {
+  BigUint x = pow_mod(a, d, n);
+  if (x == BigUint{1} || x == n_minus_1) return true;
+  for (std::size_t i = 1; i < s; ++i) {
+    x = (x * x) % n;
+    if (x == n_minus_1) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool is_probable_prime(const BigUint& n, RandomSource& rng, int rounds) {
+  if (n < BigUint{2}) return false;
+  for (const std::uint64_t p : kSmallPrimes) {
+    const BigUint bp{p};
+    if (n == bp) return true;
+    if ((n % bp).is_zero()) return false;
+  }
+  const BigUint n_minus_1 = n - BigUint{1};
+  BigUint d = n_minus_1;
+  std::size_t s = 0;
+  while (d.is_even()) {
+    d >>= 1;
+    ++s;
+  }
+  const BigUint two{2};
+  const BigUint span = n - BigUint{3};  // bases drawn from [2, n-2]
+  for (int i = 0; i < rounds; ++i) {
+    const BigUint a = rng.next_below(span) + two;
+    if (!mr_round(n, n_minus_1, d, s, a)) return false;
+  }
+  return true;
+}
+
+BigUint random_prime(std::size_t bits, RandomSource& rng, int rounds) {
+  return random_prime_where(bits, rng, [](const BigUint&) { return true; }, rounds);
+}
+
+BigUint random_prime_where(std::size_t bits, RandomSource& rng,
+                           const std::function<bool(const BigUint&)>& accept,
+                           int rounds, std::size_t max_tries) {
+  if (bits < 2) throw std::invalid_argument("random_prime_where: need >= 2 bits");
+  for (std::size_t attempt = 0; attempt < max_tries; ++attempt) {
+    BigUint candidate = rng.next_bits(bits);
+    if (candidate.is_even()) candidate += 1u;
+    if (candidate.bit_length() != bits) continue;  // +1 may have carried out
+    if (!accept(candidate)) continue;
+    if (is_probable_prime(candidate, rng, rounds)) return candidate;
+  }
+  throw std::runtime_error("random_prime_where: no prime found within max_tries");
+}
+
+}  // namespace seccloud::num

@@ -1,0 +1,24 @@
+// Primality testing and prime generation (Miller–Rabin).
+#pragma once
+
+#include <functional>
+
+#include "bigint/biguint.h"
+#include "bigint/rng.h"
+
+namespace seccloud::num {
+
+/// Miller–Rabin probabilistic primality test with `rounds` random bases
+/// (error probability <= 4^-rounds), preceded by small-prime trial division.
+bool is_probable_prime(const BigUint& n, RandomSource& rng, int rounds = 32);
+
+/// Uniform random probable prime with exactly `bits` bits.
+BigUint random_prime(std::size_t bits, RandomSource& rng, int rounds = 32);
+
+/// Random probable prime with exactly `bits` bits satisfying `accept`
+/// (e.g. p ≡ 3 mod 4). Throws std::runtime_error after `max_tries` failures.
+BigUint random_prime_where(std::size_t bits, RandomSource& rng,
+                           const std::function<bool(const BigUint&)>& accept,
+                           int rounds = 32, std::size_t max_tries = 1 << 20);
+
+}  // namespace seccloud::num

@@ -1,0 +1,83 @@
+#include "bigint/rng.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace seccloud::num {
+
+BigUint RandomSource::next_below(const BigUint& bound) {
+  if (bound.is_zero()) throw std::domain_error("RandomSource::next_below: zero bound");
+  const std::size_t bits = bound.bit_length();
+  // Rejection sampling on the minimal bit-width keeps the output uniform.
+  const std::size_t limbs = (bits + 63) / 64;  // >= 1 since bound > 0
+  const std::size_t excess = limbs * 64 - bits;
+  while (true) {
+    std::vector<std::uint64_t> raw(limbs);
+    for (auto& w : raw) w = next_u64();
+    raw[limbs - 1] >>= excess;
+    BigUint candidate = BigUint::from_limbs(std::move(raw));
+    if (candidate < bound) return candidate;
+  }
+}
+
+BigUint RandomSource::next_bits(std::size_t bits) {
+  if (bits == 0) throw std::domain_error("RandomSource::next_bits: zero width");
+  const std::size_t limbs = (bits + 63) / 64;  // >= 1
+  const std::size_t excess = limbs * 64 - bits;
+  std::vector<std::uint64_t> raw(limbs);
+  for (auto& w : raw) w = next_u64();
+  raw[limbs - 1] >>= excess;
+  raw[limbs - 1] |= std::uint64_t{1} << ((bits - 1) % 64);
+  return BigUint::from_limbs(std::move(raw));
+}
+
+BigUint RandomSource::next_nonzero_below(const BigUint& bound) {
+  while (true) {
+    BigUint v = next_below(bound);
+    if (!v.is_zero()) return v;
+  }
+}
+
+double RandomSource::next_double() {
+  // 53 uniform mantissa bits.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+void RandomSource::fill(std::span<std::uint8_t> out) {
+  std::size_t i = 0;
+  while (i < out.size()) {
+    std::uint64_t w = next_u64();
+    for (int b = 0; b < 8 && i < out.size(); ++b, ++i) {
+      out[i] = static_cast<std::uint8_t>(w);
+      w >>= 8;
+    }
+  }
+}
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97f4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) noexcept {
+  for (auto& word : s_) word = splitmix64(seed);
+}
+
+std::uint64_t Xoshiro256::next_u64() {
+  const std::uint64_t result = std::rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = std::rotl(s_[3], 45);
+  return result;
+}
+
+}  // namespace seccloud::num

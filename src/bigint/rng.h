@@ -1,0 +1,51 @@
+// Deterministic random sources.
+//
+// Every component that needs randomness (key generation, signing nonces,
+// audit sampling, adversary behaviour) takes a RandomSource&, so whole
+// protocol runs and simulations are reproducible from a single seed.
+// The default engine is xoshiro256** — statistically strong and fast; it is
+// NOT cryptographically secure, which is acceptable for a research
+// reproduction (documented in DESIGN.md). hash/hmac_drbg.h provides an
+// HMAC-SHA256 DRBG behind the same interface for the crypto-grade path.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "bigint/biguint.h"
+
+namespace seccloud::num {
+
+/// Abstract source of uniform random 64-bit words.
+class RandomSource {
+ public:
+  virtual ~RandomSource() = default;
+  virtual std::uint64_t next_u64() = 0;
+
+  /// Uniform value in [0, bound). Throws std::domain_error if bound is zero.
+  BigUint next_below(const BigUint& bound);
+
+  /// Uniform value with exactly `bits` bits (top bit set). bits >= 1.
+  BigUint next_bits(std::size_t bits);
+
+  /// Uniform value in [1, bound) — e.g. a nonzero scalar mod q.
+  BigUint next_nonzero_below(const BigUint& bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Fills a byte buffer.
+  void fill(std::span<std::uint8_t> out);
+};
+
+/// xoshiro256** by Blackman & Vigna, seeded via SplitMix64.
+class Xoshiro256 final : public RandomSource {
+ public:
+  explicit Xoshiro256(std::uint64_t seed) noexcept;
+  std::uint64_t next_u64() override;
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+}  // namespace seccloud::num

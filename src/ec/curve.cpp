@@ -1,0 +1,258 @@
+#include "ec/curve.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace seccloud::ec {
+
+Curve::Curve(const PrimeField& fld, BigUint a, BigUint b, BigUint order, BigUint cofactor)
+    : field_(&fld),
+      a_(std::move(a)),
+      b_(std::move(b)),
+      order_(std::move(order)),
+      cofactor_(std::move(cofactor)) {}
+
+bool Curve::is_on_curve(const Point& pt) const {
+  if (pt.infinity) return true;
+  const auto& f = *field_;
+  const BigUint lhs = f.sqr(pt.y);
+  const BigUint rhs = f.add(f.add(f.mul(f.sqr(pt.x), pt.x), f.mul(a_, pt.x)), b_);
+  return lhs == rhs;
+}
+
+Point Curve::neg(const Point& pt) const {
+  if (pt.infinity) return pt;
+  return Point::affine(pt.x, field_->neg(pt.y));
+}
+
+Curve::Jacobian Curve::to_jacobian(const Point& pt) const {
+  if (pt.infinity) return {BigUint{1}, BigUint{1}, BigUint{}};
+  return {pt.x, pt.y, BigUint{1}};
+}
+
+Point Curve::to_affine(const Jacobian& pt) const {
+  if (pt.z.is_zero()) return Point::at_infinity();
+  const auto& f = *field_;
+  const BigUint z_inv = *f.inv(pt.z);
+  const BigUint z2_inv = f.sqr(z_inv);
+  return Point::affine(f.mul(pt.x, z2_inv), f.mul(pt.y, f.mul(z2_inv, z_inv)));
+}
+
+Curve::Jacobian Curve::jac_dbl(const Jacobian& pt) const {
+  const auto& f = *field_;
+  if (pt.z.is_zero() || pt.y.is_zero()) return {BigUint{1}, BigUint{1}, BigUint{}};
+  const BigUint y2 = f.sqr(pt.y);
+  const BigUint s = f.mul_small(f.mul(pt.x, y2), 4);             // S = 4XY^2
+  const BigUint z2 = f.sqr(pt.z);
+  const BigUint m = f.add(f.mul_small(f.sqr(pt.x), 3),           // M = 3X^2 + aZ^4
+                          f.mul(a_, f.sqr(z2)));
+  const BigUint x3 = f.sub(f.sqr(m), f.add(s, s));
+  const BigUint y3 = f.sub(f.mul(m, f.sub(s, x3)), f.mul_small(f.sqr(y2), 8));
+  const BigUint z3 = f.mul_small(f.mul(pt.y, pt.z), 2);
+  return {x3, y3, z3};
+}
+
+Curve::Jacobian Curve::jac_add_mixed(const Jacobian& lhs, const Point& rhs) const {
+  const auto& f = *field_;
+  if (rhs.infinity) return lhs;
+  if (lhs.z.is_zero()) return {rhs.x, rhs.y, BigUint{1}};
+  const BigUint z1_sq = f.sqr(lhs.z);
+  const BigUint u2 = f.mul(rhs.x, z1_sq);
+  const BigUint s2 = f.mul(rhs.y, f.mul(z1_sq, lhs.z));
+  const BigUint h = f.sub(u2, lhs.x);
+  const BigUint r = f.sub(s2, lhs.y);
+  if (h.is_zero()) {
+    if (r.is_zero()) return jac_dbl(lhs);
+    return {BigUint{1}, BigUint{1}, BigUint{}};  // P + (−P) = O
+  }
+  const BigUint h2 = f.sqr(h);
+  const BigUint h3 = f.mul(h2, h);
+  const BigUint x1h2 = f.mul(lhs.x, h2);
+  const BigUint x3 = f.sub(f.sub(f.sqr(r), h3), f.add(x1h2, x1h2));
+  const BigUint y3 = f.sub(f.mul(r, f.sub(x1h2, x3)), f.mul(lhs.y, h3));
+  const BigUint z3 = f.mul(lhs.z, h);
+  return {x3, y3, z3};
+}
+
+Curve::Jacobian Curve::jac_add(const Jacobian& lhs, const Jacobian& rhs) const {
+  if (rhs.z.is_zero()) return lhs;
+  if (lhs.z.is_zero()) return rhs;
+  // Rare path (multi_mul only): convert rhs to affine and reuse mixed add.
+  return jac_add_mixed(lhs, to_affine(rhs));
+}
+
+Point Curve::add(const Point& lhs, const Point& rhs) const {
+  if (lhs.infinity) return rhs;
+  return to_affine(jac_add_mixed(to_jacobian(lhs), rhs));
+}
+
+Point Curve::dbl(const Point& pt) const { return to_affine(jac_dbl(to_jacobian(pt))); }
+
+std::vector<Point> Curve::to_affine_batch(std::span<const Jacobian> points) const {
+  const auto& f = *field_;
+  std::vector<BigUint> zs;
+  zs.reserve(points.size());
+  for (const auto& pt : points) {
+    if (pt.z.is_zero()) throw std::domain_error("to_affine_batch: point at infinity");
+    zs.push_back(pt.z);
+  }
+  const std::vector<BigUint> z_invs = f.inv_batch(zs);
+  std::vector<Point> out;
+  out.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const BigUint z2_inv = f.sqr(z_invs[i]);
+    out.push_back(Point::affine(f.mul(points[i].x, z2_inv),
+                                f.mul(points[i].y, f.mul(z2_inv, z_invs[i]))));
+  }
+  return out;
+}
+
+Curve::Jacobian Curve::mul_wnaf(const BigUint& k, const Point& pt) const {
+  constexpr int kWidth = 4;
+  constexpr std::uint64_t kWindow = 1u << kWidth;       // 16
+  constexpr std::uint64_t kHalfWindow = kWindow / 2;    // 8
+
+  // Signed digits, least-significant first: each entry is odd in
+  // (−2^{w−1}, 2^{w−1}) or zero.
+  std::vector<int> digits;
+  digits.reserve(k.bit_length() + 1);
+  BigUint n = k;
+  while (!n.is_zero()) {
+    if (n.is_odd()) {
+      const std::uint64_t mod = n.limb(0) & (kWindow - 1);
+      int digit;
+      if (mod >= kHalfWindow) {
+        digit = static_cast<int>(mod) - static_cast<int>(kWindow);
+        n += static_cast<std::uint64_t>(-digit);
+      } else {
+        digit = static_cast<int>(mod);
+        n -= static_cast<std::uint64_t>(digit);
+      }
+      digits.push_back(digit);
+    } else {
+      digits.push_back(0);
+    }
+    n >>= 1;
+  }
+
+  // Precompute odd multiples P, 3P, ..., (2^{w−1}−1)P as affine points
+  // (mixed addition keeps the main loop cheap); one shared inversion.
+  const Jacobian p_jac{pt.x, pt.y, BigUint{1}};
+  const Point two_p = to_affine(jac_dbl(p_jac));
+  std::vector<Jacobian> table_jac;
+  table_jac.reserve(kHalfWindow / 2);
+  table_jac.push_back(p_jac);
+  for (std::size_t i = 1; i < kHalfWindow / 2; ++i) {
+    table_jac.push_back(jac_add_mixed(table_jac.back(), two_p));
+  }
+  const std::vector<Point> table = to_affine_batch(table_jac);
+
+  Jacobian acc{BigUint{1}, BigUint{1}, BigUint{}};
+  for (std::size_t i = digits.size(); i-- > 0;) {
+    acc = jac_dbl(acc);
+    const int digit = digits[i];
+    if (digit > 0) {
+      acc = jac_add_mixed(acc, table[static_cast<std::size_t>(digit) / 2]);
+    } else if (digit < 0) {
+      acc = jac_add_mixed(acc, neg(table[static_cast<std::size_t>(-digit) / 2]));
+    }
+  }
+  return acc;
+}
+
+Point Curve::mul(const BigUint& k, const Point& pt) const {
+  if (pt.infinity || k.is_zero()) return Point::at_infinity();
+  if (k.bit_length() <= 8) {
+    // Tiny scalars: plain double-and-add beats table setup.
+    Jacobian acc{BigUint{1}, BigUint{1}, BigUint{}};
+    for (std::size_t i = k.bit_length(); i-- > 0;) {
+      acc = jac_dbl(acc);
+      if (k.bit(i)) acc = jac_add_mixed(acc, pt);
+    }
+    return to_affine(acc);
+  }
+  return to_affine(mul_wnaf(k, pt));
+}
+
+Point Curve::multi_mul(std::span<const BigUint> scalars, std::span<const Point> points) const {
+  if (scalars.size() != points.size()) {
+    throw std::invalid_argument("Curve::multi_mul: size mismatch");
+  }
+  // Interleaved double-and-add (shared doubling chain).
+  std::size_t max_bits = 0;
+  for (const auto& s : scalars) max_bits = std::max(max_bits, s.bit_length());
+  Jacobian acc{BigUint{1}, BigUint{1}, BigUint{}};
+  for (std::size_t i = max_bits; i-- > 0;) {
+    acc = jac_dbl(acc);
+    for (std::size_t j = 0; j < scalars.size(); ++j) {
+      if (scalars[j].bit(i)) acc = jac_add_mixed(acc, points[j]);
+    }
+  }
+  return to_affine(acc);
+}
+
+std::optional<Point> Curve::lift_x(const BigUint& x, bool even_y) const {
+  const auto& f = *field_;
+  const BigUint xr = f.reduce(x);
+  const BigUint rhs = f.add(f.add(f.mul(f.sqr(xr), xr), f.mul(a_, xr)), b_);
+  const auto root = f.sqrt(rhs);
+  if (!root) return std::nullopt;
+  BigUint y = *root;
+  if (y.is_odd() == even_y) y = f.neg(y);
+  return Point::affine(xr, std::move(y));
+}
+
+std::vector<std::uint8_t> Curve::serialize(const Point& pt) const {
+  if (pt.infinity) return {0x00};
+  const std::size_t width = (field_->modulus().bit_length() + 7) / 8;
+  std::vector<std::uint8_t> out;
+  out.reserve(1 + 2 * width);
+  out.push_back(0x04);
+  const auto xb = pt.x.to_bytes(width);
+  const auto yb = pt.y.to_bytes(width);
+  out.insert(out.end(), xb.begin(), xb.end());
+  out.insert(out.end(), yb.begin(), yb.end());
+  return out;
+}
+
+std::optional<Point> Curve::deserialize(std::span<const std::uint8_t> bytes) const {
+  if (bytes.size() == 1 && bytes[0] == 0x00) return Point::at_infinity();
+  const std::size_t width = (field_->modulus().bit_length() + 7) / 8;
+  if (bytes.size() != 1 + 2 * width || bytes[0] != 0x04) return std::nullopt;
+  Point pt = Point::affine(BigUint::from_bytes(bytes.subspan(1, width)),
+                           BigUint::from_bytes(bytes.subspan(1 + width, width)));
+  if (pt.x >= field_->modulus() || pt.y >= field_->modulus()) return std::nullopt;
+  if (!is_on_curve(pt)) return std::nullopt;
+  return pt;
+}
+
+std::vector<std::uint8_t> Curve::serialize_compressed(const Point& pt) const {
+  if (pt.infinity) return {0x00};
+  const std::size_t width = (field_->modulus().bit_length() + 7) / 8;
+  std::vector<std::uint8_t> out;
+  out.reserve(1 + width);
+  out.push_back(pt.y.is_odd() ? 0x03 : 0x02);
+  const auto xb = pt.x.to_bytes(width);
+  out.insert(out.end(), xb.begin(), xb.end());
+  return out;
+}
+
+std::optional<Point> Curve::deserialize_compressed(std::span<const std::uint8_t> bytes) const {
+  if (bytes.size() == 1 && bytes[0] == 0x00) return Point::at_infinity();
+  const std::size_t width = (field_->modulus().bit_length() + 7) / 8;
+  if (bytes.size() != 1 + width || (bytes[0] != 0x02 && bytes[0] != 0x03)) {
+    return std::nullopt;
+  }
+  const BigUint x = BigUint::from_bytes(bytes.subspan(1));
+  if (x >= field_->modulus()) return std::nullopt;
+  return lift_x(x, /*even_y=*/bytes[0] == 0x02);
+}
+
+Point Curve::random_point(num::RandomSource& rng) const {
+  while (true) {
+    const BigUint x = field_->random(rng);
+    if (auto pt = lift_x(x, rng.next_u64() & 1)) return *pt;
+  }
+}
+
+}  // namespace seccloud::ec

@@ -1,0 +1,27 @@
+// NIST P-256 (secp256r1) domain parameters, used by the ECDSA baseline
+// (Table II of the paper compares ECDSA against the SecCloud scheme).
+#pragma once
+
+#include <memory>
+
+#include "ec/curve.h"
+
+namespace seccloud::ec {
+
+/// Owns the field and curve objects together (the curve holds a reference
+/// to the field, so they must share a lifetime).
+class P256 {
+ public:
+  P256();
+
+  const Curve& curve() const noexcept { return *curve_; }
+  const Point& generator() const noexcept { return generator_; }
+  const BigUint& order() const noexcept { return curve_->order(); }
+
+ private:
+  std::unique_ptr<PrimeField> field_;
+  std::unique_ptr<Curve> curve_;
+  Point generator_;
+};
+
+}  // namespace seccloud::ec

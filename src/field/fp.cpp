@@ -1,0 +1,104 @@
+#include "field/fp.h"
+
+#include <stdexcept>
+
+namespace seccloud::field {
+
+PrimeField::PrimeField(BigUint p) : p_(std::move(p)) {
+  if (p_ < BigUint{3} || p_.is_even()) {
+    throw std::invalid_argument("PrimeField: modulus must be an odd integer >= 3");
+  }
+  k_ = p_.limb_count();
+  mu_ = (BigUint{1} << (2 * k_ * 64)) / p_;
+  p_three_mod_four_ = (p_.limb(0) & 3u) == 3u;
+  if (p_three_mod_four_) {
+    sqrt_exponent_ = (p_ + BigUint{1}) >> 2;
+  }
+}
+
+BigUint PrimeField::reduce(const BigUint& x) const {
+  if (x < p_) return x;
+  if (x.limb_count() > 2 * k_) return x % p_;
+  // Barrett: q = floor(floor(x / B^{k-1}) * mu / B^{k+1}); r = x - q*p.
+  BigUint q = x >> ((k_ - 1) * 64);
+  q *= mu_;
+  q >>= (k_ + 1) * 64;
+  BigUint r = x - q * p_;
+  while (r >= p_) r -= p_;
+  return r;
+}
+
+BigUint PrimeField::add(const BigUint& a, const BigUint& b) const {
+  BigUint r = a + b;
+  if (r >= p_) r -= p_;
+  return r;
+}
+
+BigUint PrimeField::sub(const BigUint& a, const BigUint& b) const {
+  if (a >= b) return a - b;
+  return a + p_ - b;
+}
+
+BigUint PrimeField::neg(const BigUint& a) const {
+  if (a.is_zero()) return a;
+  return p_ - a;
+}
+
+BigUint PrimeField::mul(const BigUint& a, const BigUint& b) const {
+  return reduce(a * b);
+}
+
+BigUint PrimeField::sqr(const BigUint& a) const { return reduce(a.squared()); }
+
+BigUint PrimeField::mul_small(const BigUint& a, std::uint64_t k) const {
+  BigUint r = a;
+  r *= k;
+  return reduce(r);
+}
+
+BigUint PrimeField::pow(const BigUint& a, const BigUint& e) const {
+  BigUint result{1};
+  BigUint base = reduce(a);
+  for (std::size_t i = e.bit_length(); i-- > 0;) {
+    result = sqr(result);
+    if (e.bit(i)) result = mul(result, base);
+  }
+  return result;
+}
+
+std::optional<BigUint> PrimeField::inv(const BigUint& a) const {
+  return num::inv_mod(a, p_);
+}
+
+std::vector<BigUint> PrimeField::inv_batch(std::span<const BigUint> values) const {
+  if (values.empty()) return {};
+  // Prefix products: prefix[i] = v0 · v1 ⋯ vi.
+  std::vector<BigUint> prefix(values.size());
+  prefix[0] = reduce(values[0]);
+  if (prefix[0].is_zero()) throw std::domain_error("inv_batch: zero element");
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    if (values[i].is_zero()) throw std::domain_error("inv_batch: zero element");
+    prefix[i] = mul(prefix[i - 1], values[i]);
+  }
+  auto running = inv(prefix.back());
+  if (!running) throw std::domain_error("inv_batch: product not invertible");
+  std::vector<BigUint> out(values.size());
+  for (std::size_t i = values.size(); i-- > 1;) {
+    out[i] = mul(*running, prefix[i - 1]);
+    running = mul(*running, values[i]);
+  }
+  out[0] = std::move(*running);
+  return out;
+}
+
+std::optional<BigUint> PrimeField::sqrt(const BigUint& a) const {
+  if (!p_three_mod_four_) {
+    throw std::logic_error("PrimeField::sqrt: only implemented for p ≡ 3 (mod 4)");
+  }
+  if (a.is_zero()) return BigUint{};
+  BigUint candidate = pow(a, sqrt_exponent_);
+  if (sqr(candidate) != reduce(a)) return std::nullopt;
+  return candidate;
+}
+
+}  // namespace seccloud::field

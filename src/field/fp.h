@@ -1,0 +1,66 @@
+// Prime field F_p arithmetic.
+//
+// Context-object style: a PrimeField owns the modulus and Barrett constant;
+// elements are plain BigUint residues in [0, p). This keeps the hot path
+// (the Miller loop) free of per-element indirection.
+#pragma once
+
+#include <optional>
+
+#include "bigint/biguint.h"
+#include "bigint/modular.h"
+#include "bigint/rng.h"
+
+namespace seccloud::field {
+
+using num::BigUint;
+
+class PrimeField {
+ public:
+  /// `p` must be an odd prime (not verified here; callers pass verified or
+  /// pinned parameters). Throws std::invalid_argument if p < 3 or even.
+  explicit PrimeField(BigUint p);
+
+  const BigUint& modulus() const noexcept { return p_; }
+  std::size_t limb_count() const noexcept { return k_; }
+
+  /// Reduces an arbitrary non-negative integer into [0, p). Uses Barrett
+  /// reduction when x < p^2, a full division otherwise.
+  BigUint reduce(const BigUint& x) const;
+
+  BigUint add(const BigUint& a, const BigUint& b) const;
+  BigUint sub(const BigUint& a, const BigUint& b) const;
+  BigUint neg(const BigUint& a) const;
+  BigUint mul(const BigUint& a, const BigUint& b) const;
+  BigUint sqr(const BigUint& a) const;
+  BigUint mul_small(const BigUint& a, std::uint64_t k) const;
+
+  /// a^e mod p.
+  BigUint pow(const BigUint& a, const BigUint& e) const;
+
+  /// Multiplicative inverse; std::nullopt for 0.
+  std::optional<BigUint> inv(const BigUint& a) const;
+
+  /// Square root for p ≡ 3 (mod 4): candidate = a^((p+1)/4); returns it only
+  /// if candidate^2 == a. (Also serves as the quadratic-residue test.)
+  std::optional<BigUint> sqrt(const BigUint& a) const;
+
+  /// Batch inversion (Montgomery's trick): inverts every element with ONE
+  /// field inversion plus 3(n−1) multiplications. All inputs must be
+  /// nonzero; throws std::domain_error otherwise.
+  std::vector<BigUint> inv_batch(std::span<const BigUint> values) const;
+
+  /// Uniform element of [0, p).
+  BigUint random(num::RandomSource& rng) const { return rng.next_below(p_); }
+
+  bool is_three_mod_four() const noexcept { return p_three_mod_four_; }
+
+ private:
+  BigUint p_;
+  BigUint mu_;             ///< Barrett constant: floor(B^{2k} / p), B = 2^64.
+  BigUint sqrt_exponent_;  ///< (p+1)/4 when p ≡ 3 (mod 4).
+  std::size_t k_;          ///< Limb count of p.
+  bool p_three_mod_four_;
+};
+
+}  // namespace seccloud::field

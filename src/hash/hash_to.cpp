@@ -1,0 +1,44 @@
+#include "hash/hash_to.h"
+
+#include <stdexcept>
+
+namespace seccloud::hash {
+
+std::vector<std::uint8_t> expand(std::string_view tag,
+                                 std::span<const std::uint8_t> data,
+                                 std::size_t out_len) {
+  std::vector<std::uint8_t> out;
+  out.reserve(out_len + 32);
+  std::uint32_t ctr = 0;
+  while (out.size() < out_len) {
+    Sha256 h;
+    h.update(tag);
+    const std::uint8_t ctr_be[4] = {
+        static_cast<std::uint8_t>(ctr >> 24), static_cast<std::uint8_t>(ctr >> 16),
+        static_cast<std::uint8_t>(ctr >> 8), static_cast<std::uint8_t>(ctr)};
+    h.update(std::span<const std::uint8_t>(ctr_be, 4));
+    h.update(data);
+    const Digest d = h.finish();
+    out.insert(out.end(), d.begin(), d.end());
+    ++ctr;
+  }
+  out.resize(out_len);
+  return out;
+}
+
+num::BigUint hash_to_int(std::string_view tag, std::span<const std::uint8_t> data,
+                         const num::BigUint& modulus) {
+  if (modulus.is_zero()) throw std::domain_error("hash_to_int: zero modulus");
+  const std::size_t bytes = (modulus.bit_length() + 7) / 8 + 16;  // +128 bits
+  const std::vector<std::uint8_t> wide = expand(tag, data, bytes);
+  return num::BigUint::from_bytes(wide) % modulus;
+}
+
+num::BigUint hash_to_nonzero(std::string_view tag, std::span<const std::uint8_t> data,
+                             const num::BigUint& modulus) {
+  num::BigUint v = hash_to_int(tag, data, modulus);
+  if (v.is_zero()) v += 1u;  // Probability 2^-160; keeps the map total.
+  return v;
+}
+
+}  // namespace seccloud::hash

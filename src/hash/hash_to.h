@@ -1,0 +1,37 @@
+// Hash-to-integer helpers: the protocol hash functions
+//   H  : {0,1}* → Zq   (Merkle leaves / node rule use raw SHA-256 digests)
+//   H2 : {0,1}* → Zq*  (block-tag hash h_i = H2(U_i ‖ m_i))
+// and an expandable-output primitive used by try-and-increment hash-to-curve.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "bigint/biguint.h"
+#include "hash/sha256.h"
+
+namespace seccloud::hash {
+
+/// Expands `data` (domain-separated by `tag`) into `out_len` bytes via
+/// counter-mode SHA-256: H(tag ‖ ctr ‖ data) for ctr = 0, 1, ...
+std::vector<std::uint8_t> expand(std::string_view tag,
+                                 std::span<const std::uint8_t> data,
+                                 std::size_t out_len);
+
+/// Hash to an integer uniform in [0, modulus). Uses 128 extra bits before
+/// reduction so the bias is negligible.
+num::BigUint hash_to_int(std::string_view tag, std::span<const std::uint8_t> data,
+                         const num::BigUint& modulus);
+
+/// Hash to a *nonzero* integer in [1, modulus).
+num::BigUint hash_to_nonzero(std::string_view tag, std::span<const std::uint8_t> data,
+                             const num::BigUint& modulus);
+
+/// Convenience byte-view of a string.
+inline std::span<const std::uint8_t> as_bytes(std::string_view s) noexcept {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+}  // namespace seccloud::hash

@@ -1,0 +1,35 @@
+#include "hash/hmac.h"
+
+#include <algorithm>
+#include <array>
+
+namespace seccloud::hash {
+
+Digest hmac_sha256(std::span<const std::uint8_t> key,
+                   std::span<const std::uint8_t> message) noexcept {
+  std::array<std::uint8_t, 64> block{};
+  if (key.size() > block.size()) {
+    const Digest kd = Sha256::digest(key);
+    std::copy(kd.begin(), kd.end(), block.begin());
+  } else {
+    std::copy(key.begin(), key.end(), block.begin());
+  }
+
+  std::array<std::uint8_t, 64> ipad;
+  std::array<std::uint8_t, 64> opad;
+  for (std::size_t i = 0; i < 64; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(block[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(block[i] ^ 0x5c);
+  }
+
+  const Digest inner = Sha256{}
+                           .update(std::span<const std::uint8_t>(ipad))
+                           .update(message)
+                           .finish();
+  return Sha256{}
+      .update(std::span<const std::uint8_t>(opad))
+      .update(std::span<const std::uint8_t>(inner))
+      .finish();
+}
+
+}  // namespace seccloud::hash

@@ -1,0 +1,14 @@
+// HMAC-SHA256 (RFC 2104 / FIPS 198-1).
+#pragma once
+
+#include <span>
+
+#include "hash/sha256.h"
+
+namespace seccloud::hash {
+
+/// One-shot HMAC-SHA256.
+Digest hmac_sha256(std::span<const std::uint8_t> key,
+                   std::span<const std::uint8_t> message) noexcept;
+
+}  // namespace seccloud::hash

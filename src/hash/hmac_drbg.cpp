@@ -1,0 +1,49 @@
+#include "hash/hmac_drbg.h"
+
+#include <cstring>
+#include <vector>
+
+namespace seccloud::hash {
+
+HmacDrbg::HmacDrbg(std::span<const std::uint8_t> seed) {
+  key_.fill(0x00);
+  value_.fill(0x01);
+  update_state(seed);
+}
+
+HmacDrbg::HmacDrbg(std::string_view seed)
+    : HmacDrbg(std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(seed.data()), seed.size())) {}
+
+void HmacDrbg::update_state(std::span<const std::uint8_t> provided) {
+  std::vector<std::uint8_t> buf;
+  buf.reserve(value_.size() + 1 + provided.size());
+  buf.insert(buf.end(), value_.begin(), value_.end());
+  buf.push_back(0x00);
+  buf.insert(buf.end(), provided.begin(), provided.end());
+  key_ = hmac_sha256(key_, buf);
+  value_ = hmac_sha256(key_, value_);
+  if (!provided.empty()) {
+    buf.assign(value_.begin(), value_.end());
+    buf.push_back(0x01);
+    buf.insert(buf.end(), provided.begin(), provided.end());
+    key_ = hmac_sha256(key_, buf);
+    value_ = hmac_sha256(key_, value_);
+  }
+}
+
+void HmacDrbg::refill() {
+  value_ = hmac_sha256(key_, value_);
+  block_ = value_;
+  block_pos_ = 0;
+}
+
+std::uint64_t HmacDrbg::next_u64() {
+  if (block_pos_ + 8 > block_.size()) refill();
+  std::uint64_t out;
+  std::memcpy(&out, block_.data() + block_pos_, 8);
+  block_pos_ += 8;
+  return out;
+}
+
+}  // namespace seccloud::hash

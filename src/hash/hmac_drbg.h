@@ -1,0 +1,32 @@
+// HMAC-SHA256 DRBG (NIST SP 800-90A style, simplified: no reseed counter
+// enforcement). Implements num::RandomSource so it can be injected wherever
+// cryptographic-grade determinism is wanted (key generation in examples).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "bigint/rng.h"
+#include "hash/hmac.h"
+
+namespace seccloud::hash {
+
+class HmacDrbg final : public num::RandomSource {
+ public:
+  explicit HmacDrbg(std::span<const std::uint8_t> seed);
+  explicit HmacDrbg(std::string_view seed);
+
+  std::uint64_t next_u64() override;
+
+ private:
+  void update_state(std::span<const std::uint8_t> provided);
+  void refill();
+
+  std::array<std::uint8_t, 32> key_{};
+  std::array<std::uint8_t, 32> value_{};
+  std::array<std::uint8_t, 32> block_{};
+  std::size_t block_pos_ = 32;  ///< Forces a refill on first use.
+};
+
+}  // namespace seccloud::hash

@@ -1,0 +1,59 @@
+#include "ibc/dvs.h"
+
+namespace seccloud::ibc {
+
+DvSignature dv_transform(const PairingGroup& group, const IbsSignature& sig,
+                         const Point& q_verifier) {
+  return {sig.u, group.pair(sig.v, q_verifier)};
+}
+
+bool dv_verify(const PairingGroup& group, const Point& signer_q_id,
+               std::span<const std::uint8_t> message, const DvSignature& sig,
+               const IdentityKey& verifier) {
+  const BigUint h = tag_hash(group, sig.u, message);
+  const Point target = group.add(sig.u, group.mul(h, signer_q_id));
+  return group.pair(target, verifier.secret) == sig.sigma;
+}
+
+DvSignature dv_simulate(const PairingGroup& group, const Point& signer_q_id,
+                        std::span<const std::uint8_t> message,
+                        const IdentityKey& verifier, num::RandomSource& rng) {
+  // Pick U with the same distribution as a real signature, then solve the
+  // verification equation for Σ using the verifier's secret key.
+  const BigUint r = group.random_scalar(rng);
+  DvSignature sig;
+  sig.u = group.mul(r, signer_q_id);
+  const BigUint h = tag_hash(group, sig.u, message);
+  const Point target = group.add(sig.u, group.mul(h, signer_q_id));
+  sig.sigma = group.pair(target, verifier.secret);
+  return sig;
+}
+
+bool dv_batch_verify(const PairingGroup& group, std::span<const BatchEntry> batch,
+                     const IdentityKey& verifier) {
+  BatchAccumulator acc{group};
+  for (const auto& entry : batch) {
+    acc.add(entry.signer_q_id, entry.message, *entry.sig);
+  }
+  return acc.verify(verifier);
+}
+
+BatchAccumulator::BatchAccumulator(const PairingGroup& group)
+    : group_(&group),
+      u_aggregate_(Point::at_infinity()),
+      sigma_aggregate_(group.gt_one()) {}
+
+void BatchAccumulator::add(const Point& signer_q_id, std::span<const std::uint8_t> message,
+                           const DvSignature& sig) {
+  const BigUint h = tag_hash(*group_, sig.u, message);
+  const Point term = group_->add(sig.u, group_->mul(h, signer_q_id));
+  u_aggregate_ = group_->add(u_aggregate_, term);
+  sigma_aggregate_ = group_->gt_mul(sigma_aggregate_, sig.sigma);
+  ++count_;
+}
+
+bool BatchAccumulator::verify(const IdentityKey& verifier) const {
+  return group_->pair(u_aggregate_, verifier.secret) == sigma_aggregate_;
+}
+
+}  // namespace seccloud::ibc

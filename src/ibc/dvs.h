@@ -1,0 +1,80 @@
+// Designated-verifier signatures (paper Sections V-B and VI).
+//
+// The cloud user transforms each identity-based signature (U, V) into
+// pairing values Σ = ê(V, Q_B) for each designated verifier B (the cloud
+// server CS and the designated agency DA) and ships only (U, Σ, Σ').
+// Verification (Eq. 5/7):    Σ == ê(U + H2(U‖m)·Q_ID, sk_B).
+// Privacy: only a party holding sk_B can check the equation, and that party
+// can *simulate* transcripts (dv_simulate), so Σ convinces nobody else —
+// this is the paper's privacy-cheating discouragement.
+// Batch verification (Eq. 8/9): Σ_A = Π Σ_ij and
+//   U_A = Σ_ij (U_ij + h_ij·Q_IDi)  ⇒  ê(U_A, sk_B) == Σ_A,
+// costing one pairing for any number of signatures and signers.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ibc/ibs.h"
+
+namespace seccloud::ibc {
+
+/// A designated-verifier signature for one verifier.
+struct DvSignature {
+  Point u;   ///< U = r·Q_ID (same as the underlying IBS).
+  Gt sigma;  ///< Σ = ê(V, Q_verifier).
+
+  bool operator==(const DvSignature&) const = default;
+};
+
+/// Transforms an IBS into designated-verifier form for verifier `q_verifier`.
+DvSignature dv_transform(const PairingGroup& group, const IbsSignature& sig,
+                         const Point& q_verifier);
+
+/// Eq. (5)/(7): verifier-side check using the verifier's own secret key.
+bool dv_verify(const PairingGroup& group, const Point& signer_q_id,
+               std::span<const std::uint8_t> message, const DvSignature& sig,
+               const IdentityKey& verifier);
+
+/// Transcript simulation: the designated verifier forges a signature that is
+/// *identically distributed* to a real one (the paper's privacy argument —
+/// Σ transfers no conviction to third parties).
+DvSignature dv_simulate(const PairingGroup& group, const Point& signer_q_id,
+                        std::span<const std::uint8_t> message,
+                        const IdentityKey& verifier, num::RandomSource& rng);
+
+/// One verified item of a batch: a signer identity point, the message it
+/// signed, and its DV signature.
+struct BatchEntry {
+  Point signer_q_id;
+  std::span<const std::uint8_t> message;
+  const DvSignature* sig = nullptr;
+};
+
+/// Eq. (8)/(9): verifies an arbitrary mixed-signer batch with ONE pairing
+/// (vs one pairing per signature individually). Empty batches verify.
+bool dv_batch_verify(const PairingGroup& group, std::span<const BatchEntry> batch,
+                     const IdentityKey& verifier);
+
+/// Incremental batch accumulator ("the signature combination can be
+/// performed incrementally", Section VI). add() is pairing-free; the single
+/// pairing happens in verify().
+class BatchAccumulator {
+ public:
+  explicit BatchAccumulator(const PairingGroup& group);
+
+  void add(const Point& signer_q_id, std::span<const std::uint8_t> message,
+           const DvSignature& sig);
+  std::size_t size() const noexcept { return count_; }
+
+  /// ê(U_A, sk_B) == Σ_A.
+  bool verify(const IdentityKey& verifier) const;
+
+ private:
+  const PairingGroup* group_;
+  Point u_aggregate_;   ///< U_A = Σ (U + h·Q_ID)
+  Gt sigma_aggregate_;  ///< Σ_A = Π Σ
+  std::size_t count_ = 0;
+};
+
+}  // namespace seccloud::ibc

@@ -1,0 +1,23 @@
+#include "ibc/keys.h"
+
+namespace seccloud::ibc {
+
+Point identity_point(const PairingGroup& group, std::string_view id) {
+  return group.hash_to_g1("seccloud.v1.identity", id);
+}
+
+Sio::Sio(const PairingGroup& group, num::RandomSource& rng)
+    : group_(&group), master_secret_(group.random_scalar(rng)) {
+  params_.group = group_;
+  params_.p_pub = group.mul(master_secret_, group.generator());
+}
+
+IdentityKey Sio::extract(std::string_view id) const {
+  IdentityKey key;
+  key.id = std::string{id};
+  key.q_id = identity_point(*group_, id);
+  key.secret = group_->mul(master_secret_, key.q_id);
+  return key;
+}
+
+}  // namespace seccloud::ibc

@@ -1,0 +1,53 @@
+// Identity-based key infrastructure (paper Section V-A, "System
+// initialization"): the System Initialization Operator (SIO) holds the
+// master secret s, publishes P_pub = s·P, and extracts per-identity keys
+// sk_ID = s·Q_ID with Q_ID = H1(ID).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "pairing/group.h"
+
+namespace seccloud::ibc {
+
+using num::BigUint;
+using pairing::Gt;
+using pairing::PairingGroup;
+using pairing::Point;
+
+/// Public system parameters: params = (G1, G2, q, ê, P, P_pub, H, H1, H2).
+/// The group object carries everything except P_pub.
+struct PublicParams {
+  const PairingGroup* group = nullptr;
+  Point p_pub;  ///< P_pub = s·P.
+};
+
+/// A registered party's key material, as issued by the SIO.
+struct IdentityKey {
+  std::string id;  ///< The public identity string.
+  Point q_id;      ///< Q_ID = H1(ID) — derivable from id, cached.
+  Point secret;    ///< sk_ID = s·Q_ID. Keep private.
+};
+
+/// Derives Q_ID = H1(ID) (public operation).
+Point identity_point(const PairingGroup& group, std::string_view id);
+
+/// The SIO (run by a trusted authority, offline in the paper's deployment).
+class Sio {
+ public:
+  /// Picks a fresh master secret s ∈ [1, q).
+  Sio(const PairingGroup& group, num::RandomSource& rng);
+
+  const PublicParams& params() const noexcept { return params_; }
+
+  /// Registration (Eq. 4): sk_ID = s·Q_ID, delivered over a secure channel.
+  IdentityKey extract(std::string_view id) const;
+
+ private:
+  const PairingGroup* group_;
+  BigUint master_secret_;
+  PublicParams params_;
+};
+
+}  // namespace seccloud::ibc

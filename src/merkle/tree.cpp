@@ -1,0 +1,94 @@
+#include "merkle/tree.h"
+
+#include <stdexcept>
+
+namespace seccloud::merkle {
+
+Digest MerkleTree::leaf_hash(std::span<const std::uint8_t> data) {
+  hash::Sha256 h;
+  const std::uint8_t tag = 0x00;
+  h.update(std::span<const std::uint8_t>(&tag, 1));
+  h.update(data);
+  return h.finish();
+}
+
+Digest MerkleTree::node_hash(const Digest& left, const Digest& right) {
+  hash::Sha256 h;
+  const std::uint8_t tag = 0x01;
+  h.update(std::span<const std::uint8_t>(&tag, 1));
+  h.update(std::span<const std::uint8_t>(left.data(), left.size()));
+  h.update(std::span<const std::uint8_t>(right.data(), right.size()));
+  return h.finish();
+}
+
+MerkleTree MerkleTree::build(std::vector<Digest> leaves) {
+  if (leaves.empty()) {
+    throw std::invalid_argument("MerkleTree::build: empty leaf set");
+  }
+  std::vector<std::vector<Digest>> levels;
+  levels.push_back(std::move(leaves));
+  while (levels.back().size() > 1) {
+    const auto& prev = levels.back();
+    std::vector<Digest> next;
+    next.reserve((prev.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < prev.size(); i += 2) {
+      next.push_back(node_hash(prev[i], prev[i + 1]));
+    }
+    if (prev.size() % 2 == 1) next.push_back(prev.back());  // promote
+    levels.push_back(std::move(next));
+  }
+  return MerkleTree{std::move(levels)};
+}
+
+Proof MerkleTree::prove(std::size_t index) const {
+  if (index >= leaf_count()) {
+    throw std::out_of_range("MerkleTree::prove: leaf index out of range");
+  }
+  Proof proof;
+  std::size_t pos = index;
+  for (std::size_t level = 0; level + 1 < levels_.size(); ++level) {
+    const auto& nodes = levels_[level];
+    const std::size_t sibling = pos ^ 1u;
+    if (sibling < nodes.size()) {
+      proof.push_back({nodes[sibling], /*sibling_on_left=*/(pos & 1u) != 0});
+    }
+    // else: promoted node, no sibling at this level.
+    pos /= 2;
+  }
+  return proof;
+}
+
+bool MerkleTree::verify(const Digest& root, const Digest& leaf_digest, const Proof& proof) {
+  Digest acc = leaf_digest;
+  for (const auto& step : proof) {
+    acc = step.sibling_on_left ? node_hash(step.sibling, acc) : node_hash(acc, step.sibling);
+  }
+  return acc == root;
+}
+
+std::vector<std::uint8_t> MerkleTree::serialize_proof(const Proof& proof) {
+  std::vector<std::uint8_t> out;
+  out.reserve(proof.size() * 33);
+  for (const auto& step : proof) {
+    out.push_back(step.sibling_on_left ? 0x01 : 0x00);
+    out.insert(out.end(), step.sibling.begin(), step.sibling.end());
+  }
+  return out;
+}
+
+std::optional<Proof> MerkleTree::deserialize_proof(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() % 33 != 0) return std::nullopt;
+  Proof proof;
+  proof.reserve(bytes.size() / 33);
+  for (std::size_t i = 0; i < bytes.size(); i += 33) {
+    if (bytes[i] > 1) return std::nullopt;
+    ProofNode node;
+    node.sibling_on_left = bytes[i] == 0x01;
+    std::copy(bytes.begin() + static_cast<std::ptrdiff_t>(i + 1),
+              bytes.begin() + static_cast<std::ptrdiff_t>(i + 33), node.sibling.begin());
+    proof.push_back(node);
+  }
+  return proof;
+}
+
+}  // namespace seccloud::merkle

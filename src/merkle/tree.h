@@ -1,0 +1,71 @@
+// Merkle hash tree (paper Section IV-C and Figure 3).
+//
+// The cloud server commits to computation results by building this tree over
+// leaves v_i = H(y_i ‖ p_i) and signing the root R (Eq. 6 node rule
+// Ω(V) = H(Ω(left) ‖ Ω(right))). The auditor later checks sampled leaves
+// against R using the sibling sets returned by the server.
+//
+// Implementation notes:
+//  * leaf and interior hashes are domain-separated (0x00 / 0x01 prefixes) to
+//    rule out second-preimage splices;
+//  * odd nodes are promoted to the next level unchanged (no duplication), so
+//    a proof is simply the ordered list of real siblings.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "hash/sha256.h"
+
+namespace seccloud::merkle {
+
+using hash::Digest;
+
+/// One step of an audit path: the sibling digest and which side it sits on.
+struct ProofNode {
+  Digest sibling;
+  bool sibling_on_left = false;
+
+  bool operator==(const ProofNode&) const = default;
+};
+
+/// Audit path from a leaf to the root (bottom-up order).
+using Proof = std::vector<ProofNode>;
+
+class MerkleTree {
+ public:
+  /// Domain-separated leaf hash: H(0x00 ‖ data).
+  static Digest leaf_hash(std::span<const std::uint8_t> data);
+  /// Domain-separated interior rule (Eq. 6): H(0x01 ‖ left ‖ right).
+  static Digest node_hash(const Digest& left, const Digest& right);
+
+  /// Builds a tree over already-hashed leaves. Throws std::invalid_argument
+  /// on an empty leaf set (the protocol never commits to zero results).
+  static MerkleTree build(std::vector<Digest> leaves);
+
+  const Digest& root() const noexcept { return levels_.back().front(); }
+  std::size_t leaf_count() const noexcept { return levels_.front().size(); }
+  const Digest& leaf(std::size_t index) const { return levels_.front().at(index); }
+
+  /// Sibling set for leaf `index` (the black vertices of Figure 3).
+  /// Throws std::out_of_range for a bad index.
+  Proof prove(std::size_t index) const;
+
+  /// Recomputes the root from a leaf digest and its audit path and compares
+  /// with `root` (the "Reconstruct the root value R(τ)" step of Algorithm 1).
+  static bool verify(const Digest& root, const Digest& leaf_digest, const Proof& proof);
+
+  /// Wire formats for shipping proofs between simulator parties.
+  static std::vector<std::uint8_t> serialize_proof(const Proof& proof);
+  static std::optional<Proof> deserialize_proof(std::span<const std::uint8_t> bytes);
+
+ private:
+  explicit MerkleTree(std::vector<std::vector<Digest>> levels) : levels_(std::move(levels)) {}
+
+  /// levels_[0] = leaves, levels_.back() = {root}.
+  std::vector<std::vector<Digest>> levels_;
+};
+
+}  // namespace seccloud::merkle

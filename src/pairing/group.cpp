@@ -1,0 +1,186 @@
+#include "pairing/group.h"
+
+#include <stdexcept>
+
+#include "hash/hash_to.h"
+
+namespace seccloud::pairing {
+
+using field::BigUint;
+
+PairingGroup::PairingGroup(const TypeAParams& params) : params_(params) {
+  fp_ = std::make_unique<field::PrimeField>(params_.p);
+  fp2_ = std::make_unique<field::Fp2Field>(*fp_);
+  // E: y^2 = x^3 + x (a = 1, b = 0); subgroup order q, cofactor h.
+  curve_ = std::make_unique<ec::Curve>(*fp_, BigUint{1}, BigUint{}, params_.q, params_.h);
+  generator_ = hash_to_g1("seccloud.v1.generator", std::string_view{"P"});
+  if (generator_.infinity) {
+    throw std::logic_error("PairingGroup: generator derivation hit the identity");
+  }
+}
+
+Point PairingGroup::hash_to_g1(std::string_view tag, std::string_view data) const {
+  return hash_to_g1(tag, hash::as_bytes(data));
+}
+
+Point PairingGroup::hash_to_g1(std::string_view tag, std::span<const std::uint8_t> data) const {
+  // Try-and-increment: x_ctr = H(tag ‖ data ‖ ctr) until x lies on the
+  // curve, then clear the cofactor. Expected two attempts.
+  std::vector<std::uint8_t> buf(data.begin(), data.end());
+  buf.push_back(0);
+  for (std::uint8_t ctr = 0;; ++ctr) {
+    buf.back() = ctr;
+    const BigUint x = hash::hash_to_int(tag, buf, params_.p);
+    // Parity of the root is also derived from the hash for determinism.
+    const bool even = (hash::hash_to_int("seccloud.v1.sign", buf, BigUint{2})).is_zero();
+    if (auto pt = curve_->lift_x(x, even)) {
+      const Point cleared = curve_->mul(params_.h, *pt);
+      if (!cleared.infinity) return cleared;
+    }
+    if (ctr == 255) throw std::logic_error("hash_to_g1: no curve point in 256 attempts");
+  }
+}
+
+bool PairingGroup::in_g1(const Point& pt) const {
+  if (!curve_->is_on_curve(pt)) return false;
+  return curve_->mul(params_.q, pt).infinity;
+}
+
+namespace {
+
+/// Jacobian coordinates with the base field passed explicitly; local to the
+/// Miller loop (ec::Curve keeps its own Jacobian type private).
+struct Jac {
+  BigUint x;
+  BigUint y;
+  BigUint z;
+  bool is_infinity() const noexcept { return z.is_zero(); }
+};
+
+}  // namespace
+
+Fp2 PairingGroup::miller_loop(const Point& p, const Point& q) const {
+  const auto& f = *fp_;
+  const auto& f2 = *fp2_;
+
+  // Evaluation point φ(Q) = (−x_Q, i·y_Q).
+  const BigUint xq = f.neg(q.x);
+  const BigUint& yq = q.y;
+
+  Fp2 acc = f2.one();
+  Jac t{p.x, p.y, BigUint{1}};
+
+  const BigUint& n = params_.q;
+  for (std::size_t i = n.bit_length() - 1; i-- > 0;) {
+    // --- Doubling step: T ← 2T, line l_{T,T} evaluated at φ(Q). ---------
+    acc = f2.sqr(acc);
+    if (!t.is_infinity()) {
+      if (t.y.is_zero()) {
+        // 2T = O via a vertical tangent: subfield value, eliminated.
+        t = Jac{BigUint{1}, BigUint{1}, BigUint{}};
+      } else {
+        const BigUint y2 = f.sqr(t.y);                      // Y^2
+        const BigUint s = f.mul_small(f.mul(t.x, y2), 4);   // S = 4XY^2
+        const BigUint z2 = f.sqr(t.z);                      // Z^2
+        const BigUint m = f.add(f.mul_small(f.sqr(t.x), 3), // M = 3X^2 + Z^4  (a = 1)
+                                f.sqr(z2));
+        const BigUint x3 = f.sub(f.sqr(m), f.add(s, s));
+        const BigUint y3 = f.sub(f.mul(m, f.sub(s, x3)), f.mul_small(f.sqr(y2), 8));
+        const BigUint z3 = f.mul_small(f.mul(t.y, t.z), 2);
+        // l = 2YZ^3·y' − 2Y^2 − M(Z^2 x' − X), y' = y_Q·i, x' = −x_Q:
+        const BigUint real = f.neg(
+            f.add(f.add(y2, y2), f.mul(m, f.sub(f.mul(z2, xq), t.x))));
+        const BigUint imag = f.mul(f.mul(z3, z2), yq);  // Z3·Z^2 = 2YZ^3
+        acc = f2.mul(acc, Fp2{real, imag});
+        t = Jac{x3, y3, z3};
+      }
+    }
+
+    if (!n.bit(i)) continue;
+
+    // --- Addition step: T ← T + P, line l_{T,P} evaluated at φ(Q). ------
+    if (t.is_infinity()) {
+      t = Jac{p.x, p.y, BigUint{1}};
+      continue;
+    }
+    const BigUint z1_sq = f.sqr(t.z);
+    const BigUint u2 = f.mul(p.x, z1_sq);
+    const BigUint s2 = f.mul(p.y, f.mul(z1_sq, t.z));
+    const BigUint hh = f.sub(u2, t.x);
+    const BigUint r = f.sub(s2, t.y);
+    if (hh.is_zero()) {
+      if (r.is_zero()) {
+        // T = P exactly (only possible on the first add): fall back to an
+        // affine tangent-line doubling via the generic path.
+        throw std::logic_error("miller_loop: unexpected T == P mid-loop");
+      }
+      // T = −P ⇒ T + P = O; the connecting line is vertical (subfield).
+      t = Jac{BigUint{1}, BigUint{1}, BigUint{}};
+      continue;
+    }
+    const BigUint h2 = f.sqr(hh);
+    const BigUint h3 = f.mul(h2, hh);
+    const BigUint x1h2 = f.mul(t.x, h2);
+    const BigUint x3 = f.sub(f.sub(f.sqr(r), h3), f.add(x1h2, x1h2));
+    const BigUint y3 = f.sub(f.mul(r, f.sub(x1h2, x3)), f.mul(t.y, h3));
+    const BigUint z3 = f.mul(t.z, hh);
+    // l = Z3(y' − y_P) − R(x' − x_P), y' = y_Q·i:
+    const BigUint real = f.neg(f.add(f.mul(z3, p.y), f.mul(r, f.sub(xq, p.x))));
+    const BigUint imag = f.mul(z3, yq);
+    acc = f2.mul(acc, Fp2{real, imag});
+    t = Jac{x3, y3, z3};
+  }
+  return acc;
+}
+
+Fp2 PairingGroup::final_exponentiation(const Fp2& f) const {
+  const auto& f2 = *fp2_;
+  // e = (p^2 − 1)/q = (p − 1)·h.   f^(p−1) = conj(f)·f^{-1} (Frobenius).
+  const auto f_inv = f2.inv(f);
+  if (!f_inv) {
+    // Only reachable if the Miller value is 0, which cannot happen for
+    // inputs on the curve; treat as the degenerate pairing.
+    return f2.one();
+  }
+  const Fp2 powered = f2.mul(f2.conj(f), *f_inv);
+  return f2.pow(powered, params_.h);
+}
+
+Gt PairingGroup::pair(const Point& p, const Point& q) const {
+  ++counters_.pairings;
+  ++counters_.miller_loops;
+  ++counters_.final_exps;
+  if (p.infinity || q.infinity) return fp2_->one();
+  return final_exponentiation(miller_loop(p, q));
+}
+
+Gt PairingGroup::pair_product(std::span<const std::pair<Point, Point>> pairs) const {
+  Fp2 acc = fp2_->one();
+  for (const auto& [p, q] : pairs) {
+    if (p.infinity || q.infinity) continue;
+    ++counters_.miller_loops;
+    acc = fp2_->mul(acc, miller_loop(p, q));
+  }
+  ++counters_.final_exps;
+  return final_exponentiation(acc);
+}
+
+std::vector<std::uint8_t> PairingGroup::gt_serialize(const Gt& x) const {
+  const std::size_t width = (params_.p.bit_length() + 7) / 8;
+  std::vector<std::uint8_t> out = x.a.to_bytes(width);
+  const auto imag = x.b.to_bytes(width);
+  out.insert(out.end(), imag.begin(), imag.end());
+  return out;
+}
+
+const PairingGroup& default_group() {
+  static const PairingGroup group{default_params()};
+  return group;
+}
+
+const PairingGroup& tiny_group() {
+  static const PairingGroup group{tiny_params()};
+  return group;
+}
+
+}  // namespace seccloud::pairing

@@ -1,0 +1,26 @@
+// Parameter-generation tool. Regenerates the pinned type-A parameter sets
+// in params_pinned.cpp:
+//   param_gen <p_bits> <q_bits> <seed>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+
+#include "bigint/rng.h"
+#include "pairing/params.h"
+
+int main(int argc, char** argv) {
+  if (argc != 4) {
+    std::cerr << "usage: param_gen <p_bits> <q_bits> <seed>\n";
+    return 1;
+  }
+  const auto p_bits = static_cast<std::size_t>(std::strtoull(argv[1], nullptr, 10));
+  const auto q_bits = static_cast<std::size_t>(std::strtoull(argv[2], nullptr, 10));
+  const auto seed = static_cast<std::uint64_t>(std::strtoull(argv[3], nullptr, 10));
+
+  seccloud::num::Xoshiro256 rng{seed};
+  const auto params = seccloud::pairing::generate_type_a_params(p_bits, q_bits, rng);
+  std::cout << "p = " << params.p.to_hex() << "\n"
+            << "q = " << params.q.to_hex() << "\n"
+            << "h = " << params.h.to_hex() << "\n";
+  return 0;
+}

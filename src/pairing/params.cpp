@@ -1,0 +1,33 @@
+#include "pairing/params.h"
+
+#include <stdexcept>
+
+#include "bigint/primality.h"
+
+namespace seccloud::pairing {
+
+using num::BigUint;
+
+bool TypeAParams::validate(num::RandomSource& rng) const {
+  if ((p.limb(0) & 3u) != 3u) return false;
+  if (h * q != p + BigUint{1}) return false;
+  return num::is_probable_prime(p, rng) && num::is_probable_prime(q, rng);
+}
+
+TypeAParams generate_type_a_params(std::size_t p_bits, std::size_t q_bits,
+                                   num::RandomSource& rng) {
+  if (q_bits + 3 > p_bits) {
+    throw std::invalid_argument("generate_type_a_params: q must be much smaller than p");
+  }
+  const BigUint q = num::random_prime(q_bits, rng);
+  const std::size_t m_bits = p_bits - q_bits - 2;
+  while (true) {
+    const BigUint m = rng.next_bits(m_bits);
+    const BigUint h = m << 2;  // h ≡ 0 (mod 4) ⇒ p = h·q − 1 ≡ 3 (mod 4).
+    const BigUint p = h * q - BigUint{1};
+    if (p.bit_length() != p_bits) continue;
+    if (num::is_probable_prime(p, rng)) return {p, q, h};
+  }
+}
+
+}  // namespace seccloud::pairing

@@ -1,0 +1,39 @@
+// Type-A (supersingular) pairing parameters.
+//
+// The curve is E: y^2 = x^3 + x over F_p with p ≡ 3 (mod 4), which is
+// supersingular with #E(F_p) = p + 1. Choosing p = h·q − 1 with q a prime
+// gives a subgroup G1 of prime order q; the embedding degree is 2 and the
+// distortion map φ(x, y) = (−x, i·y) (i^2 = −1 in F_{p^2}) makes the
+// modified Tate pairing ê(P, Q) = e(P, φ(Q)) symmetric and non-degenerate
+// on G1 × G1. This is the same parameter class as PBC's type-A / MIRACL's
+// SS512 curves that the paper's MIRACL-based Table I uses.
+#pragma once
+
+#include "bigint/biguint.h"
+#include "bigint/rng.h"
+
+namespace seccloud::pairing {
+
+struct TypeAParams {
+  num::BigUint p;  ///< Field prime, p ≡ 3 (mod 4).
+  num::BigUint q;  ///< Prime group order, q | p + 1.
+  num::BigUint h;  ///< Cofactor, p + 1 = h·q.
+
+  /// Sanity-checks the algebraic relations (primality probabilistically).
+  bool validate(num::RandomSource& rng) const;
+};
+
+/// The pinned production parameter set (512-bit p, 160-bit q), generated
+/// once with generate_type_a_params() (see tools target param_gen) and
+/// validated in tests.
+const TypeAParams& default_params();
+
+/// A small (80-bit p) parameter set for fast exhaustive-ish property tests.
+const TypeAParams& tiny_params();
+
+/// Searches for fresh parameters: q a random prime of `q_bits`, h = 4m such
+/// that p = h·q − 1 is a `p_bits` prime (p ≡ 3 mod 4 holds by construction).
+TypeAParams generate_type_a_params(std::size_t p_bits, std::size_t q_bits,
+                                   num::RandomSource& rng);
+
+}  // namespace seccloud::pairing

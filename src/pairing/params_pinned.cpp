@@ -1,0 +1,31 @@
+// Pinned type-A parameter sets. Regenerate with the param_gen tool:
+//   param_gen 512 160 20100610   → default_params()
+//   param_gen  96  40 42         → tiny_params()
+// Both sets are revalidated by tests (primality + cofactor relation).
+#include "pairing/params.h"
+
+namespace seccloud::pairing {
+
+const TypeAParams& default_params() {
+  static const TypeAParams params = {
+      /*p=*/num::BigUint::from_hex(
+          "b7310e862efdfa3df84ca43f1e167c67802b80efc019a0f6ee55a30059ccffb4"
+          "4e02bfe78b9182024ef8b78563010f4d6eaa581df379f1e9fcd912a61fa26b6f"),
+      /*q=*/num::BigUint::from_hex("cf63ab5fab98d9c55ac653d1b28e2b0e54722cdf"),
+      /*h=*/num::BigUint::from_hex(
+          "e22169662679b6fc7dbcd2195ae2ac07edafff4753fdf761cc464f1bb2f4317d"
+          "b7b9e7ec536090cf066e9290"),
+  };
+  return params;
+}
+
+const TypeAParams& tiny_params() {
+  static const TypeAParams params = {
+      /*p=*/num::BigUint::from_hex("a1d1466b6a6152952b0112f3"),
+      /*q=*/num::BigUint::from_hex("e104d9866d"),
+      /*h=*/num::BigUint::from_hex("b818ca12dc1644"),
+  };
+  return params;
+}
+
+}  // namespace seccloud::pairing

@@ -1,0 +1,188 @@
+#include "seccloud/auditor.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "ibc/ibs.h"
+#include "seccloud/client.h"
+
+namespace seccloud::core {
+namespace {
+
+/// Verifies one block's DV signature for the given role. Also enforces that
+/// the block occupies the position it claims (the signature binds the index,
+/// so a block copied from another position fails either way; this check just
+/// gives a crisper failure reason).
+bool check_block_signature(const PairingGroup& group, const Point& q_user,
+                           const SignedBlock& sb, const IdentityKey& verifier_key,
+                           VerifierRole role) {
+  const Bytes message = block_message_bytes(sb.block);
+  const ibc::DvSignature dv =
+      role == VerifierRole::kCloudServer ? sb.sig.for_cs() : sb.sig.for_da();
+  return ibc::dv_verify(group, q_user, message, dv, verifier_key);
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> sample_indices(std::uint64_t n, std::size_t t,
+                                          num::RandomSource& rng) {
+  t = std::min<std::size_t>(t, n);
+  std::unordered_set<std::uint64_t> chosen;
+  std::vector<std::uint64_t> out;
+  out.reserve(t);
+  // Floyd's sampling: uniform without replacement in O(t) expected draws.
+  for (std::uint64_t j = n - t; j < n; ++j) {
+    const std::uint64_t r = rng.next_below(num::BigUint{j + 1}).to_u64();
+    if (chosen.insert(r).second) {
+      out.push_back(r);
+    } else {
+      chosen.insert(j);
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+AuditChallenge make_challenge(std::uint64_t task_size, std::size_t sample_size,
+                              Warrant warrant, num::RandomSource& rng) {
+  AuditChallenge challenge;
+  challenge.sample_indices = sample_indices(task_size, sample_size, rng);
+  challenge.warrant = std::move(warrant);
+  return challenge;
+}
+
+AuditReport verify_computation_audit(const PairingGroup& group, const Point& q_user,
+                                     const Point& q_server, const ComputationTask& task,
+                                     const Commitment& commitment,
+                                     const AuditChallenge& challenge,
+                                     const AuditResponse& response,
+                                     const IdentityKey& da_key, SignatureCheckMode mode) {
+  group.reset_counters();
+  AuditReport report;
+  report.samples_requested = challenge.sample_indices.size();
+  report.samples_returned = response.items.size();
+
+  if (!response.warrant_accepted) {
+    report.warrant_rejected = true;
+    report.ops = group.counters();
+    return report;
+  }
+
+  // Check Sig_CS(R) once (Eq. 7 applied to the server's identity).
+  const std::span<const std::uint8_t> root_bytes(commitment.root.data(), commitment.root.size());
+  report.root_signature_valid =
+      ibc::dv_verify(group, q_server, root_bytes, commitment.root_sig_da, da_key);
+
+  // A response must cover exactly the challenged set.
+  std::unordered_set<std::uint64_t> challenged(challenge.sample_indices.begin(),
+                                               challenge.sample_indices.end());
+
+  ibc::BatchAccumulator batch{group};
+  std::vector<const SignedBlock*> batched_blocks;
+
+  for (const auto& item : response.items) {
+    if (challenged.erase(item.request_index) == 0 ||
+        item.request_index >= task.requests.size()) {
+      // Unrequested or duplicate sample: treat as a root failure (the server
+      // is not answering the challenge).
+      ++report.root_failures;
+      continue;
+    }
+    const ComputeRequest& request = task.requests[item.request_index];
+
+    // (a) IsSignatureWrong: every input block, individually or batched.
+    bool positions_match = item.inputs.size() == request.positions.size();
+    for (std::size_t i = 0; positions_match && i < item.inputs.size(); ++i) {
+      positions_match = item.inputs[i].block.index == request.positions[i];
+    }
+    if (!positions_match) {
+      ++report.signature_failures;  // wrong/missing positions ⇒ Eq. 7 cannot hold
+    } else if (mode == SignatureCheckMode::kIndividual) {
+      for (const auto& input : item.inputs) {
+        if (!check_block_signature(group, q_user, input, da_key,
+                                   VerifierRole::kDesignatedAgency)) {
+          ++report.signature_failures;
+        }
+      }
+    } else {
+      for (const auto& input : item.inputs) {
+        batch.add(q_user, block_message_bytes(input.block), input.sig.for_da());
+        batched_blocks.push_back(&input);
+      }
+    }
+
+    // (b) IsComputingWrong: recompute y over the returned inputs.
+    if (positions_match) {
+      std::vector<std::uint64_t> operands;
+      operands.reserve(item.inputs.size());
+      for (const auto& input : item.inputs) operands.push_back(input.block.value());
+      if (operands.empty() || evaluate(request.kind, operands) != item.result) {
+        ++report.computation_failures;
+      }
+    }
+
+    // (c) IsRootWrong: reconstruct R from H(y ‖ p) and the sibling set.
+    const merkle::Digest leaf =
+        merkle::MerkleTree::leaf_hash(result_leaf_bytes(request, item.result));
+    if (!merkle::MerkleTree::verify(commitment.root, leaf, item.path)) {
+      ++report.root_failures;
+    }
+  }
+
+  // Samples the server silently dropped count as failures.
+  report.root_failures += challenged.size();
+
+  if (mode == SignatureCheckMode::kBatch && batch.size() > 0 && !batch.verify(da_key)) {
+    // Batch rejected: locate the offenders individually (standard batch-
+    // verification fallback; still cheap because cheating is the rare case).
+    for (const SignedBlock* input : batched_blocks) {
+      if (!check_block_signature(group, q_user, *input, da_key,
+                                 VerifierRole::kDesignatedAgency)) {
+        ++report.signature_failures;
+      }
+    }
+    if (report.signature_failures == 0) ++report.signature_failures;  // aggregate forged
+  }
+
+  report.accepted = report.root_signature_valid && report.signature_failures == 0 &&
+                    report.computation_failures == 0 && report.root_failures == 0;
+  report.ops = group.counters();
+  return report;
+}
+
+StorageAuditReport verify_storage_audit(const PairingGroup& group, const Point& q_user,
+                                        std::span<const SignedBlock> blocks,
+                                        const IdentityKey& verifier_key, VerifierRole role,
+                                        SignatureCheckMode mode) {
+  group.reset_counters();
+  StorageAuditReport report;
+  report.blocks_checked = blocks.size();
+
+  if (mode == SignatureCheckMode::kBatch) {
+    ibc::BatchAccumulator batch{group};
+    std::vector<Bytes> messages;
+    messages.reserve(blocks.size());
+    for (const auto& sb : blocks) {
+      messages.push_back(block_message_bytes(sb.block));
+      batch.add(q_user, messages.back(),
+                role == VerifierRole::kCloudServer ? sb.sig.for_cs() : sb.sig.for_da());
+    }
+    if (batch.size() == 0 || batch.verify(verifier_key)) {
+      report.accepted = true;
+      report.ops = group.counters();
+      return report;
+    }
+    // Fall through to individual checks to count the failures.
+  }
+
+  for (const auto& sb : blocks) {
+    if (!check_block_signature(group, q_user, sb, verifier_key, role)) {
+      ++report.signature_failures;
+    }
+  }
+  report.accepted = report.signature_failures == 0;
+  report.ops = group.counters();
+  return report;
+}
+
+}  // namespace seccloud::core

@@ -1,0 +1,72 @@
+// Designated-agency auditing (Section V-D and Algorithm 1):
+//   1. Audit Challenge — sample t indices uniformly from [0, n);
+//   2. Audit Response — produced by the server (see server.h);
+//   3. Response Verify — per sample: (a) input-block signatures (Eq. 7),
+//      (b) recompute y = f(x) and compare, (c) reconstruct the Merkle root
+//      from the leaf and sibling set; plus one check of Sig_CS(R);
+//   4. Return — accept iff no check failed.
+// Also implements the storage-only audit of Protocol II and the batched
+// signature path of Section VI (one pairing per audit instead of one per
+// sampled signature).
+#pragma once
+
+#include "seccloud/server.h"
+
+namespace seccloud::core {
+
+/// How the auditor verifies input-block signatures.
+enum class SignatureCheckMode : std::uint8_t {
+  kIndividual,  ///< one pairing per signature (the basic scheme, Section V)
+  kBatch,       ///< aggregate check, one pairing total (Section VI, Eq. 8/9)
+};
+
+/// Why an audit failed — the three detections of Algorithm 1 plus
+/// protocol-level rejections.
+struct AuditReport {
+  bool accepted = false;
+  bool warrant_rejected = false;       ///< server refused the warrant
+  bool root_signature_valid = false;   ///< Sig_CS(R) under sk_DA
+  std::size_t samples_requested = 0;
+  std::size_t samples_returned = 0;
+  std::size_t signature_failures = 0;  ///< IsSignatureWrong(τ)
+  std::size_t computation_failures = 0;  ///< IsComputingWrong(τ)
+  std::size_t root_failures = 0;       ///< IsRootWrong(R(τ))
+  pairing::OpCounters ops;             ///< pairing/point-mult cost of this audit
+};
+
+/// Uniform random sample S = {c_1, ..., c_t} without replacement from
+/// [0, n). t is clamped to n.
+std::vector<std::uint64_t> sample_indices(std::uint64_t n, std::size_t t,
+                                          num::RandomSource& rng);
+
+/// Builds the challenge message (sampling + warrant).
+AuditChallenge make_challenge(std::uint64_t task_size, std::size_t sample_size,
+                              Warrant warrant, num::RandomSource& rng);
+
+/// Algorithm 1 ("The Probabilistic Sampling Cloud Computation Auditing
+/// Protocol"), run by the DA with its own key sk_DA.
+AuditReport verify_computation_audit(const PairingGroup& group, const Point& q_user,
+                                     const Point& q_server, const ComputationTask& task,
+                                     const Commitment& commitment,
+                                     const AuditChallenge& challenge,
+                                     const AuditResponse& response,
+                                     const IdentityKey& da_key, SignatureCheckMode mode);
+
+/// Storage-only audit (Protocol II / "Data Verification", Eq. 5): checks
+/// designated-verifier signatures on a set of stored blocks. Works for the
+/// CS (ingest-time screening) and the DA alike — pass the matching Σ.
+struct StorageAuditReport {
+  bool accepted = false;
+  std::size_t blocks_checked = 0;
+  std::size_t signature_failures = 0;
+  pairing::OpCounters ops;
+};
+
+enum class VerifierRole : std::uint8_t { kCloudServer, kDesignatedAgency };
+
+StorageAuditReport verify_storage_audit(const PairingGroup& group, const Point& q_user,
+                                        std::span<const SignedBlock> blocks,
+                                        const IdentityKey& verifier_key, VerifierRole role,
+                                        SignatureCheckMode mode);
+
+}  // namespace seccloud::core

@@ -1,0 +1,52 @@
+// Cloud-user-side operations (Protocols II and III, user half):
+// block signing with the designated-verifier transform, computation request
+// construction, warrant issuance, and the user-side commitment check.
+#pragma once
+
+#include "ibc/dvs.h"
+#include "seccloud/types.h"
+
+namespace seccloud::core {
+
+using ibc::IdentityKey;
+using ibc::PublicParams;
+using pairing::PairingGroup;
+
+/// Canonical signed message for block m_i: binds index AND payload, so a
+/// server substituting data from another position fails Eq. (5)/(7).
+Bytes block_message_bytes(const DataBlock& block);
+
+class UserClient {
+ public:
+  /// `q_cs` / `q_da` are the identity points of the designated verifiers
+  /// (cloud server and designated agency).
+  UserClient(const PairingGroup& group, PublicParams params, IdentityKey user_key,
+             Point q_cs, Point q_da);
+
+  const IdentityKey& key() const noexcept { return user_key_; }
+  const Point& q_cs() const noexcept { return q_cs_; }
+  const Point& q_da() const noexcept { return q_da_; }
+
+  /// "Data Signing" (Section V-B-1): U = r·Q_ID, V = (r+h)·sk_ID, then
+  /// Σ = ê(V, Q_CS), Σ' = ê(V, Q_DA); V itself is discarded.
+  SignedBlock sign_block(DataBlock block, num::RandomSource& rng) const;
+  std::vector<SignedBlock> sign_blocks(std::vector<DataBlock> blocks,
+                                       num::RandomSource& rng) const;
+
+  /// Delegates auditing to the DA until `expiry_epoch` (Section V-D).
+  Warrant make_warrant(std::string_view da_id, std::uint64_t expiry_epoch,
+                       num::RandomSource& rng) const;
+
+  /// User-side verification of the server's root signature (the user may
+  /// audit directly instead of delegating).
+  bool verify_root_signature(const Point& q_server, const Commitment& commitment) const;
+
+ private:
+  const PairingGroup* group_;
+  PublicParams params_;
+  IdentityKey user_key_;
+  Point q_cs_;
+  Point q_da_;
+};
+
+}  // namespace seccloud::core

@@ -1,0 +1,132 @@
+// Common protocol value types: data blocks, block signatures, computation
+// requests, commitments, warrants, audit messages.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ibc/dvs.h"
+#include "merkle/tree.h"
+
+namespace seccloud::core {
+
+using ibc::DvSignature;
+using num::BigUint;
+using pairing::Gt;
+using pairing::Point;
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// One outsourced data block m_i at logical position `index`.
+struct DataBlock {
+  std::uint64_t index = 0;
+  Bytes payload;
+
+  /// Convenience for numeric workloads: an 8-byte little-endian payload.
+  static DataBlock from_value(std::uint64_t index, std::uint64_t value);
+  /// Little-endian interpretation of the first 8 bytes (zero padded).
+  std::uint64_t value() const noexcept;
+
+  bool operator==(const DataBlock&) const = default;
+};
+
+/// σ_i = (U_i, Σ_i, Σ'_i): the designated-verifier block signature shipped
+/// to the cloud (Section V-B-1). Σ targets the cloud server, Σ' the DA.
+struct BlockSignature {
+  Point u;
+  Gt sigma_cs;
+  Gt sigma_da;
+
+  bool operator==(const BlockSignature&) const = default;
+
+  /// The (U, Σ) pair for a given verifier role.
+  DvSignature for_cs() const { return {u, sigma_cs}; }
+  DvSignature for_da() const { return {u, sigma_da}; }
+};
+
+struct SignedBlock {
+  DataBlock block;
+  BlockSignature sig;
+
+  bool operator==(const SignedBlock&) const = default;
+};
+
+/// The basic function families of Section V-C-1 ("data sum, data average,
+/// data maximum, or other complicated computations based on these").
+enum class FuncKind : std::uint8_t {
+  kSum,
+  kAverage,   ///< floor of the mean
+  kMax,
+  kMin,
+  kDotSelf,   ///< Σ x_i², a "more complicated" second-moment workload
+  kPolyEval,  ///< Horner evaluation Σ x_i · B^i (mod 2^64), order-sensitive
+};
+
+const char* to_string(FuncKind kind) noexcept;
+
+/// One sub-task f_i with its data position vector p_i.
+struct ComputeRequest {
+  FuncKind kind = FuncKind::kSum;
+  std::vector<std::uint64_t> positions;
+
+  bool operator==(const ComputeRequest&) const = default;
+};
+
+/// The full computing service request {F, P} of Section V-C-1.
+struct ComputationTask {
+  std::vector<ComputeRequest> requests;
+};
+
+/// Evaluates f over the given operand values (the honest computation).
+/// Throws std::invalid_argument on an empty operand list.
+std::uint64_t evaluate(FuncKind kind, std::span<const std::uint64_t> values);
+
+/// Canonical byte encoding of (y_i ‖ p_i) used for Merkle leaves — binds the
+/// result to the function kind AND the exact position vector.
+Bytes result_leaf_bytes(const ComputeRequest& request, std::uint64_t result);
+
+/// The cloud server's commitment: results Y, the Merkle root R over
+/// {H(y_i ‖ p_i)}, and Sig_CS(R) designated to DA and to the user.
+struct Commitment {
+  std::vector<std::uint64_t> results;  ///< Y = {y_i}
+  merkle::Digest root{};               ///< R
+  DvSignature root_sig_da;             ///< Sig_CS(R) for the DA
+  DvSignature root_sig_user;           ///< Sig_CS(R) for the requesting user
+};
+
+/// Delegation warrant (Section V-D): the user authorizes the DA to audit on
+/// its behalf until `expiry_epoch`.
+struct Warrant {
+  std::string delegator_id;  ///< the cloud user
+  std::string delegatee_id;  ///< the DA
+  std::uint64_t expiry_epoch = 0;
+  DvSignature authorization;  ///< user's DV signature over the warrant body,
+                              ///< designated to the cloud server.
+
+  Bytes body_bytes() const;
+};
+
+/// Audit challenge (Algorithm 1, "Audit Challenge Step"): the sampled
+/// sub-task indices S = {c_1, ..., c_t}.
+struct AuditChallenge {
+  std::vector<std::uint64_t> sample_indices;
+  Warrant warrant;
+};
+
+/// Per-sample audit response: inputs with signatures, claimed result, and
+/// the Merkle sibling set from leaf c_l to the root.
+struct AuditResponseItem {
+  std::uint64_t request_index = 0;
+  std::vector<SignedBlock> inputs;
+  std::uint64_t result = 0;
+  merkle::Proof path;
+};
+
+struct AuditResponse {
+  bool warrant_accepted = false;  ///< server refuses expired warrants
+  std::vector<AuditResponseItem> items;
+};
+
+}  // namespace seccloud::core

@@ -1,0 +1,87 @@
+#include "sim/adversary.h"
+
+namespace seccloud::sim {
+
+const char* to_string(AdversaryStrategy strategy) noexcept {
+  switch (strategy) {
+    case AdversaryStrategy::kNone: return "none";
+    case AdversaryStrategy::kStatic: return "static";
+    case AdversaryStrategy::kMobile: return "mobile";
+    case AdversaryStrategy::kSleeper: return "sleeper";
+  }
+  return "unknown";
+}
+
+EpochAdversary::EpochAdversary(AdversaryConfig config) : config_(config) {}
+
+void EpochAdversary::on_epoch_begin(CloudSim& cloud) {
+  cloud.restore_all_servers();
+  current_.clear();
+
+  switch (config_.strategy) {
+    case AdversaryStrategy::kNone:
+      return;
+    case AdversaryStrategy::kStatic:
+      if (!static_set_chosen_) {
+        static_set_ = cloud.corrupt_random_servers(config_.corrupt_behavior, config_.budget);
+        static_set_chosen_ = true;
+      } else {
+        for (const auto idx : static_set_) {
+          cloud.server(idx).set_behavior(config_.corrupt_behavior);
+        }
+      }
+      current_ = static_set_;
+      return;
+    case AdversaryStrategy::kMobile:
+      current_ = cloud.corrupt_random_servers(config_.corrupt_behavior, config_.budget);
+      return;
+    case AdversaryStrategy::kSleeper:
+      if (cloud.epoch() < config_.wake_epoch) return;
+      if (!static_set_chosen_) {
+        static_set_ = cloud.corrupt_random_servers(config_.corrupt_behavior, config_.budget);
+        static_set_chosen_ = true;
+      } else {
+        for (const auto idx : static_set_) {
+          cloud.server(idx).set_behavior(config_.corrupt_behavior);
+        }
+      }
+      current_ = static_set_;
+      return;
+  }
+}
+
+CampaignStats run_campaign(CloudSim& cloud, EpochAdversary& adversary,
+                           std::size_t user_handle, const core::ComputationTask& task,
+                           const CampaignConfig& config) {
+  CampaignStats stats;
+  for (std::size_t round = 0; round < config.epochs; ++round) {
+    adversary.on_epoch_begin(cloud);
+
+    EpochOutcome outcome;
+    outcome.epoch = cloud.epoch();
+    outcome.corrupted_servers = adversary.corrupted_servers().size();
+
+    const std::uint64_t bytes_before = cloud.agency().traffic().total();
+    const auto distributed = cloud.submit_task(user_handle, task);
+    for (const auto& part : distributed.parts) {
+      outcome.any_cheating_executed |= !part.server_was_honest;
+    }
+    const auto report =
+        cloud.audit_task(user_handle, distributed, config.samples_per_part, config.mode);
+    outcome.detected = !report.accepted;
+    outcome.parts_rejected = report.parts_rejected;
+    stats.total_audit_bytes += cloud.agency().traffic().total() - bytes_before;
+
+    if (outcome.any_cheating_executed) {
+      ++stats.cheating_epochs;
+      if (outcome.detected) ++stats.detected_epochs;
+    } else if (outcome.detected) {
+      ++stats.false_positives;
+    }
+    stats.epochs.push_back(outcome);
+    cloud.advance_epoch();
+  }
+  return stats;
+}
+
+}  // namespace seccloud::sim

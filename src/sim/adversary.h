@@ -1,0 +1,82 @@
+// Epoch-based Byzantine adversary (Section III-B: "our adversary controls at
+// most b servers for any given epoch", following HAIL [17]) and a campaign
+// runner that plays multi-epoch attack/audit games and scores detection.
+#pragma once
+
+#include "sim/cloud.h"
+#include "sim/workload.h"
+
+namespace seccloud::sim {
+
+enum class AdversaryStrategy : std::uint8_t {
+  kNone,     ///< control: never corrupts anything
+  kStatic,   ///< corrupts the same ≤ b servers every epoch
+  kMobile,   ///< re-rolls its ≤ b corruption set each epoch (mobile adversary)
+  kSleeper,  ///< dormant until wake_epoch, then static
+};
+
+const char* to_string(AdversaryStrategy strategy) noexcept;
+
+struct AdversaryConfig {
+  AdversaryStrategy strategy = AdversaryStrategy::kStatic;
+  std::size_t budget = 1;  ///< servers corrupted per epoch (clamped to b)
+  ServerBehavior corrupt_behavior;
+  std::uint64_t wake_epoch = 0;  ///< kSleeper: first active epoch
+};
+
+/// Drives server corruption at each epoch boundary.
+class EpochAdversary {
+ public:
+  explicit EpochAdversary(AdversaryConfig config);
+
+  /// Applies this epoch's corruption to the cloud. Call after
+  /// CloudSim::advance_epoch(); restores previously corrupted servers first.
+  void on_epoch_begin(CloudSim& cloud);
+
+  const std::vector<std::size_t>& corrupted_servers() const noexcept { return current_; }
+  bool active() const noexcept { return !current_.empty(); }
+
+ private:
+  AdversaryConfig config_;
+  std::vector<std::size_t> current_;
+  bool static_set_chosen_ = false;
+  std::vector<std::size_t> static_set_;
+};
+
+/// One audited epoch of the campaign.
+struct EpochOutcome {
+  std::uint64_t epoch = 0;
+  std::size_t corrupted_servers = 0;
+  bool any_cheating_executed = false;  ///< ground truth from the servers
+  bool detected = false;               ///< DA rejected ≥ 1 part
+  std::size_t parts_rejected = 0;
+};
+
+struct CampaignStats {
+  std::vector<EpochOutcome> epochs;
+  std::size_t cheating_epochs = 0;
+  std::size_t detected_epochs = 0;   ///< cheating epochs the DA caught
+  std::size_t false_positives = 0;   ///< clean epochs the DA rejected
+  std::uint64_t total_audit_bytes = 0;
+
+  double detection_rate() const noexcept {
+    return cheating_epochs == 0
+               ? 1.0
+               : static_cast<double>(detected_epochs) / static_cast<double>(cheating_epochs);
+  }
+};
+
+struct CampaignConfig {
+  std::size_t epochs = 10;
+  std::size_t samples_per_part = 8;
+  core::SignatureCheckMode mode = core::SignatureCheckMode::kBatch;
+};
+
+/// Plays `epochs` rounds: adversary moves, the user submits the workload's
+/// task, the DA audits every part. The workload's blocks must already be
+/// stored for `user_handle`.
+CampaignStats run_campaign(CloudSim& cloud, EpochAdversary& adversary,
+                           std::size_t user_handle, const core::ComputationTask& task,
+                           const CampaignConfig& config);
+
+}  // namespace seccloud::sim

@@ -1,0 +1,45 @@
+// Adversarial behaviour knobs (Section III-B, "Adversarial Model").
+//
+// The knobs map 1:1 onto the paper's security-confidence parameters:
+//   honest_compute_fraction  = CSC = |F'|/|F|
+//   honest_position_fraction = SSC = |X'|/|X|
+//   guess_range              = |R|, the range of f a guesser draws from
+// plus the storage-cheating knobs (semi-honest deletion, malicious
+// corruption) and the privacy-cheating resale attempt.
+#pragma once
+
+#include <limits>
+
+namespace seccloud::sim {
+
+struct ServerBehavior {
+  // --- Storage-Cheating Model ------------------------------------------
+  /// Probability that an ingested block is actually kept (semi-honest
+  /// deletion of "rarely accessed" data = low retain fraction).
+  double retain_fraction = 1.0;
+  /// Probability that a kept block's payload is tampered with (malicious).
+  double corrupt_fraction = 0.0;
+
+  // --- Computation-Cheating Model --------------------------------------
+  /// CSC: fraction of sub-tasks computed honestly.
+  double honest_compute_fraction = 1.0;
+  /// |R|: when guessing, the guess is correct with probability 1/|R|.
+  double guess_range = std::numeric_limits<double>::infinity();
+  /// SSC: fraction of sub-tasks whose operands come from the requested
+  /// positions; the rest use data from other (cheaper) positions while
+  /// claiming the requested ones.
+  double honest_position_fraction = 1.0;
+
+  // --- Privacy-Cheating Model -------------------------------------------
+  /// The server tries to resell stored data + proofs to a third party.
+  bool attempts_resale = false;
+
+  static ServerBehavior honest() { return {}; }
+
+  bool is_honest() const noexcept {
+    return retain_fraction >= 1.0 && corrupt_fraction <= 0.0 &&
+           honest_compute_fraction >= 1.0 && honest_position_fraction >= 1.0;
+  }
+};
+
+}  // namespace seccloud::sim

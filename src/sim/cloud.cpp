@@ -1,0 +1,125 @@
+#include "sim/cloud.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace seccloud::sim {
+
+CloudSim::CloudSim(const PairingGroup& group, CloudConfig config)
+    : group_(&group), config_(config), rng_(config.seed) {
+  if (config_.num_servers == 0) {
+    throw std::invalid_argument("CloudSim: need at least one server");
+  }
+  sio_ = std::make_unique<ibc::Sio>(group, rng_);
+  da_key_ = sio_->extract("da.seccloud.sim");
+  agency_ = std::make_unique<SimAgency>(group, sio_->params(), da_key_);
+  // All servers act for one CSP, so they share the designated-verifier
+  // identity Q_CS of the paper (Section V-B treats "the cloud servers" as
+  // one verifying party).
+  const ibc::IdentityKey csp_key = sio_->extract("csp.seccloud.sim");
+  servers_.reserve(config_.num_servers);
+  for (std::size_t i = 0; i < config_.num_servers; ++i) {
+    servers_.push_back(std::make_unique<SimCloudServer>(
+        group, csp_key, "cs-" + std::to_string(i), ServerBehavior::honest(),
+        config_.seed ^ (0x9E3779B97F4A7C15ULL * (i + 1))));
+  }
+}
+
+std::size_t CloudSim::register_user(const std::string& id) {
+  UserRecord record;
+  record.key = sio_->extract(id);
+  // Σ is designated to the CSP identity (shared by all servers), Σ' to the DA.
+  record.client = std::make_unique<core::UserClient>(
+      *group_, sio_->params(), record.key, servers_.front()->q_id(), da_key_.q_id);
+  users_.push_back(std::move(record));
+  return users_.size() - 1;
+}
+
+void CloudSim::store_data(std::size_t user_handle, std::vector<core::DataBlock> blocks) {
+  UserRecord& user_record = users_.at(user_handle);
+  user_record.ground_truth = user_record.client->sign_blocks(std::move(blocks), rng_);
+  for (auto& server : servers_) {
+    server->handle_store(user_record.key.id, user_record.ground_truth);
+  }
+}
+
+std::size_t CloudSim::stored_universe(std::size_t user_handle) const {
+  return users_.at(user_handle).ground_truth.size();
+}
+
+const std::vector<SignedBlock>& CloudSim::ground_truth(std::size_t user_handle) const {
+  return users_.at(user_handle).ground_truth;
+}
+
+CloudSim::DistributedCommitment CloudSim::submit_task(std::size_t user_handle,
+                                                      const ComputationTask& task) {
+  const UserRecord& user_record = users_.at(user_handle);
+  const std::size_t n_servers = servers_.size();
+
+  // Round-robin split (the CSP's MapReduce-style sub-task assignment).
+  std::vector<ComputationTask> sub_tasks(n_servers);
+  std::vector<std::vector<std::size_t>> original(n_servers);
+  for (std::size_t i = 0; i < task.requests.size(); ++i) {
+    const std::size_t owner = i % n_servers;
+    sub_tasks[owner].requests.push_back(task.requests[i]);
+    original[owner].push_back(i);
+  }
+
+  DistributedCommitment result;
+  for (std::size_t s = 0; s < n_servers; ++s) {
+    if (sub_tasks[s].requests.empty()) continue;
+    DistributedPart part;
+    part.server_index = s;
+    part.sub_task = sub_tasks[s];
+    part.original_indices = std::move(original[s]);
+    auto outcome = servers_[s]->handle_compute(user_record.key.id, user_record.key.q_id,
+                                               da_key_.q_id, sub_tasks[s], rng_);
+    part.task_id = outcome.task_id;
+    part.commitment = std::move(outcome.commitment);
+    part.server_was_honest = outcome.fully_honest;
+    result.parts.push_back(std::move(part));
+  }
+  return result;
+}
+
+CloudSim::DistributedAuditReport CloudSim::audit_task(std::size_t user_handle,
+                                                      const DistributedCommitment& commitment,
+                                                      std::size_t samples_per_part,
+                                                      core::SignatureCheckMode mode) {
+  const UserRecord& user_record = users_.at(user_handle);
+  DistributedAuditReport report;
+  for (const auto& part : commitment.parts) {
+    core::Warrant warrant =
+        user_record.client->make_warrant(da_key_.id, epoch_ + 16, rng_);
+    auto result = agency_->audit_computation(
+        *servers_[part.server_index], user_record.key.q_id, part.sub_task, part.task_id,
+        part.commitment, std::move(warrant), samples_per_part, mode, rng_, epoch_);
+    if (!result.report.accepted) {
+      report.accepted = false;
+      ++report.parts_rejected;
+    }
+    report.per_part.push_back(std::move(result.report));
+  }
+  return report;
+}
+
+std::vector<std::size_t> CloudSim::corrupt_random_servers(const ServerBehavior& behavior,
+                                                          std::size_t count) {
+  count = std::min({count, config_.byzantine_limit, servers_.size()});
+  std::vector<std::size_t> all(servers_.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  // Partial Fisher-Yates for a uniform subset.
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t j = i + static_cast<std::size_t>(rng_.next_u64() % (all.size() - i));
+    std::swap(all[i], all[j]);
+  }
+  all.resize(count);
+  for (const auto idx : all) servers_[idx]->set_behavior(behavior);
+  return all;
+}
+
+void CloudSim::restore_all_servers() {
+  for (auto& server : servers_) server->set_behavior(ServerBehavior::honest());
+}
+
+}  // namespace seccloud::sim

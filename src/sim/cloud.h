@@ -1,0 +1,106 @@
+// The whole-cloud simulation (Section III-A): one CSP fronting n servers,
+// cloud users, the SIO and the DA. Tasks are split MapReduce-style into
+// per-server sub-tasks; an epoch-based Byzantine adversary corrupts at most
+// b servers per epoch (the HAIL-style bound the paper adopts from [17]).
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "seccloud/client.h"
+#include "sim/agency.h"
+
+namespace seccloud::sim {
+
+struct CloudConfig {
+  std::size_t num_servers = 4;
+  /// b: the maximum number of servers the adversary controls in any epoch.
+  std::size_t byzantine_limit = 1;
+  std::uint64_t seed = 1;
+};
+
+class CloudSim {
+ public:
+  CloudSim(const PairingGroup& group, CloudConfig config);
+
+  const ibc::PublicParams& params() const noexcept { return sio_->params(); }
+  std::size_t num_servers() const noexcept { return servers_.size(); }
+  SimCloudServer& server(std::size_t i) { return *servers_.at(i); }
+  SimAgency& agency() noexcept { return *agency_; }
+  num::RandomSource& rng() noexcept { return rng_; }
+  std::uint64_t epoch() const noexcept { return epoch_; }
+
+  // --- users -------------------------------------------------------------
+  /// Registers a user with the SIO; returns its handle.
+  std::size_t register_user(const std::string& id);
+  const core::UserClient& user(std::size_t handle) const { return *users_.at(handle).client; }
+  const ibc::IdentityKey& user_key(std::size_t handle) const { return users_.at(handle).key; }
+
+  // --- storage service ---------------------------------------------------
+  /// Signs the blocks as the user and replicates them to every server (the
+  /// logical cloud store); the user then deletes its local copy, keeping
+  /// only ground truth for the experiment harness.
+  void store_data(std::size_t user_handle, std::vector<core::DataBlock> blocks);
+  std::size_t stored_universe(std::size_t user_handle) const;
+  /// Ground truth (what an honest cloud would hold) — experiment-only.
+  const std::vector<SignedBlock>& ground_truth(std::size_t user_handle) const;
+
+  // --- computation service (SLA: split across servers) -------------------
+  struct DistributedPart {
+    std::size_t server_index = 0;
+    std::uint64_t task_id = 0;
+    ComputationTask sub_task;
+    Commitment commitment;
+    /// Indices of sub_task.requests within the original task.
+    std::vector<std::size_t> original_indices;
+    bool server_was_honest = true;  ///< ground truth
+  };
+  struct DistributedCommitment {
+    std::vector<DistributedPart> parts;
+  };
+
+  /// Splits {F, P} round-robin over the servers and executes each part
+  /// under the owning server's current behaviour.
+  DistributedCommitment submit_task(std::size_t user_handle, const ComputationTask& task);
+
+  // --- auditing ------------------------------------------------------------
+  struct DistributedAuditReport {
+    bool accepted = true;
+    std::vector<core::AuditReport> per_part;
+    std::size_t parts_rejected = 0;
+  };
+
+  /// DA-side audit of every part with `samples_per_part` samples each.
+  DistributedAuditReport audit_task(std::size_t user_handle,
+                                    const DistributedCommitment& commitment,
+                                    std::size_t samples_per_part,
+                                    core::SignatureCheckMode mode);
+
+  // --- epochs & the Byzantine adversary -----------------------------------
+  void advance_epoch() noexcept { ++epoch_; }
+
+  /// Corrupts `count` distinct random servers (clamped to the Byzantine
+  /// limit b) with the given behaviour; returns the chosen indices.
+  std::vector<std::size_t> corrupt_random_servers(const ServerBehavior& behavior,
+                                                  std::size_t count);
+  void restore_all_servers();
+
+ private:
+  struct UserRecord {
+    ibc::IdentityKey key;
+    std::unique_ptr<core::UserClient> client;
+    std::vector<SignedBlock> ground_truth;
+  };
+
+  const PairingGroup* group_;
+  CloudConfig config_;
+  num::Xoshiro256 rng_;
+  std::unique_ptr<ibc::Sio> sio_;
+  ibc::IdentityKey da_key_;
+  std::unique_ptr<SimAgency> agency_;
+  std::vector<std::unique_ptr<SimCloudServer>> servers_;
+  std::vector<UserRecord> users_;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace seccloud::sim

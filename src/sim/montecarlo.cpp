@@ -1,0 +1,36 @@
+#include "sim/montecarlo.h"
+
+#include <vector>
+
+#include "seccloud/auditor.h"
+
+namespace seccloud::sim {
+
+DetectionStats run_detection_model(const DetectionParams& params, std::size_t trials,
+                                   num::RandomSource& rng) {
+  const double comp_defect_pr =
+      (1.0 - params.cheat.csc) * (1.0 - 1.0 / params.cheat.range);
+  const double pos_defect_pr = (1.0 - params.cheat.ssc) * (1.0 - params.cheat.pr_forge);
+
+  DetectionStats stats;
+  stats.trials = trials;
+  std::vector<bool> defective(params.task_size);
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    for (std::size_t i = 0; i < params.task_size; ++i) {
+      defective[i] = rng.next_double() < comp_defect_pr || rng.next_double() < pos_defect_pr;
+    }
+    const auto samples =
+        core::sample_indices(params.task_size, params.sample_size, rng);
+    bool detected = false;
+    for (const auto index : samples) {
+      if (defective[index]) {
+        detected = true;
+        break;
+      }
+    }
+    if (!detected) ++stats.undetected;
+  }
+  return stats;
+}
+
+}  // namespace seccloud::sim

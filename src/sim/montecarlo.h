@@ -1,0 +1,38 @@
+// Model-level Monte-Carlo detection experiments.
+//
+// These mirror the closed forms of src/analysis without any cryptography,
+// so millions of trials are feasible; tests cross-validate them against
+// both the closed forms (Eq. 10–15) and the crypto-backed simulator.
+#pragma once
+
+#include <cstddef>
+
+#include "analysis/sampling.h"
+#include "bigint/rng.h"
+
+namespace seccloud::sim {
+
+struct DetectionParams {
+  analysis::CheatModel cheat;  ///< CSC / SSC / |R| / Pr[forge]
+  std::size_t task_size = 100; ///< n sub-tasks
+  std::size_t sample_size = 10;  ///< t
+};
+
+struct DetectionStats {
+  std::size_t trials = 0;
+  std::size_t undetected = 0;  ///< cheating server survived the audit
+
+  double empirical_success() const noexcept {
+    return trials == 0 ? 0.0 : static_cast<double>(undetected) / static_cast<double>(trials);
+  }
+};
+
+/// Simulates `trials` audits of a server cheating per `params.cheat`:
+/// each sub-task independently carries a computation defect with probability
+/// (1−CSC)(1−1/R) and a position defect with probability (1−SSC)(1−Pr[forge]);
+/// the audit samples `sample_size` sub-tasks without replacement and the
+/// cheat survives iff no sampled sub-task is defective.
+DetectionStats run_detection_model(const DetectionParams& params, std::size_t trials,
+                                   num::RandomSource& rng);
+
+}  // namespace seccloud::sim

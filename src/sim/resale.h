@@ -1,0 +1,53 @@
+// The privacy-cheating ("illegal private-information selling") market model
+// of Section III-B, third bullet, and the discouragement argument of
+// Section V-B-2 / VII-B.
+//
+// A compromised server offers stored user data plus "proof" to a buyer.
+// A rational buyer only pays for data it can authenticate (the paper's
+// software-selling analogy). Because the signatures are designated-verifier:
+//   * a buyer WITHOUT sk_CS/sk_DA cannot evaluate Eq. (5) at all, and
+//   * even a transcript of a passing check is worthless, because the server
+//     can SIMULATE indistinguishable transcripts for fabricated data
+//     (ibc::dv_simulate) — so a passing check proves nothing to the buyer.
+// Hence Pr[InfoLeak] collapses to Pr[SigForge] (Eq. 16).
+#pragma once
+
+#include "ibc/keys.h"
+#include "sim/server.h"
+
+namespace seccloud::sim {
+
+/// What a prospective buyer holds.
+struct BuyerCredentials {
+  /// The buyer somehow obtained a designated verifier's key (a full
+  /// compromise of CS or DA) — the only case where authentication works.
+  const ibc::IdentityKey* designated_key = nullptr;
+};
+
+struct SaleAttempt {
+  bool offer_made = false;           ///< server was willing & had the data
+  bool buyer_authenticated = false;  ///< buyer could genuinely verify
+  bool sale_completed = false;       ///< rational buyer paid
+};
+
+/// Plays out one resale attempt of block `index` of `user_id`'s data.
+SaleAttempt attempt_resale(const PairingGroup& group, SimCloudServer& server,
+                           const std::string& user_id, const Point& q_user,
+                           std::uint64_t index, const BuyerCredentials& buyer);
+
+/// The indistinguishability demonstration behind the discouragement claim:
+/// produces one genuine DV signature transcript and one simulated (forged-
+/// by-verifier) transcript for the same message; both satisfy Eq. (5)
+/// against the verifier key, so a transcript cannot prove authenticity.
+struct TranscriptPair {
+  ibc::DvSignature genuine;
+  ibc::DvSignature simulated;
+  bool both_verify = false;
+};
+TranscriptPair make_transcript_pair(const PairingGroup& group,
+                                    const ibc::IdentityKey& signer,
+                                    const ibc::IdentityKey& verifier,
+                                    std::span<const std::uint8_t> message,
+                                    num::RandomSource& rng);
+
+}  // namespace seccloud::sim

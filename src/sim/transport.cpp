@@ -1,0 +1,46 @@
+#include "sim/transport.h"
+
+#include "seccloud/codec.h"
+
+namespace seccloud::sim {
+namespace {
+
+std::uint64_t field_bytes(const PairingGroup& group) {
+  return (group.params().p.bit_length() + 7) / 8;
+}
+
+}  // namespace
+
+std::uint64_t wire_size_point(const PairingGroup& group) {
+  return 1 + 2 * field_bytes(group);  // 0x04 ‖ X ‖ Y
+}
+
+std::uint64_t wire_size_gt(const PairingGroup& group) { return 2 * field_bytes(group); }
+
+// Message sizes are exact: each delegates to the real wire codec.
+
+std::uint64_t wire_size_signed_block(const PairingGroup& group, const SignedBlock& sb) {
+  return core::encode_signed_block(group, sb).size();
+}
+
+std::uint64_t wire_size_task(const ComputationTask& task) {
+  std::uint64_t total = 4;
+  for (const auto& request : task.requests) {
+    total += 1 + 4 + 8 * request.positions.size();
+  }
+  return total;
+}
+
+std::uint64_t wire_size_commitment(const PairingGroup& group, const Commitment& commitment) {
+  return core::encode_commitment(group, commitment).size();
+}
+
+std::uint64_t wire_size_challenge(const PairingGroup& group, const AuditChallenge& challenge) {
+  return core::encode_challenge(group, challenge).size();
+}
+
+std::uint64_t wire_size_response(const PairingGroup& group, const AuditResponse& response) {
+  return core::encode_response(group, response).size();
+}
+
+}  // namespace seccloud::sim

@@ -1,0 +1,39 @@
+// Simulated transport: wire-size estimation and per-party traffic meters.
+// The paper flags data-transfer bottlenecks as a top obstacle [1]; the cost
+// model's C_trans term is fed from these byte counts.
+#pragma once
+
+#include <cstdint>
+
+#include "seccloud/types.h"
+
+namespace seccloud::sim {
+
+using core::AuditChallenge;
+using core::AuditResponse;
+using core::Commitment;
+using core::ComputationTask;
+using core::SignedBlock;
+using pairing::PairingGroup;
+
+/// Cumulative byte counters for one party or link.
+struct TrafficMeter {
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+
+  void send(std::uint64_t n) noexcept { bytes_sent += n; }
+  void receive(std::uint64_t n) noexcept { bytes_received += n; }
+  std::uint64_t total() const noexcept { return bytes_sent + bytes_received; }
+};
+
+/// Wire sizes (bytes) of the protocol messages under the group's fixed-width
+/// encodings (uncompressed points, two field elements per GT value).
+std::uint64_t wire_size_point(const PairingGroup& group);
+std::uint64_t wire_size_gt(const PairingGroup& group);
+std::uint64_t wire_size_signed_block(const PairingGroup& group, const SignedBlock& sb);
+std::uint64_t wire_size_task(const ComputationTask& task);
+std::uint64_t wire_size_commitment(const PairingGroup& group, const Commitment& commitment);
+std::uint64_t wire_size_challenge(const PairingGroup& group, const AuditChallenge& challenge);
+std::uint64_t wire_size_response(const PairingGroup& group, const AuditResponse& response);
+
+}  // namespace seccloud::sim

@@ -1,0 +1,125 @@
+#include "sim/workload.h"
+
+#include <stdexcept>
+
+namespace seccloud::sim {
+
+using core::ComputeRequest;
+using core::DataBlock;
+using core::FuncKind;
+
+Workload make_log_analytics_workload(std::size_t num_blocks, std::size_t window,
+                                     std::uint64_t seed) {
+  if (window == 0 || num_blocks == 0) {
+    throw std::invalid_argument("make_log_analytics_workload: empty workload");
+  }
+  num::Xoshiro256 rng{seed};
+  Workload w;
+  w.name = "log-analytics";
+  w.blocks.reserve(num_blocks);
+  for (std::uint64_t i = 0; i < num_blocks; ++i) {
+    // Latencies: log-normal-ish mixture — mostly fast, a heavy tail.
+    const bool slow = rng.next_double() < 0.05;
+    const std::uint64_t latency_us =
+        slow ? 50'000 + rng.next_u64() % 400'000 : 200 + rng.next_u64() % 4'000;
+    w.blocks.push_back(DataBlock::from_value(i, latency_us));
+  }
+  for (std::size_t start = 0; start + window <= num_blocks; start += window) {
+    ComputeRequest avg;
+    avg.kind = FuncKind::kAverage;
+    ComputeRequest peak;
+    peak.kind = FuncKind::kMax;
+    for (std::size_t j = 0; j < window; ++j) {
+      avg.positions.push_back(start + j);
+      peak.positions.push_back(start + j);
+    }
+    w.task.requests.push_back(std::move(avg));
+    w.task.requests.push_back(std::move(peak));
+  }
+  return w;
+}
+
+Workload make_shard_aggregation_workload(std::size_t shards, std::size_t keys_per_shard,
+                                         std::uint64_t seed) {
+  if (shards == 0 || keys_per_shard == 0) {
+    throw std::invalid_argument("make_shard_aggregation_workload: empty workload");
+  }
+  num::Xoshiro256 rng{seed};
+  Workload w;
+  w.name = "shard-aggregation";
+  // Block layout: shard-major — block (s · keys + k) holds shard s's partial
+  // count for key k.
+  for (std::uint64_t s = 0; s < shards; ++s) {
+    for (std::uint64_t k = 0; k < keys_per_shard; ++k) {
+      w.blocks.push_back(
+          DataBlock::from_value(s * keys_per_shard + k, rng.next_u64() % 10'000));
+    }
+  }
+  // One reduce per key: sum that key's count across every shard.
+  for (std::uint64_t k = 0; k < keys_per_shard; ++k) {
+    ComputeRequest reduce;
+    reduce.kind = FuncKind::kSum;
+    for (std::uint64_t s = 0; s < shards; ++s) {
+      reduce.positions.push_back(s * keys_per_shard + k);
+    }
+    w.task.requests.push_back(std::move(reduce));
+  }
+  return w;
+}
+
+Workload make_ledger_workload(std::size_t num_transactions, std::size_t accounts,
+                              std::uint64_t seed) {
+  if (num_transactions == 0 || accounts == 0 || accounts > num_transactions) {
+    throw std::invalid_argument("make_ledger_workload: bad shape");
+  }
+  num::Xoshiro256 rng{seed};
+  Workload w;
+  w.name = "ledger-statistics";
+  for (std::uint64_t i = 0; i < num_transactions; ++i) {
+    w.blocks.push_back(DataBlock::from_value(i, 1 + rng.next_u64() % 1'000'00));
+  }
+  const std::size_t per_account = num_transactions / accounts;
+  for (std::uint64_t a = 0; a < accounts; ++a) {
+    ComputeRequest total;
+    total.kind = FuncKind::kSum;
+    ComputeRequest second_moment;
+    second_moment.kind = FuncKind::kDotSelf;
+    for (std::uint64_t j = 0; j < per_account; ++j) {
+      total.positions.push_back(a * per_account + j);
+      second_moment.positions.push_back(a * per_account + j);
+    }
+    w.task.requests.push_back(std::move(total));
+    w.task.requests.push_back(std::move(second_moment));
+  }
+  // Order-sensitive checksum over the full ledger (tamper-evident digest the
+  // user can spot-check cheaply).
+  ComputeRequest checksum;
+  checksum.kind = FuncKind::kPolyEval;
+  for (std::uint64_t i = 0; i < num_transactions; ++i) checksum.positions.push_back(i);
+  w.task.requests.push_back(std::move(checksum));
+  return w;
+}
+
+Workload make_random_workload(const WorkloadSpec& spec) {
+  if (spec.num_blocks == 0 || spec.num_requests == 0 || spec.positions_per_request == 0) {
+    throw std::invalid_argument("make_random_workload: empty workload");
+  }
+  num::Xoshiro256 rng{spec.seed};
+  Workload w;
+  w.name = "random";
+  for (std::uint64_t i = 0; i < spec.num_blocks; ++i) {
+    w.blocks.push_back(DataBlock::from_value(i, rng.next_u64()));
+  }
+  for (std::size_t r = 0; r < spec.num_requests; ++r) {
+    ComputeRequest req;
+    req.kind = spec.include_all_function_kinds ? static_cast<FuncKind>(rng.next_u64() % 6)
+                                               : FuncKind::kSum;
+    for (std::size_t j = 0; j < spec.positions_per_request; ++j) {
+      req.positions.push_back(rng.next_u64() % spec.num_blocks);
+    }
+    w.task.requests.push_back(std::move(req));
+  }
+  return w;
+}
+
+}  // namespace seccloud::sim

@@ -1,0 +1,47 @@
+// Workload generators for the batch-processing scenarios the paper's
+// introduction motivates (MapReduce/Hadoop-style tasks split into sub-tasks
+// over cloud servers): log analytics, shard aggregation, ledger statistics,
+// and a fully parameterized random workload for sweeps.
+// All generators are deterministic in their seed.
+#pragma once
+
+#include <string>
+
+#include "bigint/rng.h"
+#include "seccloud/types.h"
+
+namespace seccloud::sim {
+
+struct Workload {
+  std::string name;
+  std::vector<core::DataBlock> blocks;  ///< the outsourced data set
+  core::ComputationTask task;           ///< the batch job over it
+};
+
+/// Web-server log analytics: blocks hold request latencies (µs); the job
+/// computes per-window average and max latency (SLA monitoring).
+Workload make_log_analytics_workload(std::size_t num_blocks, std::size_t window,
+                                     std::uint64_t seed);
+
+/// Word-count-style shard aggregation: blocks hold per-shard partial counts;
+/// the job sums each key range across shards.
+Workload make_shard_aggregation_workload(std::size_t shards, std::size_t keys_per_shard,
+                                         std::uint64_t seed);
+
+/// Transaction-ledger statistics: blocks hold amounts; the job computes the
+/// sum and second moment (fraud-scoring features) per account range, plus a
+/// position-sensitive checksum over the whole ledger.
+Workload make_ledger_workload(std::size_t num_transactions, std::size_t accounts,
+                              std::uint64_t seed);
+
+/// Fully parameterized random workload for sweeps.
+struct WorkloadSpec {
+  std::size_t num_blocks = 100;
+  std::size_t num_requests = 20;
+  std::size_t positions_per_request = 4;
+  bool include_all_function_kinds = true;  ///< else kSum only
+  std::uint64_t seed = 1;
+};
+Workload make_random_workload(const WorkloadSpec& spec);
+
+}  // namespace seccloud::sim

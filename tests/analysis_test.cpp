@@ -1,0 +1,238 @@
+// Sampling-analysis tests: Equations 10–18, the Figure 4 anchors the paper
+// reports (t = 33 at CSC = SSC = 0.5 with R = 2; t = 15 as R → ∞), and
+// Theorem 3 cross-validated against exhaustive search.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/history.h"
+#include "analysis/sampling.h"
+
+namespace seccloud::analysis {
+namespace {
+
+TEST(Sampling, HonestServerNeedsNoSamples) {
+  const CheatModel honest{1.0, 1.0, 2.0, 0.0};
+  // The raw survival probabilities (Eq. 10/12) are 1 ...
+  EXPECT_DOUBLE_EQ(pr_fcs(honest, 10), 1.0);
+  EXPECT_DOUBLE_EQ(pr_pcs(honest, 10), 1.0);
+  // ... but no cheating is attempted, so success probability is 0 and no
+  // sampling is required.
+  EXPECT_DOUBLE_EQ(pr_cheating_success(honest, 10), 0.0);
+  EXPECT_EQ(min_sample_size(honest, 1e-4).value(), 0u);
+}
+
+TEST(Sampling, UndetectableCheatHasNoFiniteSampleSize) {
+  // |R| = 1: the "guess" is always right, so sampling can never catch it.
+  const CheatModel m{0.0, 1.0, 1.0, 0.0};
+  EXPECT_FALSE(min_sample_size(m, 1e-4).has_value());
+}
+
+TEST(Sampling, FullCheaterCaughtFast) {
+  // CSC = 0, unguessable f: every sample catches it.
+  const CheatModel m{0.0, 1.0, infinite_range(), 0.0};
+  EXPECT_NEAR(pr_fcs(m, 1), 0.0, 1e-12);
+  EXPECT_EQ(min_sample_size(m, 1e-4).value(), 1u);
+}
+
+TEST(Sampling, Equation10Shape) {
+  const CheatModel m{0.5, 1.0, 2.0, 0.0};
+  // per-sample survival = 0.5 + 0.5/2 = 0.75
+  EXPECT_DOUBLE_EQ(per_sample_fcs(m), 0.75);
+  EXPECT_DOUBLE_EQ(pr_fcs(m, 2), 0.75 * 0.75);
+  // Monotonically decreasing in t.
+  for (std::size_t t = 1; t < 50; ++t) {
+    EXPECT_LT(pr_fcs(m, t + 1), pr_fcs(m, t));
+  }
+}
+
+TEST(Sampling, Equation12Shape) {
+  const CheatModel m{1.0, 0.5, 2.0, 0.0};
+  EXPECT_DOUBLE_EQ(per_sample_pcs(m), 0.5);
+  EXPECT_DOUBLE_EQ(pr_pcs(m, 3), 0.125);
+  // A forging-capable cloud survives better.
+  const CheatModel forger{1.0, 0.5, 2.0, 0.5};
+  EXPECT_GT(per_sample_pcs(forger), per_sample_pcs(m));
+}
+
+TEST(Sampling, PaperAnchorHalfHalfRangeTwoNeeds33Samples) {
+  // Section VII-A: "cloud server has computing with half CSC and half SSC of
+  // the task, the range of the domain is R = 2, we need at least 33 samples
+  // to ensure the probability of successful cheating to be below ε = 1e-4."
+  const CheatModel m{0.5, 0.5, 2.0, 0.0};
+  const auto t = min_sample_size(m, 1e-4);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(*t, 33u);
+}
+
+TEST(Sampling, PaperAnchorInfiniteRangeNeeds15Samples) {
+  // "When R is large enough ... we only need 15 samples."
+  const CheatModel m{0.5, 0.5, infinite_range(), 0.0};
+  const auto t = min_sample_size(m, 1e-4);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(*t, 15u);
+}
+
+TEST(Sampling, MinSampleSizeIsExactBoundary) {
+  const CheatModel m{0.5, 0.5, 2.0, 0.0};
+  const std::size_t t = *min_sample_size(m, 1e-4);
+  EXPECT_LE(pr_cheating_success(m, t), 1e-4);
+  EXPECT_GT(pr_cheating_success(m, t - 1), 1e-4);
+}
+
+TEST(Sampling, JointIsBelowUnionBound) {
+  const CheatModel m{0.6, 0.7, 4.0, 0.0};
+  for (std::size_t t = 1; t < 30; ++t) {
+    EXPECT_LE(pr_cheating_success_joint(m, t), pr_cheating_success(m, t));
+  }
+}
+
+TEST(Sampling, Figure4SurfaceIsMonotone) {
+  // Required t grows with both confidences (harder to catch near-honest
+  // servers) — the shape of the paper's Figure 4 surface.
+  const double grid[] = {0.0, 0.25, 0.5, 0.75, 0.9};
+  std::size_t prev_t = 0;
+  for (const double c : grid) {
+    const CheatModel m{c, c, 2.0, 0.0};
+    const auto t = min_sample_size(m, 1e-4);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_GE(*t, prev_t);
+    prev_t = *t;
+  }
+  EXPECT_GT(prev_t, 80u);  // the surface climbs steeply toward CSC,SSC → 1
+}
+
+TEST(Sampling, Figure4HigherRangeNeedsFewerSamples) {
+  for (const double conf : {0.3, 0.5, 0.7}) {
+    const CheatModel narrow{conf, conf, 2.0, 0.0};
+    const CheatModel wide{conf, conf, 1000.0, 0.0};
+    EXPECT_GE(*min_sample_size(narrow, 1e-4), *min_sample_size(wide, 1e-4));
+  }
+}
+
+
+TEST(Sampling, Figure4GoldenDiagonal) {
+  // Regression lock on the Figure-4 surface: every point on the R = 2
+  // diagonal satisfies the exact boundary condition, and the paper-anchor
+  // entry is pinned to its published value.
+  const double grid[] = {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9};
+  for (std::size_t i = 0; i < 10; ++i) {
+    const CheatModel m{grid[i], grid[i], 2.0, 0.0};
+    const auto t = min_sample_size(m, 1e-4);
+    ASSERT_TRUE(t.has_value()) << grid[i];
+    if (i == 5) {
+      EXPECT_EQ(*t, 33u);  // the paper anchor, asserted exactly
+    }
+    EXPECT_LE(pr_cheating_success(m, *t), 1e-4) << grid[i];
+    if (*t > 0) {
+      EXPECT_GT(pr_cheating_success(m, *t - 1), 1e-4) << grid[i];
+    }
+  }
+}
+
+// --- Theorem 3 / Eq. 17–18 --------------------------------------------------
+
+TEST(OptimalSampling, MatchesExhaustiveSearch) {
+  const double qs[] = {0.1, 0.3, 0.5, 0.75, 0.9, 0.99};
+  const CostModel models[] = {
+      {1, 1, 1, 1.0, 5.0, 1e4},
+      {1, 1, 1, 10.0, 5.0, 1e6},
+      {2, 1, 3, 0.5, 1.0, 1e3},
+      {1, 1, 1, 100.0, 50.0, 1e2},
+  };
+  for (const auto& c : models) {
+    for (const double q : qs) {
+      const std::size_t closed = optimal_sample_size(c, q);
+      const std::size_t brute = optimal_sample_size_exhaustive(c, q, 5000);
+      EXPECT_EQ(closed, brute) << "q=" << q << " c_trans=" << c.c_trans;
+    }
+  }
+}
+
+TEST(OptimalSampling, StationaryPointMatchesEq18Formula) {
+  const CostModel c{1, 1, 1, 2.0, 0.0, 1e5};
+  const double q = 0.5;
+  // Eq. 18: t* = ln(−a1·C_trans/(a3·C_cheat·ln q)) / ln q.
+  const double t_star = std::log(-(c.a1 * c.c_trans) / (c.a3 * c.c_cheat * std::log(q))) /
+                        std::log(q);
+  const std::size_t t_opt = optimal_sample_size(c, q);
+  EXPECT_NEAR(static_cast<double>(t_opt), t_star, 1.0);
+}
+
+TEST(OptimalSampling, CheaperTransmissionMeansMoreSamples) {
+  const double q = 0.6;
+  CostModel expensive{1, 1, 1, 100.0, 1.0, 1e5};
+  CostModel cheap{1, 1, 1, 0.1, 1.0, 1e5};
+  EXPECT_GT(optimal_sample_size(cheap, q), optimal_sample_size(expensive, q));
+}
+
+TEST(OptimalSampling, HigherCheatDamageMeansMoreSamples) {
+  const double q = 0.6;
+  CostModel low{1, 1, 1, 1.0, 1.0, 10.0};
+  CostModel high{1, 1, 1, 1.0, 1.0, 1e8};
+  EXPECT_GT(optimal_sample_size(high, q), optimal_sample_size(low, q));
+}
+
+TEST(OptimalSampling, DegenerateQsGiveZero) {
+  const CostModel c{};
+  EXPECT_EQ(optimal_sample_size(c, 0.0), 0u);
+  EXPECT_EQ(optimal_sample_size(c, 1.0), 0u);
+}
+
+TEST(OptimalSampling, TotalCostComponentsAddUp) {
+  const CostModel c{2, 3, 4, 5.0, 7.0, 11.0};
+  const double q = 0.5;
+  EXPECT_DOUBLE_EQ(total_cost(c, q, 0), 3 * 7.0 + 4 * 11.0);
+  EXPECT_DOUBLE_EQ(total_cost(c, q, 2), 2 * 2 * 5.0 + 3 * 7.0 + 4 * 11.0 * 0.25);
+}
+
+// --- History learner ---------------------------------------------------------
+
+TEST(History, FirstObservationSetsEstimates) {
+  CostHistoryLearner learner;
+  learner.observe_audit(10.0, 3.0);
+  const CostModel m = learner.model();
+  EXPECT_DOUBLE_EQ(m.c_trans, 10.0);
+  EXPECT_DOUBLE_EQ(m.c_comp, 3.0);
+}
+
+TEST(History, EmaConvergesToStationaryCosts) {
+  CostHistoryLearner learner{0.3};
+  for (int i = 0; i < 100; ++i) learner.observe_audit(42.0, 7.0);
+  EXPECT_NEAR(learner.model().c_trans, 42.0, 1e-9);
+  EXPECT_NEAR(learner.model().c_comp, 7.0, 1e-9);
+}
+
+TEST(History, TracksDriftingCosts) {
+  CostHistoryLearner learner{0.5};
+  for (int i = 0; i < 50; ++i) learner.observe_audit(10.0, 1.0);
+  for (int i = 0; i < 50; ++i) learner.observe_audit(100.0, 1.0);
+  EXPECT_NEAR(learner.model().c_trans, 100.0, 1.0);
+}
+
+TEST(History, CheatDamageTrackedSeparately) {
+  CostHistoryLearner learner;
+  EXPECT_FALSE(learner.has_damage_estimate());
+  learner.observe_cheat_damage(1e6);
+  EXPECT_TRUE(learner.has_damage_estimate());
+  EXPECT_DOUBLE_EQ(learner.model().c_cheat, 1e6);
+}
+
+TEST(History, RejectsBadSmoothing) {
+  EXPECT_THROW(CostHistoryLearner{0.0}, std::invalid_argument);
+  EXPECT_THROW(CostHistoryLearner{1.5}, std::invalid_argument);
+}
+
+TEST(History, LearnedModelDrivesOptimizer) {
+  // End-to-end Theorem 3 with learned coefficients.
+  CostHistoryLearner learner;
+  for (int i = 0; i < 20; ++i) learner.observe_audit(1.0, 2.0);
+  learner.observe_cheat_damage(1e5);
+  CostModel m = learner.model();
+  const std::size_t t = optimal_sample_size(m, 0.75);
+  EXPECT_GT(t, 0u);
+  EXPECT_EQ(t, optimal_sample_size_exhaustive(m, 0.75, 2000));
+}
+
+}  // namespace
+}  // namespace seccloud::analysis

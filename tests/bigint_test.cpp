@@ -1,0 +1,356 @@
+// BigUint / modular-arithmetic / primality / RNG unit and property tests.
+#include <gtest/gtest.h>
+
+#include "bigint/biguint.h"
+#include "bigint/modular.h"
+#include "bigint/primality.h"
+#include "bigint/rng.h"
+
+namespace seccloud::num {
+namespace {
+
+TEST(BigUint, DefaultIsZero) {
+  const BigUint z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_EQ(z.bit_length(), 0u);
+  EXPECT_EQ(z.to_hex(), "0");
+  EXPECT_EQ(z.to_dec(), "0");
+}
+
+TEST(BigUint, HexRoundTrip) {
+  const char* cases[] = {"1", "ff", "deadbeef", "123456789abcdef0",
+                         "ffffffffffffffffffffffffffffffff",
+                         "1000000000000000000000000000000000000001"};
+  for (const auto* hex : cases) {
+    EXPECT_EQ(BigUint::from_hex(hex).to_hex(), hex);
+  }
+}
+
+TEST(BigUint, HexAcceptsPrefixAndUppercase) {
+  EXPECT_EQ(BigUint::from_hex("0xDEADBEEF"), BigUint::from_hex("deadbeef"));
+}
+
+TEST(BigUint, HexRejectsGarbage) {
+  EXPECT_THROW(BigUint::from_hex(""), std::invalid_argument);
+  EXPECT_THROW(BigUint::from_hex("xyz"), std::invalid_argument);
+}
+
+TEST(BigUint, DecimalRoundTrip) {
+  const char* cases[] = {"0", "7", "18446744073709551615", "18446744073709551616",
+                         "340282366920938463463374607431768211456"};
+  for (const auto* dec : cases) {
+    EXPECT_EQ(BigUint::from_dec(dec).to_dec(), dec);
+  }
+}
+
+TEST(BigUint, BytesRoundTrip) {
+  Xoshiro256 rng{3};
+  for (int i = 0; i < 50; ++i) {
+    const BigUint v = rng.next_bits(1 + static_cast<std::size_t>(rng.next_u64() % 300));
+    const auto bytes = v.to_bytes();
+    EXPECT_EQ(BigUint::from_bytes(bytes), v);
+  }
+}
+
+TEST(BigUint, FixedWidthBytesPadAndReject) {
+  const BigUint v{0xABCD};
+  const auto wide = v.to_bytes(8);
+  EXPECT_EQ(wide.size(), 8u);
+  EXPECT_EQ(wide[6], 0xAB);
+  EXPECT_EQ(wide[7], 0xCD);
+  EXPECT_THROW(v.to_bytes(1), std::length_error);
+}
+
+TEST(BigUint, AdditionCarriesAcrossLimbs) {
+  const BigUint a = BigUint::from_hex("ffffffffffffffff");
+  EXPECT_EQ((a + BigUint{1}).to_hex(), "10000000000000000");
+  const BigUint b = BigUint::from_hex("ffffffffffffffffffffffffffffffff");
+  EXPECT_EQ((b + BigUint{1}).to_hex(), "100000000000000000000000000000000");
+}
+
+TEST(BigUint, SubtractionBorrowsAcrossLimbs) {
+  const BigUint a = BigUint::from_hex("10000000000000000");
+  EXPECT_EQ((a - BigUint{1}).to_hex(), "ffffffffffffffff");
+}
+
+TEST(BigUint, SubtractionUnderflowThrows) {
+  EXPECT_THROW(BigUint{1} - BigUint{2}, std::underflow_error);
+}
+
+TEST(BigUint, MultiplicationKnownValues) {
+  const BigUint a = BigUint::from_dec("123456789123456789");
+  const BigUint b = BigUint::from_dec("987654321987654321");
+  EXPECT_EQ((a * b).to_dec(), "121932631356500531347203169112635269");
+}
+
+TEST(BigUint, DivisionKnownValues) {
+  const BigUint a = BigUint::from_dec("121932631356500531347203169112635270");
+  const BigUint b = BigUint::from_dec("987654321987654321");
+  const auto [q, r] = BigUint::divmod(a, b);
+  EXPECT_EQ(q.to_dec(), "123456789123456789");
+  EXPECT_EQ(r.to_dec(), "1");
+}
+
+TEST(BigUint, DivisionByZeroThrows) {
+  EXPECT_THROW(BigUint{1} / BigUint{}, std::domain_error);
+  EXPECT_THROW(BigUint{1} % BigUint{}, std::domain_error);
+}
+
+TEST(BigUint, ShiftsRoundTrip) {
+  const BigUint v = BigUint::from_hex("123456789abcdef0fedcba9876543210");
+  for (const std::size_t n : {1u, 13u, 64u, 65u, 127u, 200u}) {
+    EXPECT_EQ((v << n) >> n, v) << "shift " << n;
+  }
+  EXPECT_TRUE((BigUint{1} >> 1).is_zero());
+}
+
+TEST(BigUint, ComparisonOrdering) {
+  EXPECT_LT(BigUint{1}, BigUint{2});
+  EXPECT_LT(BigUint{0xFFFFFFFFFFFFFFFFull}, BigUint::from_hex("10000000000000000"));
+  EXPECT_EQ(BigUint::from_hex("ff"), BigUint{255});
+}
+
+TEST(BigUint, IsqrtExact) {
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const BigUint sq = BigUint{i} * BigUint{i};
+    EXPECT_EQ(sq.isqrt(), BigUint{i});
+    if (i > 0) {
+      EXPECT_EQ((sq + BigUint{1}).isqrt(), BigUint{i});
+      EXPECT_EQ((sq - BigUint{1}).isqrt(), BigUint{i - 1});
+    }
+  }
+}
+
+TEST(BigUint, GcdMatchesEuclid) {
+  EXPECT_EQ(BigUint::gcd(BigUint{48}, BigUint{36}), BigUint{12});
+  EXPECT_EQ(BigUint::gcd(BigUint{17}, BigUint{5}), BigUint{1});
+  EXPECT_EQ(BigUint::gcd(BigUint{}, BigUint{7}), BigUint{7});
+}
+
+
+TEST(BigUint, KaratsubaCrossCheckedByDivision) {
+  // operator* switches to Karatsuba above ~24 limbs; division is an
+  // independent implementation, so (a*b)/b == a is a strong cross-check.
+  Xoshiro256 rng{777};
+  for (const std::size_t bits : {1400u, 1536u, 1537u, 3000u, 6000u}) {
+    const BigUint a = rng.next_bits(bits);
+    const BigUint b = rng.next_bits(bits / 2 + 3);
+    const BigUint product = a * b;
+    const auto [q, r] = BigUint::divmod(product, b);
+    EXPECT_EQ(q, a) << bits;
+    EXPECT_TRUE(r.is_zero()) << bits;
+  }
+}
+
+TEST(BigUint, KaratsubaThresholdBoundary) {
+  // Widths straddling the Karatsuba threshold (24 limbs = 1536 bits): the
+  // distributive law must hold across the path switch.
+  Xoshiro256 rng{778};
+  for (const std::size_t limbs : {22u, 23u, 24u, 25u, 48u, 49u}) {
+    const BigUint a = rng.next_bits(limbs * 64);
+    const BigUint b = rng.next_bits(limbs * 64);
+    const BigUint c = rng.next_bits(limbs * 64);
+    EXPECT_EQ(a * (b + c), a * b + a * c) << limbs;
+    EXPECT_EQ((a + b) * c, a * c + b * c) << limbs;
+  }
+}
+
+TEST(BigUint, KaratsubaAsymmetricOperands) {
+  Xoshiro256 rng{779};
+  const BigUint big = rng.next_bits(4000);
+  const BigUint small = rng.next_bits(70);
+  const auto [q, r] = BigUint::divmod(big * small, small);
+  EXPECT_EQ(q, big);
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_EQ(big * BigUint{1}, big);
+}
+
+// --- Property sweeps across widths --------------------------------------
+
+class ArithmeticProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ArithmeticProperty, DivModReconstructs) {
+  const std::size_t bits = GetParam();
+  Xoshiro256 rng{bits * 1000 + 1};
+  for (int i = 0; i < 50; ++i) {
+    const BigUint a = rng.next_bits(bits);
+    const BigUint b = rng.next_bits(1 + static_cast<std::size_t>(rng.next_u64() % bits));
+    const auto [q, r] = BigUint::divmod(a, b);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_LT(r, b);
+  }
+}
+
+TEST_P(ArithmeticProperty, AddSubInverse) {
+  const std::size_t bits = GetParam();
+  Xoshiro256 rng{bits * 1000 + 2};
+  for (int i = 0; i < 50; ++i) {
+    const BigUint a = rng.next_bits(bits);
+    const BigUint b = rng.next_bits(bits);
+    EXPECT_EQ(a + b - b, a);
+    EXPECT_EQ((a + b) - a, b);
+  }
+}
+
+TEST_P(ArithmeticProperty, MulDistributesOverAdd) {
+  const std::size_t bits = GetParam();
+  Xoshiro256 rng{bits * 1000 + 3};
+  for (int i = 0; i < 20; ++i) {
+    const BigUint a = rng.next_bits(bits);
+    const BigUint b = rng.next_bits(bits);
+    const BigUint c = rng.next_bits(bits);
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+  }
+}
+
+TEST_P(ArithmeticProperty, SquaredMatchesMul) {
+  const std::size_t bits = GetParam();
+  Xoshiro256 rng{bits * 1000 + 4};
+  for (int i = 0; i < 20; ++i) {
+    const BigUint a = rng.next_bits(bits);
+    EXPECT_EQ(a.squared(), a * a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ArithmeticProperty,
+                         ::testing::Values(8, 63, 64, 65, 128, 192, 256, 512, 1024));
+
+// --- Modular arithmetic ---------------------------------------------------
+
+TEST(Modular, PowModKnownValues) {
+  EXPECT_EQ(pow_mod(BigUint{2}, BigUint{10}, BigUint{1000}), BigUint{24});
+  EXPECT_EQ(pow_mod(BigUint{3}, BigUint{0}, BigUint{7}), BigUint{1});
+  EXPECT_EQ(pow_mod(BigUint{5}, BigUint{3}, BigUint{1}), BigUint{});
+}
+
+TEST(Modular, PowModFermat) {
+  // a^(p-1) ≡ 1 (mod p) for prime p.
+  const BigUint p = BigUint::from_dec("1000000007");
+  Xoshiro256 rng{9};
+  for (int i = 0; i < 20; ++i) {
+    const BigUint a = rng.next_nonzero_below(p);
+    EXPECT_EQ(pow_mod(a, p - BigUint{1}, p), BigUint{1});
+  }
+}
+
+TEST(Modular, InvModRoundTrip) {
+  const BigUint m = BigUint::from_dec("1000000007");
+  Xoshiro256 rng{10};
+  for (int i = 0; i < 50; ++i) {
+    const BigUint a = rng.next_nonzero_below(m);
+    const auto inv = inv_mod(a, m);
+    ASSERT_TRUE(inv.has_value());
+    EXPECT_EQ(mul_mod(a, *inv, m), BigUint{1});
+  }
+}
+
+TEST(Modular, InvModCompositeModulus) {
+  // gcd(6, 9) = 3: no inverse.
+  EXPECT_FALSE(inv_mod(BigUint{6}, BigUint{9}).has_value());
+  // gcd(2, 9) = 1: inverse exists.
+  const auto inv = inv_mod(BigUint{2}, BigUint{9});
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_EQ(*inv, BigUint{5});
+}
+
+TEST(Modular, InvModLargeModulus) {
+  Xoshiro256 rng{11};
+  const BigUint m = random_prime(256, rng);
+  for (int i = 0; i < 10; ++i) {
+    const BigUint a = rng.next_nonzero_below(m);
+    const auto inv = inv_mod(a, m);
+    ASSERT_TRUE(inv.has_value());
+    EXPECT_EQ(mul_mod(a, *inv, m), BigUint{1});
+  }
+}
+
+TEST(Modular, AddSubMod) {
+  const BigUint m{17};
+  EXPECT_EQ(add_mod(BigUint{9}, BigUint{9}, m), BigUint{1});
+  EXPECT_EQ(sub_mod(BigUint{3}, BigUint{5}, m), BigUint{15});
+}
+
+// --- Primality --------------------------------------------------------------
+
+TEST(Primality, SmallPrimesClassified) {
+  Xoshiro256 rng{12};
+  const std::uint64_t primes[] = {2, 3, 5, 7, 11, 101, 257, 65537, 1000000007};
+  for (const auto p : primes) EXPECT_TRUE(is_probable_prime(BigUint{p}, rng)) << p;
+  const std::uint64_t composites[] = {0, 1, 4, 9, 100, 561 /*Carmichael*/, 65536,
+                                      1000000007ull * 3};
+  for (const auto c : composites) EXPECT_FALSE(is_probable_prime(BigUint{c}, rng)) << c;
+}
+
+TEST(Primality, LargeCarmichaelRejected) {
+  Xoshiro256 rng{13};
+  // 1729 and 2465 are Carmichael numbers (strong pseudoprime traps).
+  EXPECT_FALSE(is_probable_prime(BigUint{1729}, rng));
+  EXPECT_FALSE(is_probable_prime(BigUint{2465}, rng));
+}
+
+TEST(Primality, RandomPrimeHasRequestedSize) {
+  Xoshiro256 rng{14};
+  for (const std::size_t bits : {32u, 64u, 128u, 256u}) {
+    const BigUint p = random_prime(bits, rng);
+    EXPECT_EQ(p.bit_length(), bits);
+    EXPECT_TRUE(is_probable_prime(p, rng));
+  }
+}
+
+TEST(Primality, ConditionalPrimeSatisfiesPredicate) {
+  Xoshiro256 rng{15};
+  const BigUint p = random_prime_where(
+      64, rng, [](const BigUint& candidate) { return (candidate.limb(0) & 3u) == 3u; });
+  EXPECT_EQ(p.limb(0) & 3u, 3u);
+  EXPECT_TRUE(is_probable_prime(p, rng));
+}
+
+// --- RNG ---------------------------------------------------------------------
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Xoshiro256 a{42};
+  Xoshiro256 b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a{1};
+  Xoshiro256 b{2};
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowIsInRangeAndCoversSmallDomains) {
+  Xoshiro256 rng{16};
+  std::array<int, 7> histogram{};
+  for (int i = 0; i < 7000; ++i) {
+    const auto v = rng.next_below(BigUint{7}).to_u64();
+    ASSERT_LT(v, 7u);
+    ++histogram[v];
+  }
+  for (const auto count : histogram) EXPECT_GT(count, 800);  // roughly uniform
+}
+
+TEST(Rng, NextBitsSetsTopBit) {
+  Xoshiro256 rng{17};
+  for (const std::size_t bits : {1u, 7u, 64u, 65u, 160u, 512u}) {
+    const BigUint v = rng.next_bits(bits);
+    EXPECT_EQ(v.bit_length(), bits);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Xoshiro256 rng{18};
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace seccloud::num

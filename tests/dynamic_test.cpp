@@ -1,0 +1,183 @@
+// Dynamic-storage extension tests: versioned insert/update/delete, replay
+// and rollback protection, and the version-aware audit.
+#include <gtest/gtest.h>
+
+#include "seccloud/dynamic.h"
+
+namespace seccloud::core {
+namespace {
+
+using num::Xoshiro256;
+using pairing::tiny_group;
+
+class DynamicTest : public ::testing::Test {
+ protected:
+  DynamicTest()
+      : g(tiny_group()),
+        rng(909),
+        sio(g, rng),
+        user_key(sio.extract("user")),
+        server_key(sio.extract("server")),
+        da_key(sio.extract("da")),
+        client(g, sio.params(), user_key, server_key.q_id, da_key.q_id),
+        store(g, server_key, user_key.q_id) {}
+
+  std::vector<std::uint64_t> all_positions(std::uint64_t n) const {
+    std::vector<std::uint64_t> out(n);
+    for (std::uint64_t i = 0; i < n; ++i) out[i] = i;
+    return out;
+  }
+
+  DynamicAuditReport audit(std::span<const std::uint64_t> positions) {
+    return verify_dynamic_storage(g, user_key.q_id, store, client.version_table(),
+                                  positions, da_key, VerifierRole::kDesignatedAgency);
+  }
+
+  const pairing::PairingGroup& g;
+  Xoshiro256 rng;
+  ibc::Sio sio;
+  ibc::IdentityKey user_key;
+  ibc::IdentityKey server_key;
+  ibc::IdentityKey da_key;
+  DynamicClient client;
+  DynamicServerStore store;
+};
+
+TEST_F(DynamicTest, InsertApplyAudit) {
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    EXPECT_TRUE(store.apply(client.insert(DataBlock::from_value(i, 10 * i), rng)));
+  }
+  EXPECT_EQ(store.size(), 8u);
+  EXPECT_EQ(client.live_blocks(), 8u);
+  const auto report = audit(all_positions(8));
+  EXPECT_TRUE(report.accepted);
+  EXPECT_EQ(report.blocks_checked, 8u);
+}
+
+TEST_F(DynamicTest, DoubleInsertRejectedClientSide) {
+  (void)client.insert(DataBlock::from_value(0, 1), rng);
+  EXPECT_THROW(client.insert(DataBlock::from_value(0, 2), rng), std::invalid_argument);
+}
+
+TEST_F(DynamicTest, UpdateBumpsVersionAndAuditsClean) {
+  EXPECT_TRUE(store.apply(client.insert(DataBlock::from_value(0, 100), rng)));
+  EXPECT_TRUE(store.apply(client.update(DataBlock::from_value(0, 200), rng)));
+  EXPECT_EQ(store.lookup(0)->version, 2u);
+  EXPECT_EQ(store.lookup(0)->block.block.value(), 200u);
+  EXPECT_TRUE(audit(all_positions(1)).accepted);
+}
+
+TEST_F(DynamicTest, UpdateUnknownPositionThrows) {
+  EXPECT_THROW(client.update(DataBlock::from_value(5, 1), rng), std::out_of_range);
+}
+
+TEST_F(DynamicTest, DeleteRemovesAndAuditsClean) {
+  EXPECT_TRUE(store.apply(client.insert(DataBlock::from_value(0, 1), rng)));
+  EXPECT_TRUE(store.apply(client.insert(DataBlock::from_value(1, 2), rng)));
+  EXPECT_TRUE(store.apply(client.remove(0, rng)));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(client.live_blocks(), 1u);
+  EXPECT_TRUE(audit(all_positions(2)).accepted);
+}
+
+TEST_F(DynamicTest, ReplayedOperationRejected) {
+  const StorageOp op = client.insert(DataBlock::from_value(0, 1), rng);
+  EXPECT_TRUE(store.apply(op));
+  EXPECT_FALSE(store.apply(op));  // same version: replay
+}
+
+TEST_F(DynamicTest, StaleUpdateRejectedByServer) {
+  EXPECT_TRUE(store.apply(client.insert(DataBlock::from_value(0, 1), rng)));
+  const StorageOp first_update = client.update(DataBlock::from_value(0, 2), rng);
+  const StorageOp second_update = client.update(DataBlock::from_value(0, 3), rng);
+  EXPECT_TRUE(store.apply(second_update));
+  EXPECT_FALSE(store.apply(first_update));  // older version after newer applied
+}
+
+TEST_F(DynamicTest, RollbackServerCaughtByAudit) {
+  // A malicious server keeps serving the pre-update block (valid signature,
+  // old version): the version check catches it.
+  EXPECT_TRUE(store.apply(client.insert(DataBlock::from_value(0, 1), rng)));
+  DynamicServerStore rollback_store = store;  // snapshot before the update
+  const StorageOp update_op = client.update(DataBlock::from_value(0, 2), rng);
+  EXPECT_TRUE(store.apply(update_op));
+  // `rollback_store` never applied the update.
+  const auto report = verify_dynamic_storage(
+      g, user_key.q_id, rollback_store, client.version_table(), all_positions(1), da_key,
+      VerifierRole::kDesignatedAgency);
+  EXPECT_FALSE(report.accepted);
+  EXPECT_EQ(report.stale_version_failures, 1u);
+}
+
+TEST_F(DynamicTest, ResurrectedDeletedBlockCaught) {
+  EXPECT_TRUE(store.apply(client.insert(DataBlock::from_value(0, 1), rng)));
+  DynamicServerStore hoarder = store;  // refuses to delete
+  EXPECT_TRUE(store.apply(client.remove(0, rng)));
+  const auto report = verify_dynamic_storage(
+      g, user_key.q_id, hoarder, client.version_table(), all_positions(1), da_key,
+      VerifierRole::kDesignatedAgency);
+  EXPECT_FALSE(report.accepted);
+  EXPECT_EQ(report.stale_version_failures, 1u);
+}
+
+TEST_F(DynamicTest, MissingBlockCaught) {
+  EXPECT_TRUE(store.apply(client.insert(DataBlock::from_value(0, 1), rng)));
+  DynamicServerStore empty_store{g, server_key, user_key.q_id};
+  const auto report = verify_dynamic_storage(
+      g, user_key.q_id, empty_store, client.version_table(), all_positions(1), da_key,
+      VerifierRole::kDesignatedAgency);
+  EXPECT_FALSE(report.accepted);
+  EXPECT_EQ(report.missing_blocks, 1u);
+}
+
+TEST_F(DynamicTest, ForgedOperationRejected) {
+  // An op "signed" by a different identity must not apply.
+  const ibc::IdentityKey mallory = sio.extract("mallory");
+  DynamicClient mallory_client(g, sio.params(), mallory, server_key.q_id, da_key.q_id);
+  const StorageOp forged = mallory_client.insert(DataBlock::from_value(0, 666), rng);
+  EXPECT_FALSE(store.apply(forged));  // store expects signatures from `user`
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST_F(DynamicTest, DeleteReinsertKeepsVersionsMonotone) {
+  EXPECT_TRUE(store.apply(client.insert(DataBlock::from_value(0, 1), rng)));   // v1
+  EXPECT_TRUE(store.apply(client.remove(0, rng)));                             // v2
+  const StorageOp reinsert = client.insert(DataBlock::from_value(0, 9), rng);  // v3
+  EXPECT_EQ(reinsert.version, 3u);
+  EXPECT_TRUE(store.apply(reinsert));
+  EXPECT_TRUE(audit(all_positions(1)).accepted);
+}
+
+TEST_F(DynamicTest, VersionedAndStaticMessagesAreDomainSeparated) {
+  const DataBlock block = DataBlock::from_value(7, 42);
+  EXPECT_NE(versioned_block_message(block, 1), block_message_bytes(block));
+  EXPECT_NE(tombstone_message(7, 1), versioned_block_message(block, 1));
+}
+
+TEST_F(DynamicTest, ManyOperationsEndToEnd) {
+  Xoshiro256 op_rng{4141};
+  // 64 random operations over 16 positions; the audit must stay clean after
+  // every applied batch.
+  std::vector<bool> live(16, false);
+  for (int round = 0; round < 64; ++round) {
+    const std::uint64_t pos = op_rng.next_u64() % 16;
+    const std::uint64_t choice = op_rng.next_u64() % 3;
+    if (!live[pos]) {
+      EXPECT_TRUE(store.apply(
+          client.insert(DataBlock::from_value(pos, static_cast<std::uint64_t>(round)), rng)));
+      live[pos] = true;
+    } else if (choice == 0) {
+      EXPECT_TRUE(store.apply(client.remove(pos, rng)));
+      live[pos] = false;
+    } else {
+      EXPECT_TRUE(
+          store.apply(client.update(
+          DataBlock::from_value(pos, 1000 + static_cast<std::uint64_t>(round)), rng)));
+    }
+  }
+  const auto report = audit(all_positions(16));
+  EXPECT_TRUE(report.accepted);
+}
+
+}  // namespace
+}  // namespace seccloud::core

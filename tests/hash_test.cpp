@@ -1,0 +1,139 @@
+// SHA-256 / HMAC / DRBG / hash-to-integer tests against published vectors.
+#include <gtest/gtest.h>
+
+#include "hash/hash_to.h"
+#include "hash/hmac.h"
+#include "hash/hmac_drbg.h"
+#include "hash/sha256.h"
+
+namespace seccloud::hash {
+namespace {
+
+TEST(Sha256, Fips180EmptyString) {
+  EXPECT_EQ(to_hex(Sha256::digest(std::string_view{""})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Fips180Abc) {
+  EXPECT_EQ(to_hex(Sha256::digest(std::string_view{"abc"})),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, Fips180TwoBlockMessage) {
+  EXPECT_EQ(to_hex(Sha256::digest(std::string_view{
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"})),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(to_hex(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, StreamingMatchesOneShot) {
+  const std::string msg = "the quick brown fox jumps over the lazy dog, repeatedly";
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 h;
+    h.update(std::string_view{msg}.substr(0, split));
+    h.update(std::string_view{msg}.substr(split));
+    EXPECT_EQ(h.finish(), Sha256::digest(std::string_view{msg})) << "split=" << split;
+  }
+}
+
+TEST(Sha256, ExactBlockBoundaries) {
+  for (const std::size_t len : {55u, 56u, 63u, 64u, 65u, 119u, 128u}) {
+    const std::string msg(len, 'x');
+    Sha256 a;
+    for (const char c : msg) a.update(std::string_view{&c, 1});
+    EXPECT_EQ(a.finish(), Sha256::digest(std::string_view{msg})) << "len=" << len;
+  }
+}
+
+TEST(Hmac, Rfc4231Case1) {
+  const std::vector<std::uint8_t> key(20, 0x0b);
+  const std::string_view msg = "Hi There";
+  const Digest d = hmac_sha256(key, as_bytes(msg));
+  EXPECT_EQ(to_hex(d), "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  const std::string_view key = "Jefe";
+  const std::string_view msg = "what do ya want for nothing?";
+  const Digest d = hmac_sha256(as_bytes(key), as_bytes(msg));
+  EXPECT_EQ(to_hex(d), "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case6LongKey) {
+  const std::vector<std::uint8_t> key(131, 0xaa);
+  const std::string_view msg = "Test Using Larger Than Block-Size Key - Hash Key First";
+  const Digest d = hmac_sha256(key, as_bytes(msg));
+  EXPECT_EQ(to_hex(d), "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacDrbg, DeterministicFromSeed) {
+  HmacDrbg a{std::string_view{"seed"}};
+  HmacDrbg b{std::string_view{"seed"}};
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(HmacDrbg, DifferentSeedsDiverge) {
+  HmacDrbg a{std::string_view{"seed-a"}};
+  HmacDrbg b{std::string_view{"seed-b"}};
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_EQ(same, 0);
+}
+
+TEST(HmacDrbg, WorksAsRandomSource) {
+  HmacDrbg drbg{std::string_view{"key-gen"}};
+  const num::BigUint bound = num::BigUint::from_hex("ffffffffffffffffffffffff");
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_LT(drbg.next_below(bound), bound);
+  }
+}
+
+TEST(Expand, ProducesRequestedLengthAndIsDeterministic) {
+  const auto a = expand("tag", as_bytes(std::string_view{"data"}), 100);
+  const auto b = expand("tag", as_bytes(std::string_view{"data"}), 100);
+  EXPECT_EQ(a.size(), 100u);
+  EXPECT_EQ(a, b);
+  const auto c = expand("tag2", as_bytes(std::string_view{"data"}), 100);
+  EXPECT_NE(a, c);  // domain separation
+}
+
+TEST(Expand, PrefixConsistency) {
+  // Counter-mode expansion: a longer output extends a shorter one.
+  const auto short_out = expand("t", as_bytes(std::string_view{"d"}), 32);
+  const auto long_out = expand("t", as_bytes(std::string_view{"d"}), 64);
+  EXPECT_TRUE(std::equal(short_out.begin(), short_out.end(), long_out.begin()));
+}
+
+TEST(HashToInt, InRangeAndWellDistributed) {
+  const num::BigUint modulus{1000};
+  std::array<int, 10> decile{};
+  for (int i = 0; i < 5000; ++i) {
+    const std::string data = "item-" + std::to_string(i);
+    const auto v = hash_to_int("test", as_bytes(data), modulus).to_u64();
+    ASSERT_LT(v, 1000u);
+    ++decile[v / 100];
+  }
+  for (const auto count : decile) EXPECT_GT(count, 350);
+}
+
+TEST(HashToInt, ZeroModulusThrows) {
+  EXPECT_THROW(hash_to_int("t", as_bytes(std::string_view{"x"}), num::BigUint{}),
+               std::domain_error);
+}
+
+TEST(HashToNonzero, NeverZero) {
+  for (int i = 0; i < 200; ++i) {
+    const std::string data = std::to_string(i);
+    EXPECT_FALSE(hash_to_nonzero("t", as_bytes(data), num::BigUint{2}).is_zero());
+  }
+}
+
+}  // namespace
+}  // namespace seccloud::hash

@@ -1,0 +1,158 @@
+// Merkle-hash-tree tests: construction, audit paths, tamper detection,
+// proof serialization; sweeps over leaf counts including non-powers of two.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "merkle/tree.h"
+
+namespace seccloud::merkle {
+namespace {
+
+std::vector<Digest> make_leaves(std::size_t n) {
+  std::vector<Digest> leaves;
+  leaves.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string data = "leaf-" + std::to_string(i);
+    leaves.push_back(MerkleTree::leaf_hash(
+        std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(data.data()),
+                                      data.size())));
+  }
+  return leaves;
+}
+
+TEST(Merkle, EmptyLeafSetThrows) {
+  EXPECT_THROW(MerkleTree::build({}), std::invalid_argument);
+}
+
+TEST(Merkle, SingleLeafRootIsTheLeaf) {
+  const auto leaves = make_leaves(1);
+  const MerkleTree tree = MerkleTree::build(leaves);
+  EXPECT_EQ(tree.root(), leaves[0]);
+  EXPECT_TRUE(tree.prove(0).empty());
+  EXPECT_TRUE(MerkleTree::verify(tree.root(), leaves[0], {}));
+}
+
+TEST(Merkle, TwoLeavesMatchNodeRule) {
+  const auto leaves = make_leaves(2);
+  const MerkleTree tree = MerkleTree::build(leaves);
+  EXPECT_EQ(tree.root(), MerkleTree::node_hash(leaves[0], leaves[1]));
+}
+
+TEST(Merkle, Figure3EightLeafShape) {
+  // The paper's Figure 3: 8 leaves; the path for leaf 3 (f4) carries the
+  // sibling set {v3, A, F} — i.e. exactly log2(8) = 3 nodes.
+  const auto leaves = make_leaves(8);
+  const MerkleTree tree = MerkleTree::build(leaves);
+  const Proof proof = tree.prove(3);
+  ASSERT_EQ(proof.size(), 3u);
+  EXPECT_EQ(proof[0].sibling, leaves[2]);  // v3 (0-indexed: leaf 2)
+  EXPECT_TRUE(proof[0].sibling_on_left);
+  EXPECT_TRUE(MerkleTree::verify(tree.root(), leaves[3], proof));
+}
+
+TEST(Merkle, DomainSeparationLeafVsNode) {
+  // A leaf hash of 64 bytes must not equal a node hash of the same bytes.
+  const auto leaves = make_leaves(2);
+  std::vector<std::uint8_t> concat;
+  concat.insert(concat.end(), leaves[0].begin(), leaves[0].end());
+  concat.insert(concat.end(), leaves[1].begin(), leaves[1].end());
+  EXPECT_NE(MerkleTree::leaf_hash(concat), MerkleTree::node_hash(leaves[0], leaves[1]));
+}
+
+TEST(Merkle, ProveOutOfRangeThrows) {
+  const MerkleTree tree = MerkleTree::build(make_leaves(4));
+  EXPECT_THROW(tree.prove(4), std::out_of_range);
+}
+
+class MerkleSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MerkleSweep, AllProofsVerify) {
+  const std::size_t n = GetParam();
+  const auto leaves = make_leaves(n);
+  const MerkleTree tree = MerkleTree::build(leaves);
+  EXPECT_EQ(tree.leaf_count(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(MerkleTree::verify(tree.root(), leaves[i], tree.prove(i))) << "leaf " << i;
+  }
+}
+
+TEST_P(MerkleSweep, WrongLeafFailsEveryProof) {
+  const std::size_t n = GetParam();
+  const auto leaves = make_leaves(n);
+  const MerkleTree tree = MerkleTree::build(leaves);
+  Digest wrong = leaves[0];
+  wrong[0] ^= 0x01;
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_FALSE(MerkleTree::verify(tree.root(), wrong, tree.prove(i)));
+  }
+}
+
+TEST_P(MerkleSweep, ProofForWrongPositionFails) {
+  const std::size_t n = GetParam();
+  if (n < 2) return;
+  const auto leaves = make_leaves(n);
+  const MerkleTree tree = MerkleTree::build(leaves);
+  // leaf i with the proof for leaf j != i must not verify.
+  EXPECT_FALSE(MerkleTree::verify(tree.root(), leaves[0], tree.prove(1)));
+}
+
+TEST_P(MerkleSweep, TamperedSiblingFails) {
+  const std::size_t n = GetParam();
+  if (n < 2) return;
+  const auto leaves = make_leaves(n);
+  const MerkleTree tree = MerkleTree::build(leaves);
+  Proof proof = tree.prove(0);
+  ASSERT_FALSE(proof.empty());
+  proof[0].sibling[5] ^= 0xFF;
+  EXPECT_FALSE(MerkleTree::verify(tree.root(), leaves[0], proof));
+}
+
+TEST_P(MerkleSweep, ProofSizeIsLogarithmic) {
+  const std::size_t n = GetParam();
+  const auto leaves = make_leaves(n);
+  const MerkleTree tree = MerkleTree::build(leaves);
+  std::size_t ceil_log2 = 0;
+  while ((1u << ceil_log2) < n) ++ceil_log2;
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_LE(tree.prove(i).size(), ceil_log2);
+  }
+}
+
+TEST_P(MerkleSweep, ProofSerializationRoundTrip) {
+  const std::size_t n = GetParam();
+  const auto leaves = make_leaves(n);
+  const MerkleTree tree = MerkleTree::build(leaves);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Proof proof = tree.prove(i);
+    const auto bytes = MerkleTree::serialize_proof(proof);
+    const auto back = MerkleTree::deserialize_proof(bytes);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, proof);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LeafCounts, MerkleSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 33, 100,
+                                           255, 256, 257));
+
+TEST(Merkle, DeserializeRejectsMalformed) {
+  EXPECT_FALSE(MerkleTree::deserialize_proof(std::vector<std::uint8_t>(10, 0)).has_value());
+  std::vector<std::uint8_t> bad(33, 0);
+  bad[0] = 2;  // invalid direction flag
+  EXPECT_FALSE(MerkleTree::deserialize_proof(bad).has_value());
+  EXPECT_TRUE(MerkleTree::deserialize_proof({}).has_value());  // empty proof is valid
+}
+
+TEST(Merkle, RootChangesWithAnyLeaf) {
+  const auto leaves = make_leaves(16);
+  const MerkleTree tree = MerkleTree::build(leaves);
+  for (std::size_t i = 0; i < 16; ++i) {
+    auto mutated = leaves;
+    mutated[i][31] ^= 1;
+    EXPECT_NE(MerkleTree::build(mutated).root(), tree.root()) << "leaf " << i;
+  }
+}
+
+}  // namespace
+}  // namespace seccloud::merkle

@@ -1,0 +1,374 @@
+// Simulation-substrate tests: server cheating behaviours, the distributed
+// cloud (task splitting, Byzantine epochs), Monte-Carlo detection vs the
+// closed forms, traffic metering, and the privacy-resale market.
+#include <gtest/gtest.h>
+
+#include "sim/cloud.h"
+#include "sim/montecarlo.h"
+#include "sim/resale.h"
+
+namespace seccloud::sim {
+namespace {
+
+using core::FuncKind;
+using core::SignatureCheckMode;
+using num::Xoshiro256;
+using pairing::tiny_group;
+
+core::ComputationTask make_task(std::size_t requests, std::size_t positions_each,
+                                std::size_t universe) {
+  core::ComputationTask task;
+  for (std::size_t i = 0; i < requests; ++i) {
+    core::ComputeRequest req;
+    req.kind = static_cast<FuncKind>(i % 6);
+    for (std::size_t j = 0; j < positions_each; ++j) {
+      req.positions.push_back((i * positions_each + j) % universe);
+    }
+    task.requests.push_back(std::move(req));
+  }
+  return task;
+}
+
+std::vector<core::DataBlock> make_blocks(std::size_t n) {
+  std::vector<core::DataBlock> blocks;
+  for (std::uint64_t i = 0; i < n; ++i) blocks.push_back(core::DataBlock::from_value(i, 7 * i + 1));
+  return blocks;
+}
+
+class CloudSimTest : public ::testing::Test {
+ protected:
+  CloudSimTest() : sim(tiny_group(), CloudConfig{4, 2, 77}) {
+    user = sim.register_user("alice@sim");
+    sim.store_data(user, make_blocks(64));
+  }
+  CloudSim sim;
+  std::size_t user = 0;
+};
+
+TEST_F(CloudSimTest, HonestCloudStoresEverything) {
+  for (std::size_t s = 0; s < sim.num_servers(); ++s) {
+    EXPECT_EQ(sim.server(s).stored_count(sim.user_key(user).id), 64u);
+  }
+}
+
+TEST_F(CloudSimTest, IngestScreeningAcceptsAuthenticData) {
+  const auto report =
+      sim.server(0).screen_ingest(sim.user_key(user).q_id, sim.user_key(user).id);
+  EXPECT_TRUE(report.accepted);
+}
+
+TEST_F(CloudSimTest, TaskSplitsAcrossAllServers) {
+  const auto task = make_task(16, 4, 64);
+  const auto distributed = sim.submit_task(user, task);
+  EXPECT_EQ(distributed.parts.size(), 4u);
+  std::size_t total = 0;
+  for (const auto& part : distributed.parts) total += part.sub_task.requests.size();
+  EXPECT_EQ(total, 16u);
+}
+
+TEST_F(CloudSimTest, HonestDistributedAuditAccepts) {
+  const auto task = make_task(16, 4, 64);
+  const auto distributed = sim.submit_task(user, task);
+  const auto report = sim.audit_task(user, distributed, 4, SignatureCheckMode::kBatch);
+  EXPECT_TRUE(report.accepted);
+  EXPECT_EQ(report.parts_rejected, 0u);
+  EXPECT_EQ(report.per_part.size(), 4u);
+}
+
+TEST_F(CloudSimTest, ByzantineCorruptionRespectsLimit) {
+  const ServerBehavior cheat{.honest_compute_fraction = 0.0};
+  const auto corrupted = sim.corrupt_random_servers(cheat, 10);
+  EXPECT_LE(corrupted.size(), 2u);  // b = 2
+}
+
+TEST_F(CloudSimTest, CorruptedServersCaughtWithFullSampling) {
+  ServerBehavior cheat;
+  cheat.honest_compute_fraction = 0.0;  // guesses everything
+  const auto corrupted = sim.corrupt_random_servers(cheat, 2);
+  ASSERT_EQ(corrupted.size(), 2u);
+
+  const auto task = make_task(16, 4, 64);
+  const auto distributed = sim.submit_task(user, task);
+  // Full sampling of each part.
+  const auto report = sim.audit_task(user, distributed, 16, SignatureCheckMode::kIndividual);
+  EXPECT_FALSE(report.accepted);
+  EXPECT_EQ(report.parts_rejected, corrupted.size());
+
+  sim.restore_all_servers();
+  const auto clean = sim.submit_task(user, task);
+  EXPECT_TRUE(sim.audit_task(user, clean, 16, SignatureCheckMode::kBatch).accepted);
+}
+
+TEST_F(CloudSimTest, GroundTruthFlagsMatchAuditOutcome) {
+  ServerBehavior cheat;
+  cheat.honest_position_fraction = 0.0;
+  sim.corrupt_random_servers(cheat, 1);
+  const auto task = make_task(16, 4, 64);
+  const auto distributed = sim.submit_task(user, task);
+  const auto report = sim.audit_task(user, distributed, 16, SignatureCheckMode::kIndividual);
+  for (std::size_t i = 0; i < distributed.parts.size(); ++i) {
+    EXPECT_EQ(report.per_part[i].accepted, distributed.parts[i].server_was_honest)
+        << "part " << i;
+  }
+}
+
+TEST_F(CloudSimTest, EpochAdvances) {
+  EXPECT_EQ(sim.epoch(), 0u);
+  sim.advance_epoch();
+  sim.advance_epoch();
+  EXPECT_EQ(sim.epoch(), 2u);
+}
+
+TEST_F(CloudSimTest, TrafficIsMetered) {
+  const auto task = make_task(8, 4, 64);
+  const auto distributed = sim.submit_task(user, task);
+  const auto before = sim.agency().traffic().total();
+  (void)sim.audit_task(user, distributed, 4, SignatureCheckMode::kBatch);
+  EXPECT_GT(sim.agency().traffic().total(), before);
+  EXPECT_GT(sim.server(0).traffic().total(), 0u);
+}
+
+TEST_F(CloudSimTest, StorageAuditThroughAgency) {
+  const auto report = sim.agency().audit_storage(
+      sim.server(1), sim.user_key(user).q_id, sim.user_key(user).id, 64, 16,
+      SignatureCheckMode::kBatch, sim.rng());
+  EXPECT_TRUE(report.accepted);
+}
+
+TEST_F(CloudSimTest, DeletingServerCaughtByStorageAudit) {
+  ServerBehavior deleter;
+  deleter.retain_fraction = 0.0;  // drops everything it receives from now on
+  sim.server(2).set_behavior(deleter);
+  // Re-ingest: the server discards, then the audit samples garbage.
+  sim.server(2).handle_store(sim.user_key(user).id, {});  // no-op, keep existing
+  // Wipe by storing into a fresh user whose data it deletes:
+  const auto victim = sim.register_user("bob@sim");
+  sim.store_data(victim, make_blocks(32));
+  EXPECT_EQ(sim.server(2).stored_count(sim.user_key(victim).id), 0u);
+  const auto report = sim.agency().audit_storage(
+      sim.server(2), sim.user_key(victim).q_id, sim.user_key(victim).id, 32, 8,
+      SignatureCheckMode::kIndividual, sim.rng());
+  EXPECT_FALSE(report.accepted);
+  EXPECT_EQ(report.signature_failures, 8u);
+}
+
+// --- Individual server behaviours (crypto-backed) ---------------------------
+
+class ServerBehaviorTest : public ::testing::Test {
+ protected:
+  ServerBehaviorTest() : sim(tiny_group(), CloudConfig{1, 1, 123}) {
+    user = sim.register_user("carol@sim");
+    sim.store_data(user, make_blocks(48));
+  }
+
+  double detection_rate(const ServerBehavior& behavior, std::size_t samples, int rounds) {
+    sim.server(0).set_behavior(behavior);
+    int detected = 0;
+    const auto task = make_task(12, 4, 48);
+    for (int i = 0; i < rounds; ++i) {
+      const auto distributed = sim.submit_task(user, task);
+      const auto report =
+          sim.audit_task(user, distributed, samples, SignatureCheckMode::kIndividual);
+      if (!report.accepted) ++detected;
+    }
+    return static_cast<double>(detected) / rounds;
+  }
+
+  CloudSim sim;
+  std::size_t user = 0;
+};
+
+TEST_F(ServerBehaviorTest, HonestNeverDetected) {
+  EXPECT_DOUBLE_EQ(detection_rate(ServerBehavior::honest(), 12, 10), 0.0);
+}
+
+TEST_F(ServerBehaviorTest, FullGuesserAlwaysDetectedAtFullSampling) {
+  ServerBehavior cheat;
+  cheat.honest_compute_fraction = 0.0;
+  EXPECT_DOUBLE_EQ(detection_rate(cheat, 12, 10), 1.0);
+}
+
+TEST_F(ServerBehaviorTest, PositionCheatAlwaysDetectedAtFullSampling) {
+  ServerBehavior cheat;
+  cheat.honest_position_fraction = 0.0;
+  EXPECT_DOUBLE_EQ(detection_rate(cheat, 12, 10), 1.0);
+}
+
+TEST_F(ServerBehaviorTest, PartialCheatDetectionGrowsWithSampling) {
+  ServerBehavior cheat;
+  cheat.honest_compute_fraction = 0.7;
+  const double few = detection_rate(cheat, 2, 40);
+  const double many = detection_rate(cheat, 12, 40);
+  EXPECT_LT(few, many);
+  EXPECT_GT(many, 0.9);
+}
+
+TEST_F(ServerBehaviorTest, CorruptingServerDetectedBySignatures) {
+  ServerBehavior cheat;
+  cheat.corrupt_fraction = 1.0;
+  sim.server(0).set_behavior(cheat);
+  const auto victim = sim.register_user("dave@sim");
+  sim.store_data(victim, make_blocks(16));
+  const auto report = sim.agency().audit_storage(
+      sim.server(0), sim.user_key(victim).q_id, sim.user_key(victim).id, 16, 16,
+      SignatureCheckMode::kIndividual, sim.rng());
+  EXPECT_FALSE(report.accepted);
+  EXPECT_EQ(report.signature_failures, 16u);
+}
+
+// --- Monte-Carlo vs closed form ---------------------------------------------
+
+class MonteCarloTest : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(MonteCarloTest, EmpiricalMatchesJointClosedForm) {
+  const auto [csc, ssc, range] = GetParam();
+  DetectionParams params;
+  params.cheat = {csc, ssc, range, 0.0};
+  params.task_size = 400;
+  params.sample_size = 8;
+
+  Xoshiro256 rng{std::hash<double>{}(csc + 3 * ssc + 7 * range)};
+  const auto stats = run_detection_model(params, 40000, rng);
+  const double expected = analysis::pr_cheating_success_joint(params.cheat, 8);
+  EXPECT_NEAR(stats.empirical_success(), expected, 0.015)
+      << "csc=" << csc << " ssc=" << ssc << " R=" << range;
+  // And stays below the paper's union bound (Eq. 14).
+  EXPECT_LE(stats.empirical_success(),
+            analysis::pr_cheating_success(params.cheat, 8) + 0.015);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MonteCarloTest,
+    ::testing::Values(std::make_tuple(0.5, 0.5, 2.0), std::make_tuple(0.8, 1.0, 2.0),
+                      std::make_tuple(1.0, 0.7, 2.0), std::make_tuple(0.9, 0.9, 1000.0),
+                      std::make_tuple(0.3, 0.8, 4.0), std::make_tuple(0.95, 0.95, 2.0)));
+
+TEST(MonteCarlo, PaperSampleSizeDrivesSuccessBelowEpsilon) {
+  // With the Figure-4 sample size t = 33 (CSC = SSC = 0.5, R = 2), cheating
+  // should essentially never survive in 20k trials.
+  DetectionParams params;
+  params.cheat = {0.5, 0.5, 2.0, 0.0};
+  params.task_size = 200;
+  params.sample_size = 33;
+  Xoshiro256 rng{4242};
+  const auto stats = run_detection_model(params, 20000, rng);
+  EXPECT_EQ(stats.undetected, 0u);
+}
+
+
+// --- Section VI multi-user concurrent sessions ------------------------------
+
+class MultiUserAuditTest : public ::testing::Test {
+ protected:
+  MultiUserAuditTest() : sim(tiny_group(), CloudConfig{2, 1, 313}) {
+    for (int u = 0; u < 3; ++u) {
+      users.push_back(sim.register_user("multi-" + std::to_string(u)));
+      sim.store_data(users.back(), make_blocks(20));
+    }
+  }
+
+  std::vector<SimAgency::MultiUserSession> make_sessions(std::size_t samples) {
+    std::vector<SimAgency::MultiUserSession> sessions;
+    for (const auto u : users) {
+      sessions.push_back({&sim.server(0), sim.user_key(u).q_id, sim.user_key(u).id, 20,
+                          samples});
+    }
+    return sessions;
+  }
+
+  CloudSim sim;
+  std::vector<std::size_t> users;
+};
+
+TEST_F(MultiUserAuditTest, ThreeUsersOnePairing) {
+  auto sessions = make_sessions(8);
+  const auto report = sim.agency().audit_storage_multiuser(sessions, sim.rng());
+  EXPECT_TRUE(report.accepted);
+  EXPECT_EQ(report.sessions, 3u);
+  EXPECT_EQ(report.blocks_checked, 24u);
+  EXPECT_EQ(report.pairings_used, 1u);  // the Section-VI headline
+}
+
+TEST_F(MultiUserAuditTest, OffendingSessionLocated) {
+  // Corrupt one user's data on the server, then audit all three at once.
+  ServerBehavior corrupter;
+  corrupter.corrupt_fraction = 1.0;
+  sim.server(0).set_behavior(corrupter);
+  const auto victim = sim.register_user("victim");
+  sim.store_data(victim, make_blocks(20));
+  users.push_back(victim);
+
+  auto sessions = make_sessions(8);
+  const auto report = sim.agency().audit_storage_multiuser(sessions, sim.rng());
+  EXPECT_FALSE(report.accepted);
+  ASSERT_EQ(report.offending_sessions.size(), 1u);
+  EXPECT_EQ(report.offending_sessions[0], 3u);  // the victim's session
+}
+
+TEST_F(MultiUserAuditTest, EmptySessionListAccepts) {
+  std::vector<SimAgency::MultiUserSession> none;
+  const auto report = sim.agency().audit_storage_multiuser(none, sim.rng());
+  EXPECT_TRUE(report.accepted);
+  EXPECT_EQ(report.blocks_checked, 0u);
+}
+
+// --- Privacy-cheating market -------------------------------------------------
+
+class ResaleTest : public ::testing::Test {
+ protected:
+  ResaleTest() : sim(tiny_group(), CloudConfig{1, 1, 55}) {
+    user = sim.register_user("victim@sim");
+    sim.store_data(user, make_blocks(8));
+    ServerBehavior leaky;
+    leaky.attempts_resale = true;
+    sim.server(0).set_behavior(leaky);
+  }
+  CloudSim sim;
+  std::size_t user = 0;
+};
+
+TEST_F(ResaleTest, OutsiderBuyerCannotAuthenticateSoNoSale) {
+  const BuyerCredentials outsider{};  // no designated key
+  const auto attempt = attempt_resale(tiny_group(), sim.server(0), sim.user_key(user).id,
+                                      sim.user_key(user).q_id, 3, outsider);
+  EXPECT_TRUE(attempt.offer_made);
+  EXPECT_FALSE(attempt.buyer_authenticated);
+  EXPECT_FALSE(attempt.sale_completed);
+}
+
+TEST_F(ResaleTest, CompromisedVerifierKeyEnablesAuthentication) {
+  // Only a full key compromise of a designated verifier re-opens the leak —
+  // exactly the Pr[InfoLeak] ≈ Pr[SigForge] boundary of Eq. 16.
+  const BuyerCredentials insider{&sim.server(0).key()};
+  const auto attempt = attempt_resale(tiny_group(), sim.server(0), sim.user_key(user).id,
+                                      sim.user_key(user).q_id, 3, insider);
+  EXPECT_TRUE(attempt.buyer_authenticated);
+}
+
+TEST_F(ResaleTest, HonestServerRefusesToSell) {
+  sim.server(0).set_behavior(ServerBehavior::honest());
+  const BuyerCredentials outsider{};
+  const auto attempt = attempt_resale(tiny_group(), sim.server(0), sim.user_key(user).id,
+                                      sim.user_key(user).q_id, 3, outsider);
+  EXPECT_FALSE(attempt.offer_made);
+}
+
+TEST_F(ResaleTest, TranscriptsAreSimulatable) {
+  Xoshiro256 rng{66};
+  const auto& g = tiny_group();
+  ibc::Sio sio{g, rng};
+  const auto signer = sio.extract("signer");
+  const auto verifier = sio.extract("verifier");
+  const std::string msg = "for sale";
+  const auto pair = make_transcript_pair(
+      g, signer, verifier,
+      std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(msg.data()),
+                                    msg.size()),
+      rng);
+  // A genuine and a verifier-forged transcript both pass Eq. (5): possession
+  // of a passing transcript proves nothing about authenticity.
+  EXPECT_TRUE(pair.both_verify);
+}
+
+}  // namespace
+}  // namespace seccloud::sim

@@ -1,0 +1,179 @@
+// Workload-generator and adversary-campaign tests.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "seccloud/server.h"
+#include "sim/adversary.h"
+#include "sim/workload.h"
+
+namespace seccloud::sim {
+namespace {
+
+using core::FuncKind;
+using pairing::tiny_group;
+
+bool task_positions_in_range(const Workload& w) {
+  for (const auto& request : w.task.requests) {
+    for (const auto pos : request.positions) {
+      if (pos >= w.blocks.size()) return false;
+    }
+  }
+  return true;
+}
+
+TEST(Workload, LogAnalyticsShape) {
+  const Workload w = make_log_analytics_workload(100, 10, 7);
+  EXPECT_EQ(w.blocks.size(), 100u);
+  EXPECT_EQ(w.task.requests.size(), 20u);  // avg + max per window
+  EXPECT_TRUE(task_positions_in_range(w));
+  // Windows alternate average and max.
+  EXPECT_EQ(w.task.requests[0].kind, FuncKind::kAverage);
+  EXPECT_EQ(w.task.requests[1].kind, FuncKind::kMax);
+}
+
+TEST(Workload, LogAnalyticsDeterministicInSeed) {
+  const Workload a = make_log_analytics_workload(50, 5, 9);
+  const Workload b = make_log_analytics_workload(50, 5, 9);
+  const Workload c = make_log_analytics_workload(50, 5, 10);
+  EXPECT_EQ(a.blocks, b.blocks);
+  EXPECT_NE(a.blocks, c.blocks);
+}
+
+TEST(Workload, ShardAggregationReducesAcrossShards) {
+  const Workload w = make_shard_aggregation_workload(4, 8, 3);
+  EXPECT_EQ(w.blocks.size(), 32u);
+  EXPECT_EQ(w.task.requests.size(), 8u);  // one reduce per key
+  for (const auto& request : w.task.requests) {
+    EXPECT_EQ(request.kind, FuncKind::kSum);
+    EXPECT_EQ(request.positions.size(), 4u);  // one operand per shard
+  }
+  EXPECT_TRUE(task_positions_in_range(w));
+}
+
+TEST(Workload, LedgerIncludesChecksum) {
+  const Workload w = make_ledger_workload(60, 6, 11);
+  EXPECT_EQ(w.blocks.size(), 60u);
+  EXPECT_EQ(w.task.requests.size(), 13u);  // 6×(sum + dot-self) + checksum
+  EXPECT_EQ(w.task.requests.back().kind, FuncKind::kPolyEval);
+  EXPECT_EQ(w.task.requests.back().positions.size(), 60u);
+}
+
+TEST(Workload, RandomWorkloadRespectsSpec) {
+  WorkloadSpec spec;
+  spec.num_blocks = 40;
+  spec.num_requests = 15;
+  spec.positions_per_request = 3;
+  spec.seed = 5;
+  const Workload w = make_random_workload(spec);
+  EXPECT_EQ(w.blocks.size(), 40u);
+  EXPECT_EQ(w.task.requests.size(), 15u);
+  EXPECT_TRUE(task_positions_in_range(w));
+}
+
+TEST(Workload, GeneratorsRejectEmptyShapes) {
+  EXPECT_THROW(make_log_analytics_workload(0, 1, 1), std::invalid_argument);
+  EXPECT_THROW(make_shard_aggregation_workload(4, 0, 1), std::invalid_argument);
+  EXPECT_THROW(make_ledger_workload(10, 20, 1), std::invalid_argument);
+  EXPECT_THROW(make_random_workload({0, 1, 1, true, 1}), std::invalid_argument);
+}
+
+TEST(Workload, WorkloadsExecuteHonestly) {
+  // Every generated workload must be executable against its own blocks.
+  const Workload workloads[] = {
+      make_log_analytics_workload(40, 4, 1),
+      make_shard_aggregation_workload(3, 5, 2),
+      make_ledger_workload(30, 3, 3),
+      make_random_workload({25, 10, 3, true, 4}),
+  };
+  for (const auto& w : workloads) {
+    std::vector<core::SignedBlock> store(w.blocks.size());
+    for (std::size_t i = 0; i < w.blocks.size(); ++i) store[i].block = w.blocks[i];
+    const core::BlockLookup lookup = [&store](std::uint64_t index) -> const core::SignedBlock* {
+      return index < store.size() ? &store[index] : nullptr;
+    };
+    EXPECT_NO_THROW({
+      const auto exec = core::execute_task_honestly(w.task, lookup);
+      EXPECT_EQ(exec.results().size(), w.task.requests.size()) << w.name;
+    }) << w.name;
+  }
+}
+
+// --- adversary campaigns ---------------------------------------------------
+
+class CampaignTest : public ::testing::Test {
+ protected:
+  CampaignTest() : cloud(tiny_group(), CloudConfig{3, 1, 1212}) {
+    user = cloud.register_user("campaign@sim");
+    workload = make_shard_aggregation_workload(3, 12, 5);
+    cloud.store_data(user, workload.blocks);
+  }
+  CloudSim cloud;
+  std::size_t user = 0;
+  Workload workload;
+};
+
+TEST_F(CampaignTest, NoAdversaryMeansNoDetections) {
+  EpochAdversary adversary{AdversaryConfig{AdversaryStrategy::kNone, 1, {}, 0}};
+  const auto stats = run_campaign(cloud, adversary, user, workload.task, {6, 6});
+  EXPECT_EQ(stats.cheating_epochs, 0u);
+  EXPECT_EQ(stats.false_positives, 0u);
+}
+
+TEST_F(CampaignTest, StaticAdversaryCaughtEveryEpoch) {
+  ServerBehavior cheat;
+  cheat.honest_compute_fraction = 0.0;
+  EpochAdversary adversary{AdversaryConfig{AdversaryStrategy::kStatic, 1, cheat, 0}};
+  const auto stats =
+      run_campaign(cloud, adversary, user, workload.task, {5, 12 /*full part sampling*/});
+  EXPECT_EQ(stats.cheating_epochs, 5u);
+  EXPECT_EQ(stats.detected_epochs, 5u);
+  EXPECT_DOUBLE_EQ(stats.detection_rate(), 1.0);
+  // Static adversary corrupts the same server each epoch.
+  std::unordered_set<std::size_t> corrupted;
+  for (const auto& epoch : stats.epochs) corrupted.insert(epoch.corrupted_servers);
+  EXPECT_EQ(corrupted.size(), 1u);
+}
+
+TEST_F(CampaignTest, SleeperDormantThenActive) {
+  ServerBehavior cheat;
+  cheat.honest_compute_fraction = 0.0;
+  EpochAdversary adversary{AdversaryConfig{AdversaryStrategy::kSleeper, 1, cheat,
+                                           /*wake_epoch=*/3}};
+  const auto stats = run_campaign(cloud, adversary, user, workload.task, {6, 12});
+  // Epochs 0–2 clean, 3–5 under attack.
+  for (const auto& epoch : stats.epochs) {
+    EXPECT_EQ(epoch.any_cheating_executed, epoch.epoch >= 3) << "epoch " << epoch.epoch;
+  }
+  EXPECT_EQ(stats.cheating_epochs, 3u);
+  EXPECT_EQ(stats.detected_epochs, 3u);
+}
+
+TEST_F(CampaignTest, MobileAdversaryStillCaught) {
+  ServerBehavior cheat;
+  cheat.honest_position_fraction = 0.0;
+  EpochAdversary adversary{AdversaryConfig{AdversaryStrategy::kMobile, 1, cheat, 0}};
+  const auto stats = run_campaign(cloud, adversary, user, workload.task, {6, 12});
+  EXPECT_EQ(stats.cheating_epochs, 6u);
+  EXPECT_DOUBLE_EQ(stats.detection_rate(), 1.0);
+}
+
+TEST_F(CampaignTest, PartialCheatPartialSamplingDetectionIsProbabilistic) {
+  ServerBehavior cheat;
+  cheat.honest_compute_fraction = 0.5;
+  cheat.guess_range = 2.0;
+  EpochAdversary adversary{AdversaryConfig{AdversaryStrategy::kStatic, 1, cheat, 0}};
+  const auto stats = run_campaign(cloud, adversary, user, workload.task, {12, 2});
+  EXPECT_GT(stats.detection_rate(), 0.2);  // catches some...
+  EXPECT_GT(stats.cheating_epochs, 0u);
+  EXPECT_EQ(stats.false_positives, 0u);    // ...and never flags clean epochs
+}
+
+TEST_F(CampaignTest, AuditBytesAccumulate) {
+  EpochAdversary adversary{AdversaryConfig{AdversaryStrategy::kNone, 1, {}, 0}};
+  const auto stats = run_campaign(cloud, adversary, user, workload.task, {3, 4});
+  EXPECT_GT(stats.total_audit_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace seccloud::sim
