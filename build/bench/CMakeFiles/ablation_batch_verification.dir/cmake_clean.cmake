@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_batch_verification.dir/ablation_batch_verification.cpp.o"
+  "CMakeFiles/ablation_batch_verification.dir/ablation_batch_verification.cpp.o.d"
+  "ablation_batch_verification"
+  "ablation_batch_verification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_batch_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_merkle_commitment.dir/ablation_merkle_commitment.cpp.o"
+  "CMakeFiles/ablation_merkle_commitment.dir/ablation_merkle_commitment.cpp.o.d"
+  "ablation_merkle_commitment"
+  "ablation_merkle_commitment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_merkle_commitment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_merkle_commitment.
+# This may be replaced when dependencies are built.

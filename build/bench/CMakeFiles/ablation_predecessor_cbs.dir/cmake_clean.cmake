@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_predecessor_cbs.dir/ablation_predecessor_cbs.cpp.o"
+  "CMakeFiles/ablation_predecessor_cbs.dir/ablation_predecessor_cbs.cpp.o.d"
+  "ablation_predecessor_cbs"
+  "ablation_predecessor_cbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_predecessor_cbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_security_parameter.dir/ablation_security_parameter.cpp.o"
+  "CMakeFiles/ablation_security_parameter.dir/ablation_security_parameter.cpp.o.d"
+  "ablation_security_parameter"
+  "ablation_security_parameter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_security_parameter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

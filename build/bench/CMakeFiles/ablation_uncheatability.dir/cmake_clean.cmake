@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_uncheatability.dir/ablation_uncheatability.cpp.o"
+  "CMakeFiles/ablation_uncheatability.dir/ablation_uncheatability.cpp.o.d"
+  "ablation_uncheatability"
+  "ablation_uncheatability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_uncheatability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wire_overhead.dir/ablation_wire_overhead.cpp.o"
+  "CMakeFiles/ablation_wire_overhead.dir/ablation_wire_overhead.cpp.o.d"
+  "ablation_wire_overhead"
+  "ablation_wire_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wire_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

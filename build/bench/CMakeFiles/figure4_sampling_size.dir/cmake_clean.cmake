@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure4_sampling_size.dir/figure4_sampling_size.cpp.o"
+  "CMakeFiles/figure4_sampling_size.dir/figure4_sampling_size.cpp.o.d"
+  "figure4_sampling_size"
+  "figure4_sampling_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure4_sampling_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for figure4_sampling_size.
+# This may be replaced when dependencies are built.

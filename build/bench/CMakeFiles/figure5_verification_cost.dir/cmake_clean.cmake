@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure5_verification_cost.dir/figure5_verification_cost.cpp.o"
+  "CMakeFiles/figure5_verification_cost.dir/figure5_verification_cost.cpp.o.d"
+  "figure5_verification_cost"
+  "figure5_verification_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure5_verification_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_crypto_ops.dir/table1_crypto_ops.cpp.o"
+  "CMakeFiles/table1_crypto_ops.dir/table1_crypto_ops.cpp.o.d"
+  "table1_crypto_ops"
+  "table1_crypto_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_crypto_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

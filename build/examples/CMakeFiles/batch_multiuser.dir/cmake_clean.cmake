@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_multiuser.dir/batch_multiuser.cpp.o"
+  "CMakeFiles/batch_multiuser.dir/batch_multiuser.cpp.o.d"
+  "batch_multiuser"
+  "batch_multiuser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_multiuser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/computation_audit.dir/computation_audit.cpp.o"
+  "CMakeFiles/computation_audit.dir/computation_audit.cpp.o.d"
+  "computation_audit"
+  "computation_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/computation_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

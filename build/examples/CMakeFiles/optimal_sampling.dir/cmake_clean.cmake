@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimal_sampling.dir/optimal_sampling.cpp.o"
+  "CMakeFiles/optimal_sampling.dir/optimal_sampling.cpp.o.d"
+  "optimal_sampling"
+  "optimal_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimal_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seccloud_cli.dir/seccloud_cli.cpp.o"
+  "CMakeFiles/seccloud_cli.dir/seccloud_cli.cpp.o.d"
+  "seccloud_cli"
+  "seccloud_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seccloud_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

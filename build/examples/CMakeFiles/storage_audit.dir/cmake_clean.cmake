@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_audit.dir/storage_audit.cpp.o"
+  "CMakeFiles/storage_audit.dir/storage_audit.cpp.o.d"
+  "storage_audit"
+  "storage_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

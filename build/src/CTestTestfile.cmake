@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("bigint")
+subdirs("hash")
+subdirs("field")
+subdirs("ec")
+subdirs("pairing")
+subdirs("ibc")
+subdirs("merkle")
+subdirs("seccloud")
+subdirs("sim")
+subdirs("analysis")
+subdirs("baselines")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seccloud_analysis.dir/history.cpp.o"
+  "CMakeFiles/seccloud_analysis.dir/history.cpp.o.d"
+  "CMakeFiles/seccloud_analysis.dir/sampling.cpp.o"
+  "CMakeFiles/seccloud_analysis.dir/sampling.cpp.o.d"
+  "libseccloud_analysis.a"
+  "libseccloud_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seccloud_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seccloud_baselines.dir/bgls.cpp.o"
+  "CMakeFiles/seccloud_baselines.dir/bgls.cpp.o.d"
+  "CMakeFiles/seccloud_baselines.dir/cbs.cpp.o"
+  "CMakeFiles/seccloud_baselines.dir/cbs.cpp.o.d"
+  "CMakeFiles/seccloud_baselines.dir/ecdsa.cpp.o"
+  "CMakeFiles/seccloud_baselines.dir/ecdsa.cpp.o.d"
+  "CMakeFiles/seccloud_baselines.dir/rsa.cpp.o"
+  "CMakeFiles/seccloud_baselines.dir/rsa.cpp.o.d"
+  "CMakeFiles/seccloud_baselines.dir/wang_auditing.cpp.o"
+  "CMakeFiles/seccloud_baselines.dir/wang_auditing.cpp.o.d"
+  "libseccloud_baselines.a"
+  "libseccloud_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seccloud_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libseccloud_baselines.a"
+)

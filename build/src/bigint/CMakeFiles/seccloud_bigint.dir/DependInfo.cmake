@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bigint/biguint.cpp" "src/bigint/CMakeFiles/seccloud_bigint.dir/biguint.cpp.o" "gcc" "src/bigint/CMakeFiles/seccloud_bigint.dir/biguint.cpp.o.d"
+  "/root/repo/src/bigint/modular.cpp" "src/bigint/CMakeFiles/seccloud_bigint.dir/modular.cpp.o" "gcc" "src/bigint/CMakeFiles/seccloud_bigint.dir/modular.cpp.o.d"
+  "/root/repo/src/bigint/primality.cpp" "src/bigint/CMakeFiles/seccloud_bigint.dir/primality.cpp.o" "gcc" "src/bigint/CMakeFiles/seccloud_bigint.dir/primality.cpp.o.d"
+  "/root/repo/src/bigint/rng.cpp" "src/bigint/CMakeFiles/seccloud_bigint.dir/rng.cpp.o" "gcc" "src/bigint/CMakeFiles/seccloud_bigint.dir/rng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

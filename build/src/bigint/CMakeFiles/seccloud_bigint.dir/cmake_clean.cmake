@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seccloud_bigint.dir/biguint.cpp.o"
+  "CMakeFiles/seccloud_bigint.dir/biguint.cpp.o.d"
+  "CMakeFiles/seccloud_bigint.dir/modular.cpp.o"
+  "CMakeFiles/seccloud_bigint.dir/modular.cpp.o.d"
+  "CMakeFiles/seccloud_bigint.dir/primality.cpp.o"
+  "CMakeFiles/seccloud_bigint.dir/primality.cpp.o.d"
+  "CMakeFiles/seccloud_bigint.dir/rng.cpp.o"
+  "CMakeFiles/seccloud_bigint.dir/rng.cpp.o.d"
+  "libseccloud_bigint.a"
+  "libseccloud_bigint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seccloud_bigint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for seccloud_bigint.
+# This may be replaced when dependencies are built.

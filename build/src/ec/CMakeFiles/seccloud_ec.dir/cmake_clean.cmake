@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seccloud_ec.dir/curve.cpp.o"
+  "CMakeFiles/seccloud_ec.dir/curve.cpp.o.d"
+  "CMakeFiles/seccloud_ec.dir/p256.cpp.o"
+  "CMakeFiles/seccloud_ec.dir/p256.cpp.o.d"
+  "libseccloud_ec.a"
+  "libseccloud_ec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seccloud_ec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

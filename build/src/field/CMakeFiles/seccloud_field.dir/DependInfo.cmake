@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/field/fp.cpp" "src/field/CMakeFiles/seccloud_field.dir/fp.cpp.o" "gcc" "src/field/CMakeFiles/seccloud_field.dir/fp.cpp.o.d"
+  "/root/repo/src/field/fp2.cpp" "src/field/CMakeFiles/seccloud_field.dir/fp2.cpp.o" "gcc" "src/field/CMakeFiles/seccloud_field.dir/fp2.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bigint/CMakeFiles/seccloud_bigint.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

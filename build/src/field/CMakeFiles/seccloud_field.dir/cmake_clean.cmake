@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seccloud_field.dir/fp.cpp.o"
+  "CMakeFiles/seccloud_field.dir/fp.cpp.o.d"
+  "CMakeFiles/seccloud_field.dir/fp2.cpp.o"
+  "CMakeFiles/seccloud_field.dir/fp2.cpp.o.d"
+  "libseccloud_field.a"
+  "libseccloud_field.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seccloud_field.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hash/hash_to.cpp" "src/hash/CMakeFiles/seccloud_hash.dir/hash_to.cpp.o" "gcc" "src/hash/CMakeFiles/seccloud_hash.dir/hash_to.cpp.o.d"
+  "/root/repo/src/hash/hmac.cpp" "src/hash/CMakeFiles/seccloud_hash.dir/hmac.cpp.o" "gcc" "src/hash/CMakeFiles/seccloud_hash.dir/hmac.cpp.o.d"
+  "/root/repo/src/hash/hmac_drbg.cpp" "src/hash/CMakeFiles/seccloud_hash.dir/hmac_drbg.cpp.o" "gcc" "src/hash/CMakeFiles/seccloud_hash.dir/hmac_drbg.cpp.o.d"
+  "/root/repo/src/hash/sha256.cpp" "src/hash/CMakeFiles/seccloud_hash.dir/sha256.cpp.o" "gcc" "src/hash/CMakeFiles/seccloud_hash.dir/sha256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bigint/CMakeFiles/seccloud_bigint.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

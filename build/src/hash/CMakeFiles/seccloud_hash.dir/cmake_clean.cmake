@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seccloud_hash.dir/hash_to.cpp.o"
+  "CMakeFiles/seccloud_hash.dir/hash_to.cpp.o.d"
+  "CMakeFiles/seccloud_hash.dir/hmac.cpp.o"
+  "CMakeFiles/seccloud_hash.dir/hmac.cpp.o.d"
+  "CMakeFiles/seccloud_hash.dir/hmac_drbg.cpp.o"
+  "CMakeFiles/seccloud_hash.dir/hmac_drbg.cpp.o.d"
+  "CMakeFiles/seccloud_hash.dir/sha256.cpp.o"
+  "CMakeFiles/seccloud_hash.dir/sha256.cpp.o.d"
+  "libseccloud_hash.a"
+  "libseccloud_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seccloud_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seccloud_ibc.dir/dvs.cpp.o"
+  "CMakeFiles/seccloud_ibc.dir/dvs.cpp.o.d"
+  "CMakeFiles/seccloud_ibc.dir/ibs.cpp.o"
+  "CMakeFiles/seccloud_ibc.dir/ibs.cpp.o.d"
+  "CMakeFiles/seccloud_ibc.dir/keys.cpp.o"
+  "CMakeFiles/seccloud_ibc.dir/keys.cpp.o.d"
+  "libseccloud_ibc.a"
+  "libseccloud_ibc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seccloud_ibc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for seccloud_ibc.
+# This may be replaced when dependencies are built.

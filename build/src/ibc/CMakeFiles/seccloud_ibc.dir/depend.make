@@ -1,0 +1,2 @@
+# Empty dependencies file for seccloud_ibc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seccloud_merkle.dir/tree.cpp.o"
+  "CMakeFiles/seccloud_merkle.dir/tree.cpp.o.d"
+  "libseccloud_merkle.a"
+  "libseccloud_merkle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seccloud_merkle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pairing/param_gen_main.cpp" "src/pairing/CMakeFiles/param_gen.dir/param_gen_main.cpp.o" "gcc" "src/pairing/CMakeFiles/param_gen.dir/param_gen_main.cpp.o.d"
+  "/root/repo/src/pairing/params.cpp" "src/pairing/CMakeFiles/param_gen.dir/params.cpp.o" "gcc" "src/pairing/CMakeFiles/param_gen.dir/params.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bigint/CMakeFiles/seccloud_bigint.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/param_gen.dir/param_gen_main.cpp.o"
+  "CMakeFiles/param_gen.dir/param_gen_main.cpp.o.d"
+  "CMakeFiles/param_gen.dir/params.cpp.o"
+  "CMakeFiles/param_gen.dir/params.cpp.o.d"
+  "param_gen"
+  "param_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/param_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

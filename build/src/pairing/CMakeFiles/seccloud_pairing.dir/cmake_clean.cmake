@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seccloud_pairing.dir/group.cpp.o"
+  "CMakeFiles/seccloud_pairing.dir/group.cpp.o.d"
+  "CMakeFiles/seccloud_pairing.dir/params.cpp.o"
+  "CMakeFiles/seccloud_pairing.dir/params.cpp.o.d"
+  "CMakeFiles/seccloud_pairing.dir/params_pinned.cpp.o"
+  "CMakeFiles/seccloud_pairing.dir/params_pinned.cpp.o.d"
+  "libseccloud_pairing.a"
+  "libseccloud_pairing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seccloud_pairing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

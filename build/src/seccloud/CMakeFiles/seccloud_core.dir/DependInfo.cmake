@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/seccloud/auditor.cpp" "src/seccloud/CMakeFiles/seccloud_core.dir/auditor.cpp.o" "gcc" "src/seccloud/CMakeFiles/seccloud_core.dir/auditor.cpp.o.d"
+  "/root/repo/src/seccloud/client.cpp" "src/seccloud/CMakeFiles/seccloud_core.dir/client.cpp.o" "gcc" "src/seccloud/CMakeFiles/seccloud_core.dir/client.cpp.o.d"
+  "/root/repo/src/seccloud/codec.cpp" "src/seccloud/CMakeFiles/seccloud_core.dir/codec.cpp.o" "gcc" "src/seccloud/CMakeFiles/seccloud_core.dir/codec.cpp.o.d"
+  "/root/repo/src/seccloud/dynamic.cpp" "src/seccloud/CMakeFiles/seccloud_core.dir/dynamic.cpp.o" "gcc" "src/seccloud/CMakeFiles/seccloud_core.dir/dynamic.cpp.o.d"
+  "/root/repo/src/seccloud/server.cpp" "src/seccloud/CMakeFiles/seccloud_core.dir/server.cpp.o" "gcc" "src/seccloud/CMakeFiles/seccloud_core.dir/server.cpp.o.d"
+  "/root/repo/src/seccloud/system.cpp" "src/seccloud/CMakeFiles/seccloud_core.dir/system.cpp.o" "gcc" "src/seccloud/CMakeFiles/seccloud_core.dir/system.cpp.o.d"
+  "/root/repo/src/seccloud/types.cpp" "src/seccloud/CMakeFiles/seccloud_core.dir/types.cpp.o" "gcc" "src/seccloud/CMakeFiles/seccloud_core.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ibc/CMakeFiles/seccloud_ibc.dir/DependInfo.cmake"
+  "/root/repo/build/src/merkle/CMakeFiles/seccloud_merkle.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/seccloud_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/pairing/CMakeFiles/seccloud_pairing.dir/DependInfo.cmake"
+  "/root/repo/build/src/ec/CMakeFiles/seccloud_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/field/CMakeFiles/seccloud_field.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/seccloud_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/bigint/CMakeFiles/seccloud_bigint.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

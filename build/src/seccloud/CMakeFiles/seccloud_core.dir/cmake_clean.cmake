@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seccloud_core.dir/auditor.cpp.o"
+  "CMakeFiles/seccloud_core.dir/auditor.cpp.o.d"
+  "CMakeFiles/seccloud_core.dir/client.cpp.o"
+  "CMakeFiles/seccloud_core.dir/client.cpp.o.d"
+  "CMakeFiles/seccloud_core.dir/codec.cpp.o"
+  "CMakeFiles/seccloud_core.dir/codec.cpp.o.d"
+  "CMakeFiles/seccloud_core.dir/dynamic.cpp.o"
+  "CMakeFiles/seccloud_core.dir/dynamic.cpp.o.d"
+  "CMakeFiles/seccloud_core.dir/server.cpp.o"
+  "CMakeFiles/seccloud_core.dir/server.cpp.o.d"
+  "CMakeFiles/seccloud_core.dir/system.cpp.o"
+  "CMakeFiles/seccloud_core.dir/system.cpp.o.d"
+  "CMakeFiles/seccloud_core.dir/types.cpp.o"
+  "CMakeFiles/seccloud_core.dir/types.cpp.o.d"
+  "libseccloud_core.a"
+  "libseccloud_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seccloud_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

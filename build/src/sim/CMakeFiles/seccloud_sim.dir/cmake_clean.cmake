@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seccloud_sim.dir/adversary.cpp.o"
+  "CMakeFiles/seccloud_sim.dir/adversary.cpp.o.d"
+  "CMakeFiles/seccloud_sim.dir/agency.cpp.o"
+  "CMakeFiles/seccloud_sim.dir/agency.cpp.o.d"
+  "CMakeFiles/seccloud_sim.dir/cloud.cpp.o"
+  "CMakeFiles/seccloud_sim.dir/cloud.cpp.o.d"
+  "CMakeFiles/seccloud_sim.dir/montecarlo.cpp.o"
+  "CMakeFiles/seccloud_sim.dir/montecarlo.cpp.o.d"
+  "CMakeFiles/seccloud_sim.dir/resale.cpp.o"
+  "CMakeFiles/seccloud_sim.dir/resale.cpp.o.d"
+  "CMakeFiles/seccloud_sim.dir/server.cpp.o"
+  "CMakeFiles/seccloud_sim.dir/server.cpp.o.d"
+  "CMakeFiles/seccloud_sim.dir/transport.cpp.o"
+  "CMakeFiles/seccloud_sim.dir/transport.cpp.o.d"
+  "CMakeFiles/seccloud_sim.dir/workload.cpp.o"
+  "CMakeFiles/seccloud_sim.dir/workload.cpp.o.d"
+  "libseccloud_sim.a"
+  "libseccloud_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seccloud_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibc_test.dir/ibc_test.cpp.o"
+  "CMakeFiles/ibc_test.dir/ibc_test.cpp.o.d"
+  "ibc_test"
+  "ibc_test.pdb"
+  "ibc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

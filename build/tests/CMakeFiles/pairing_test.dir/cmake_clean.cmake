@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pairing_test.dir/pairing_test.cpp.o"
+  "CMakeFiles/pairing_test.dir/pairing_test.cpp.o.d"
+  "pairing_test"
+  "pairing_test.pdb"
+  "pairing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pairing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/sim_test.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/seccloud_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/seccloud/CMakeFiles/seccloud_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ibc/CMakeFiles/seccloud_ibc.dir/DependInfo.cmake"
+  "/root/repo/build/src/pairing/CMakeFiles/seccloud_pairing.dir/DependInfo.cmake"
+  "/root/repo/build/src/ec/CMakeFiles/seccloud_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/field/CMakeFiles/seccloud_field.dir/DependInfo.cmake"
+  "/root/repo/build/src/merkle/CMakeFiles/seccloud_merkle.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/seccloud_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/bigint/CMakeFiles/seccloud_bigint.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/seccloud_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/pairing_test[1]_include.cmake")
+include("/root/repo/build/tests/protocol_test[1]_include.cmake")
+include("/root/repo/build/tests/bigint_test[1]_include.cmake")
+include("/root/repo/build/tests/hash_test[1]_include.cmake")
+include("/root/repo/build/tests/field_test[1]_include.cmake")
+include("/root/repo/build/tests/ec_test[1]_include.cmake")
+include("/root/repo/build/tests/ibc_test[1]_include.cmake")
+include("/root/repo/build/tests/merkle_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/codec_test[1]_include.cmake")
+include("/root/repo/build/tests/dynamic_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/types_test[1]_include.cmake")
+include("/root/repo/build/tests/system_test[1]_include.cmake")
+include("/root/repo/build/tests/e2e_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
