@@ -22,11 +22,17 @@ void print_surface(double range, const char* label) {
     std::printf("%8.1f", csc);
     for (const double ssc : grid) {
       const CheatModel m{csc, ssc, range, 0.0};
-      const auto t = min_sample_size(m, 1e-4);
-      if (t.has_value()) {
-        std::printf("%6zu", *t);
-      } else {
-        std::printf("%6s", "-");
+      const auto result = min_sample_size_detailed(m, 1e-4);
+      switch (result.outcome) {
+        case SampleSizeOutcome::kFound:
+          std::printf("%6zu", result.min_t);
+          break;
+        case SampleSizeOutcome::kUndetectable:
+          std::printf("%6s", "inf");  // no finite t: cheat survives any sample
+          break;
+        case SampleSizeOutcome::kTMaxExceeded:
+          std::printf("%6s", ">cap");  // detectable, but beyond the t_max cap
+          break;
       }
     }
     std::printf("\n");
@@ -37,7 +43,8 @@ void print_surface(double range, const char* label) {
 }  // namespace
 
 int main() {
-  std::printf("=== Figure 4: required sample size for uncheatable cloud computing ===\n\n");
+  std::printf("=== Figure 4: required sample size for uncheatable cloud computing ===\n");
+  std::printf("    (inf = undetectable cheat, no finite t; >cap = exceeds the t_max cap)\n\n");
   print_surface(2.0, "R = 2 (guessable range)");
   print_surface(infinite_range(), "R -> infinity (unguessable results)");
 

@@ -36,15 +36,19 @@ double pr_cheating_success_joint(const CheatModel& m, std::size_t t) noexcept {
   return std::pow(pf * pp, static_cast<double>(t));
 }
 
-std::optional<std::size_t> min_sample_size(const CheatModel& m, double epsilon,
-                                           std::size_t t_max) noexcept {
-  if (pr_cheating_success(m, 0) <= epsilon) return 0;  // honest server
+SampleSizeResult min_sample_size_detailed(const CheatModel& m, double epsilon,
+                                          std::size_t t_max) noexcept {
+  if (pr_cheating_success(m, 0) <= epsilon) {
+    return {SampleSizeOutcome::kFound, 0};  // honest server
+  }
 
   // Sampling cannot help when an attempted cheat survives every sample with
   // probability 1 (e.g. |R| = 1: "guessing" is free).
   const bool fcs_undetectable = m.csc < 1.0 && per_sample_fcs(m) >= 1.0;
   const bool pcs_undetectable = m.ssc < 1.0 && per_sample_pcs(m) >= 1.0;
-  if (fcs_undetectable || pcs_undetectable) return std::nullopt;
+  if (fcs_undetectable || pcs_undetectable) {
+    return {SampleSizeOutcome::kUndetectable, 0};
+  }
 
   // Analytic lower bound from the dominant surviving term, then a short
   // linear scan (the sum of two exponentials has no closed-form inverse).
@@ -54,27 +58,63 @@ std::optional<std::size_t> min_sample_size(const CheatModel& m, double epsilon,
   std::size_t t = 0;
   if (dominant > 0.0) {
     const double bound = std::log(epsilon / 2.0) / std::log(dominant);
-    if (bound > 0.0) t = static_cast<std::size_t>(bound);
+    if (bound > 0.0 && bound < static_cast<double>(t_max)) {
+      t = static_cast<std::size_t>(bound);
+    }
     while (t > 0 && pr_cheating_success(m, t - 1) <= epsilon) --t;
   }
   for (; t <= t_max; ++t) {
-    if (pr_cheating_success(m, t) <= epsilon) return t;
+    if (pr_cheating_success(m, t) <= epsilon) return {SampleSizeOutcome::kFound, t};
   }
-  return std::nullopt;
+  return {SampleSizeOutcome::kTMaxExceeded, 0};
 }
+
+std::optional<std::size_t> min_sample_size(const CheatModel& m, double epsilon,
+                                           std::size_t t_max) noexcept {
+  const SampleSizeResult result = min_sample_size_detailed(m, epsilon, t_max);
+  if (result.outcome != SampleSizeOutcome::kFound) return std::nullopt;
+  return result.min_t;
+}
+
+namespace {
+
+/// a3·C_cheat·q^t, log-space fallback when the direct product overflows to
+/// inf (or worse, inf·0 = NaN when q^t underflows at the same time).
+double cheat_term(const CostModel& c, double q, std::size_t t) noexcept {
+  const double direct = c.a3 * c.c_cheat * std::pow(q, static_cast<double>(t));
+  if (std::isfinite(direct)) return direct;
+  if (c.a3 <= 0.0 || c.c_cheat <= 0.0) return 0.0;
+  if (t == 0) return c.a3 * c.c_cheat;  // q^0 = 1; genuinely inf if it is
+  if (q <= 0.0) return 0.0;             // q^t = 0 exactly for t >= 1
+  return std::exp(std::log(c.a3) + std::log(c.c_cheat) +
+                  static_cast<double>(t) * std::log(q));
+}
+
+}  // namespace
 
 double total_cost(const CostModel& c, double q, std::size_t t) noexcept {
   return c.a1 * static_cast<double>(t) * c.c_trans + c.a2 * c.c_comp +
-         c.a3 * c.c_cheat * std::pow(q, static_cast<double>(t));
+         cheat_term(c, q, t);
 }
 
 std::size_t optimal_sample_size(const CostModel& c, double q) noexcept {
   if (q <= 0.0 || q >= 1.0) return 0;  // degenerate: cheating never/always survives
+  // No sampling cost => minimizing the cheat term alone; no cheat cost =>
+  // never sample. Both match the direct Eq. 18 evaluation for small inputs.
+  if (c.a1 <= 0.0 || c.c_trans <= 0.0) return 0;
+  if (c.a3 <= 0.0 || c.c_cheat <= 0.0) return 0;
   const double ln_q = std::log(q);
-  const double argument = -(c.a1 * c.c_trans) / (c.a3 * c.c_cheat * ln_q);
-  if (argument <= 0.0) return 0;
-  const double t_star = std::log(argument) / ln_q;
+  // Eq. 18, t* = ln(−a1·C_trans / (a3·C_cheat·ln q)) / ln q, evaluated in
+  // log-space: the denominator a3·C_cheat·|ln q| may exceed DBL_MAX (huge
+  // cheating damage), and a direct evaluation would round the argument to
+  // −0 and answer t* = 0 — "audit nothing" — exactly when the stakes are
+  // highest. ln of each positive factor stays comfortably finite.
+  const double log_argument = std::log(c.a1) + std::log(c.c_trans) - std::log(c.a3) -
+                              std::log(c.c_cheat) - std::log(-ln_q);
+  double t_star = log_argument / ln_q;
   if (t_star <= 0.0) return 0;
+  // Guard the size_t cast when q is within an ulp of 1 (t* ~ 1/|ln q|).
+  t_star = std::min(t_star, 9e15);
   // Eq. 18 takes the ceiling; the true integer optimum is one of the two
   // neighbours of the real-valued stationary point, so compare exactly.
   const auto floor_t = static_cast<std::size_t>(t_star);

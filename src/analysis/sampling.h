@@ -52,10 +52,29 @@ double pr_cheating_success(const CheatModel& m, std::size_t t) noexcept;
 /// (per_sample_fcs · per_sample_pcs)^t ≤ Eq. 14.
 double pr_cheating_success_joint(const CheatModel& m, std::size_t t) noexcept;
 
-/// Smallest t with Pr[cheat] ≤ epsilon (the Figure 4 surface), or
-/// std::nullopt when no finite t achieves it (per-sample survival = 1, i.e.
-/// the server is actually honest in that dimension). t is capped at
-/// `t_max` draws; nullopt is returned if the cap is hit.
+/// Why min_sample_size_detailed did not (or did) produce a finite answer.
+enum class SampleSizeOutcome : std::uint8_t {
+  kFound,         ///< min_t is the smallest t with Pr[cheat] ≤ ε
+  kUndetectable,  ///< an attempted cheat survives every sample with pr 1;
+                  ///< no amount of sampling helps (e.g. |R| = 1)
+  kTMaxExceeded,  ///< detection is possible but needs more than t_max samples
+};
+
+struct SampleSizeResult {
+  SampleSizeOutcome outcome = SampleSizeOutcome::kFound;
+  std::size_t min_t = 0;  ///< meaningful only when outcome == kFound
+};
+
+/// Smallest t with Pr[cheat] ≤ epsilon (the Figure 4 surface), with the
+/// failure modes discriminated: a fundamentally undetectable cheat is not
+/// the same situation as a t_max cap that was set too low, and callers
+/// (e.g. the Figure 4 bench) report them differently.
+SampleSizeResult min_sample_size_detailed(const CheatModel& m, double epsilon,
+                                          std::size_t t_max = 1u << 20) noexcept;
+
+/// Optional-valued wrapper kept for convenience: nullopt for BOTH
+/// kUndetectable and kTMaxExceeded. Use min_sample_size_detailed when the
+/// distinction matters.
 std::optional<std::size_t> min_sample_size(const CheatModel& m, double epsilon,
                                            std::size_t t_max = 1u << 20) noexcept;
 
@@ -71,11 +90,17 @@ struct CostModel {
 };
 
 /// Eq. 17: total expected cost of auditing with t samples, where q is the
-/// per-sample cheat-survival probability.
+/// per-sample cheat-survival probability. The cheating term a3·C_cheat·q^t
+/// falls back to log-space evaluation when the direct product is not finite
+/// (huge C_cheat, e.g. infinite_range()-scale damage), so the result is
+/// never NaN from inf·0 and comparisons between t values stay meaningful.
 double total_cost(const CostModel& c, double q, std::size_t t) noexcept;
 
 /// Theorem 3 / Eq. 18: the cost-minimizing integer t (≥ 0). Requires
 /// 0 < q < 1; the result is the better of ⌊t*⌋ and ⌈t*⌉ evaluated exactly.
+/// The stationary point is computed in log-space, so a3·C_cheat·ln q may
+/// exceed DBL_MAX without collapsing the answer to 0 ("audit nothing"
+/// precisely when the cheat damage is astronomically large).
 std::size_t optimal_sample_size(const CostModel& c, double q) noexcept;
 
 /// Exhaustive argmin over t ∈ [0, t_max] for cross-validation in tests.

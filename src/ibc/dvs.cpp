@@ -38,6 +38,31 @@ bool dv_batch_verify(const PairingGroup& group, std::span<const BatchEntry> batc
   return acc.verify(verifier);
 }
 
+bool dv_batch_verify(const ParallelPairingEngine& engine,
+                     std::span<const BatchEntry> batch, const IdentityKey& verifier) {
+  BatchAccumulator acc{engine.group()};
+  acc.add_batch(engine, batch);
+  return acc.verify(verifier);
+}
+
+DesignatedVerifier::DesignatedVerifier(const PairingGroup& group,
+                                       const IdentityKey& verifier)
+    : group_(&group), key_(verifier), fixed_(group, verifier.secret) {}
+
+bool DesignatedVerifier::verify(const Point& signer_q_id,
+                                std::span<const std::uint8_t> message,
+                                const DvSignature& sig) const {
+  const BigUint h = tag_hash(*group_, sig.u, message);
+  const Point target = group_->add(sig.u, group_->mul(h, signer_q_id));
+  // ê(sk_B, target) = ê(target, sk_B): same GT element as dv_verify compares.
+  return fixed_.pair_with(target) == sig.sigma;
+}
+
+bool DesignatedVerifier::verify_aggregate(const Point& u_aggregate,
+                                          const Gt& sigma_aggregate) const {
+  return fixed_.pair_with(u_aggregate) == sigma_aggregate;
+}
+
 BatchAccumulator::BatchAccumulator(const PairingGroup& group)
     : group_(&group),
       u_aggregate_(Point::at_infinity()),
@@ -52,8 +77,30 @@ void BatchAccumulator::add(const Point& signer_q_id, std::span<const std::uint8_
   ++count_;
 }
 
+void BatchAccumulator::add_batch(const ParallelPairingEngine& engine,
+                                 std::span<const BatchEntry> entries) {
+  // Per-entry terms into disjoint slots, folded below in entry order: point
+  // addition and GT multiplication are exact and associative/commutative, so
+  // the aggregates match sequential add() calls bit for bit.
+  std::vector<Point> terms(entries.size());
+  engine.for_each(entries.size(), [&](std::size_t i) {
+    const BatchEntry& entry = entries[i];
+    const BigUint h = tag_hash(*group_, entry.sig->u, entry.message);
+    terms[i] = group_->add(entry.sig->u, group_->mul(h, entry.signer_q_id));
+  });
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    u_aggregate_ = group_->add(u_aggregate_, terms[i]);
+    sigma_aggregate_ = group_->gt_mul(sigma_aggregate_, entries[i].sig->sigma);
+    ++count_;
+  }
+}
+
 bool BatchAccumulator::verify(const IdentityKey& verifier) const {
   return group_->pair(u_aggregate_, verifier.secret) == sigma_aggregate_;
+}
+
+bool BatchAccumulator::verify(const DesignatedVerifier& verifier) const {
+  return verifier.verify_aggregate(u_aggregate_, sigma_aggregate_);
 }
 
 }  // namespace seccloud::ibc

@@ -147,9 +147,9 @@ Fp2 PairingGroup::final_exponentiation(const Fp2& f) const {
 }
 
 Gt PairingGroup::pair(const Point& p, const Point& q) const {
-  ++counters_.pairings;
-  ++counters_.miller_loops;
-  ++counters_.final_exps;
+  counters_.pairings.fetch_add(1, std::memory_order_relaxed);
+  counters_.miller_loops.fetch_add(1, std::memory_order_relaxed);
+  counters_.final_exps.fetch_add(1, std::memory_order_relaxed);
   if (p.infinity || q.infinity) return fp2_->one();
   return final_exponentiation(miller_loop(p, q));
 }
@@ -158,11 +158,45 @@ Gt PairingGroup::pair_product(std::span<const std::pair<Point, Point>> pairs) co
   Fp2 acc = fp2_->one();
   for (const auto& [p, q] : pairs) {
     if (p.infinity || q.infinity) continue;
-    ++counters_.miller_loops;
-    acc = fp2_->mul(acc, miller_loop(p, q));
+    acc = fp2_->mul(acc, miller(p, q));
   }
-  ++counters_.final_exps;
-  return final_exponentiation(acc);
+  return finalize(acc);
+}
+
+Fp2 PairingGroup::miller(const Point& p, const Point& q) const {
+  counters_.miller_loops.fetch_add(1, std::memory_order_relaxed);
+  return miller_loop(p, q);
+}
+
+Gt PairingGroup::finalize(const Fp2& f) const {
+  counters_.final_exps.fetch_add(1, std::memory_order_relaxed);
+  return final_exponentiation(f);
+}
+
+OpCounters PairingGroup::counters() const noexcept {
+  OpCounters out;
+  out.pairings = counters_.pairings.load(std::memory_order_relaxed);
+  out.miller_loops = counters_.miller_loops.load(std::memory_order_relaxed);
+  out.final_exps = counters_.final_exps.load(std::memory_order_relaxed);
+  out.point_muls = counters_.point_muls.load(std::memory_order_relaxed);
+  out.gt_exps = counters_.gt_exps.load(std::memory_order_relaxed);
+  return out;
+}
+
+void PairingGroup::reset_counters() const noexcept {
+  counters_.pairings.store(0, std::memory_order_relaxed);
+  counters_.miller_loops.store(0, std::memory_order_relaxed);
+  counters_.final_exps.store(0, std::memory_order_relaxed);
+  counters_.point_muls.store(0, std::memory_order_relaxed);
+  counters_.gt_exps.store(0, std::memory_order_relaxed);
+}
+
+void PairingGroup::add_ops(const OpCounters& delta) const noexcept {
+  counters_.pairings.fetch_add(delta.pairings, std::memory_order_relaxed);
+  counters_.miller_loops.fetch_add(delta.miller_loops, std::memory_order_relaxed);
+  counters_.final_exps.fetch_add(delta.final_exps, std::memory_order_relaxed);
+  counters_.point_muls.fetch_add(delta.point_muls, std::memory_order_relaxed);
+  counters_.gt_exps.fetch_add(delta.gt_exps, std::memory_order_relaxed);
 }
 
 std::vector<std::uint8_t> PairingGroup::gt_serialize(const Gt& x) const {

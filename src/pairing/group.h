@@ -5,6 +5,8 @@
 // are annihilated by the final exponentiation (p²−1)/q = (p−1)·h).
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string_view>
@@ -24,14 +26,18 @@ using num::BigUint;
 /// GT element (unitary norm-1 element of F_{p^2} of order dividing q).
 using Gt = Fp2;
 
-/// Expensive-operation counters (single-threaded instrumentation used by the
-/// Figure 5 / Table II benches to report pairing & point-mult counts).
+/// Expensive-operation counters (instrumentation used by the Figure 5 /
+/// Table II benches to report pairing & point-mult counts). Snapshot value
+/// type; the group accumulates them atomically, so totals are exact even
+/// when verification work is spread across a thread pool.
 struct OpCounters {
   std::uint64_t pairings = 0;      ///< full pair() evaluations
   std::uint64_t miller_loops = 0;  ///< Miller loops (pair_product shares one final exp)
   std::uint64_t final_exps = 0;
   std::uint64_t point_muls = 0;
   std::uint64_t gt_exps = 0;
+
+  bool operator==(const OpCounters&) const = default;
 };
 
 class PairingGroup {
@@ -51,7 +57,7 @@ class PairingGroup {
   Point add(const Point& a, const Point& b) const { return curve_->add(a, b); }
   Point neg(const Point& a) const { return curve_->neg(a); }
   Point mul(const BigUint& k, const Point& a) const {
-    ++counters_.point_muls;
+    counters_.point_muls.fetch_add(1, std::memory_order_relaxed);
     return curve_->mul(k, a);
   }
   /// Uniform scalar in [1, q).
@@ -75,6 +81,14 @@ class PairingGroup {
   /// Π ê(P_i, Q_i) with a single shared final exponentiation.
   Gt pair_product(std::span<const std::pair<Point, Point>> pairs) const;
 
+  /// Miller loop only (no final exponentiation) — the building block shared
+  /// by pair_product, the fixed-argument precomputation, and the parallel
+  /// engine. Inputs must be finite points. Counts one miller_loop.
+  Fp2 miller(const Point& p, const Point& q) const;
+
+  /// Final exponentiation f^((p²−1)/q). Counts one final_exp.
+  Gt finalize(const Fp2& f) const;
+
   // --- GT ---------------------------------------------------------------
   Gt gt_one() const { return fp2_->one(); }
   bool gt_is_one(const Gt& x) const { return fp2_->is_one(x); }
@@ -83,17 +97,32 @@ class PairingGroup {
   /// is the conjugate.
   Gt gt_inv(const Gt& x) const { return fp2_->conj(x); }
   Gt gt_pow(const Gt& x, const BigUint& e) const {
-    ++counters_.gt_exps;
+    counters_.gt_exps.fetch_add(1, std::memory_order_relaxed);
     return fp2_->pow(x, e);
   }
   /// Fixed-width serialization (2 field elements, big-endian).
   std::vector<std::uint8_t> gt_serialize(const Gt& x) const;
 
-  /// Operation accounting (not thread safe; reset before a measured section).
-  const OpCounters& counters() const noexcept { return counters_; }
-  void reset_counters() const noexcept { counters_ = OpCounters{}; }
+  /// Operation accounting. Counters are accumulated with relaxed atomics, so
+  /// concurrent workers contribute exact totals; reset before a measured
+  /// section. counters() returns a consistent-enough snapshot for the
+  /// post-quiescence readouts the benches and reports do.
+  OpCounters counters() const noexcept;
+  void reset_counters() const noexcept;
+
+  /// Counter hook for engine layers (e.g. precomputed pairings) that
+  /// evaluate Miller machinery outside pair(): adds `delta` atomically.
+  void add_ops(const OpCounters& delta) const noexcept;
 
  private:
+  struct AtomicOpCounters {
+    std::atomic<std::uint64_t> pairings{0};
+    std::atomic<std::uint64_t> miller_loops{0};
+    std::atomic<std::uint64_t> final_exps{0};
+    std::atomic<std::uint64_t> point_muls{0};
+    std::atomic<std::uint64_t> gt_exps{0};
+  };
+
   Fp2 miller_loop(const Point& p, const Point& q) const;
   Fp2 final_exponentiation(const Fp2& f) const;
 
@@ -102,7 +131,7 @@ class PairingGroup {
   std::unique_ptr<field::Fp2Field> fp2_;
   std::unique_ptr<ec::Curve> curve_;
   Point generator_;
-  mutable OpCounters counters_;
+  mutable AtomicOpCounters counters_;
 };
 
 /// Shared default 512-bit group (constructed once; the generator derivation

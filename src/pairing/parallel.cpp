@@ -1,0 +1,39 @@
+#include "pairing/parallel.h"
+
+namespace seccloud::pairing {
+
+Gt ParallelPairingEngine::pair_product(
+    std::span<const std::pair<Point, Point>> pairs) const {
+  if (pool_->size() == 1 || pairs.size() < 2) {
+    return group_->pair_product(pairs);
+  }
+  // Each Miller value lands in its own slot; the fold below then multiplies
+  // them in the serial order. Field multiplication is exact and associative,
+  // so the product equals the serial accumulation bit for bit.
+  const auto& f2 = group_->fp2();
+  std::vector<Fp2> values(pairs.size(), f2.one());
+  pool_->parallel_for(pairs.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto& [p, q] = pairs[i];
+      if (p.infinity || q.infinity) continue;
+      values[i] = group_->miller(p, q);
+    }
+  });
+  Fp2 acc = f2.one();
+  for (const Fp2& v : values) acc = f2.mul(acc, v);
+  return group_->finalize(acc);
+}
+
+void ParallelPairingEngine::for_each(
+    std::size_t n, const std::function<void(std::size_t)>& body) const {
+  pool_->parallel_for(n, [&body](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+  });
+}
+
+void ParallelPairingEngine::for_chunks(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body) const {
+  pool_->parallel_for(n, body);
+}
+
+}  // namespace seccloud::pairing

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <unordered_set>
+#include <utility>
 
 #include "ibc/ibs.h"
 #include "seccloud/client.h"
 
 namespace seccloud::core {
 namespace {
+
+using pairing::ParallelPairingEngine;
 
 /// Verifies one block's DV signature for the given role. Also enforces that
 /// the block occupies the position it claims (the signature binds the index,
@@ -20,6 +23,226 @@ bool check_block_signature(const PairingGroup& group, const Point& q_user,
   const ibc::DvSignature dv =
       role == VerifierRole::kCloudServer ? sb.sig.for_cs() : sb.sig.for_da();
   return ibc::dv_verify(group, q_user, message, dv, verifier_key);
+}
+
+/// Parallel state shared by the engine-aware overloads: the pool plus the
+/// verifier key with its fixed-argument sk_B precomputation.
+struct ParallelContext {
+  const ParallelPairingEngine* engine;
+  const ibc::DesignatedVerifier* verifier;
+};
+
+/// Individually verifies every listed block, spreading the pairings across
+/// the pool (each one replays the precomputed sk_B Miller lines). Returns
+/// the number of failures — an order-independent sum.
+std::size_t count_signature_failures(const ParallelContext& par, const Point& q_user,
+                                     std::span<const SignedBlock* const> blocks,
+                                     VerifierRole role) {
+  std::vector<std::uint8_t> ok(blocks.size(), 0);
+  par.engine->for_each(blocks.size(), [&](std::size_t i) {
+    const SignedBlock& sb = *blocks[i];
+    const Bytes message = block_message_bytes(sb.block);
+    const ibc::DvSignature dv =
+        role == VerifierRole::kCloudServer ? sb.sig.for_cs() : sb.sig.for_da();
+    ok[i] = par.verifier->verify(q_user, message, dv) ? 1 : 0;
+  });
+  return static_cast<std::size_t>(std::count(ok.begin(), ok.end(), 0));
+}
+
+AuditReport verify_computation_audit_impl(
+    const PairingGroup& group, const ParallelContext* par, const Point& q_user,
+    const Point& q_server, const ComputationTask& task, const Commitment& commitment,
+    const AuditChallenge& challenge, const AuditResponse& response,
+    const IdentityKey& da_key, SignatureCheckMode mode) {
+  group.reset_counters();
+  AuditReport report;
+  report.samples_requested = challenge.sample_indices.size();
+  report.samples_returned = response.items.size();
+
+  if (!response.warrant_accepted) {
+    report.warrant_rejected = true;
+    report.ops = group.counters();
+    return report;
+  }
+
+  // Check Sig_CS(R) once (Eq. 7 applied to the server's identity).
+  const std::span<const std::uint8_t> root_bytes(commitment.root.data(), commitment.root.size());
+  const Bytes root_copy(root_bytes.begin(), root_bytes.end());
+  report.root_signature_valid =
+      par != nullptr
+          ? par->verifier->verify(q_server, root_copy, commitment.root_sig_da)
+          : ibc::dv_verify(group, q_server, root_bytes, commitment.root_sig_da, da_key);
+
+  // A response must cover exactly the challenged set.
+  std::unordered_set<std::uint64_t> challenged(challenge.sample_indices.begin(),
+                                               challenge.sample_indices.end());
+
+  ibc::BatchAccumulator batch{group};
+  std::vector<const SignedBlock*> batched_blocks;
+  // Individual-mode signature checks (and batch-mode messages) are deferred
+  // so the pairing-heavy work can run as one parallel sweep after the
+  // bookkeeping loop; with no engine they are flushed inline below.
+  std::vector<Bytes> batched_messages;
+
+  for (const auto& item : response.items) {
+    if (challenged.erase(item.request_index) == 0 ||
+        item.request_index >= task.requests.size()) {
+      // Unrequested or duplicate sample: treat as a root failure (the server
+      // is not answering the challenge).
+      ++report.root_failures;
+      continue;
+    }
+    const ComputeRequest& request = task.requests[item.request_index];
+
+    // (a) IsSignatureWrong: every input block, individually or batched.
+    bool positions_match = item.inputs.size() == request.positions.size();
+    for (std::size_t i = 0; positions_match && i < item.inputs.size(); ++i) {
+      positions_match = item.inputs[i].block.index == request.positions[i];
+    }
+    if (!positions_match) {
+      ++report.signature_failures;  // wrong/missing positions ⇒ Eq. 7 cannot hold
+    } else if (mode == SignatureCheckMode::kIndividual) {
+      if (par != nullptr) {
+        for (const auto& input : item.inputs) batched_blocks.push_back(&input);
+      } else {
+        for (const auto& input : item.inputs) {
+          if (!check_block_signature(group, q_user, input, da_key,
+                                     VerifierRole::kDesignatedAgency)) {
+            ++report.signature_failures;
+          }
+        }
+      }
+    } else {
+      for (const auto& input : item.inputs) {
+        if (par != nullptr) {
+          batched_messages.push_back(block_message_bytes(input.block));
+        } else {
+          batch.add(q_user, block_message_bytes(input.block), input.sig.for_da());
+        }
+        batched_blocks.push_back(&input);
+      }
+    }
+
+    // (b) IsComputingWrong: recompute y over the returned inputs.
+    if (positions_match) {
+      std::vector<std::uint64_t> operands;
+      operands.reserve(item.inputs.size());
+      for (const auto& input : item.inputs) operands.push_back(input.block.value());
+      if (operands.empty() || evaluate(request.kind, operands) != item.result) {
+        ++report.computation_failures;
+      }
+    }
+
+    // (c) IsRootWrong: reconstruct R from H(y ‖ p) and the sibling set.
+    const merkle::Digest leaf =
+        merkle::MerkleTree::leaf_hash(result_leaf_bytes(request, item.result));
+    if (!merkle::MerkleTree::verify(commitment.root, leaf, item.path)) {
+      ++report.root_failures;
+    }
+  }
+
+  // Samples the server silently dropped count as failures.
+  report.root_failures += challenged.size();
+
+  if (mode == SignatureCheckMode::kIndividual && par != nullptr) {
+    report.signature_failures += count_signature_failures(
+        *par, q_user, batched_blocks, VerifierRole::kDesignatedAgency);
+  }
+
+  if (mode == SignatureCheckMode::kBatch && par != nullptr && !batched_blocks.empty()) {
+    std::vector<ibc::DvSignature> sigs;  // for_da() returns by value; keep alive
+    std::vector<ibc::BatchEntry> entries;
+    sigs.reserve(batched_blocks.size());
+    entries.reserve(batched_blocks.size());
+    for (std::size_t i = 0; i < batched_blocks.size(); ++i) {
+      sigs.push_back(batched_blocks[i]->sig.for_da());
+      entries.push_back({q_user, batched_messages[i], &sigs.back()});
+    }
+    batch.add_batch(*par->engine, entries);
+  }
+
+  if (mode == SignatureCheckMode::kBatch && batch.size() > 0 && !batch.verify(da_key)) {
+    // Batch rejected: locate the offenders individually (standard batch-
+    // verification fallback; still cheap because cheating is the rare case).
+    if (par != nullptr) {
+      report.signature_failures += count_signature_failures(
+          *par, q_user, batched_blocks, VerifierRole::kDesignatedAgency);
+    } else {
+      for (const SignedBlock* input : batched_blocks) {
+        if (!check_block_signature(group, q_user, *input, da_key,
+                                   VerifierRole::kDesignatedAgency)) {
+          ++report.signature_failures;
+        }
+      }
+    }
+    if (report.signature_failures == 0) ++report.signature_failures;  // aggregate forged
+  }
+
+  report.accepted = report.root_signature_valid && report.signature_failures == 0 &&
+                    report.computation_failures == 0 && report.root_failures == 0;
+  report.ops = group.counters();
+  return report;
+}
+
+StorageAuditReport verify_storage_audit_impl(const PairingGroup& group,
+                                             const ParallelContext* par,
+                                             const Point& q_user,
+                                             std::span<const SignedBlock> blocks,
+                                             const IdentityKey& verifier_key,
+                                             VerifierRole role, SignatureCheckMode mode) {
+  group.reset_counters();
+  StorageAuditReport report;
+  report.blocks_checked = blocks.size();
+
+  if (mode == SignatureCheckMode::kBatch) {
+    ibc::BatchAccumulator batch{group};
+    std::vector<Bytes> messages;
+    messages.reserve(blocks.size());
+    if (par != nullptr) {
+      messages.resize(blocks.size());
+      par->engine->for_each(blocks.size(), [&](std::size_t i) {
+        messages[i] = block_message_bytes(blocks[i].block);
+      });
+      std::vector<ibc::DvSignature> sigs;  // for_cs()/for_da() return by value
+      std::vector<ibc::BatchEntry> entries;
+      sigs.reserve(blocks.size());
+      entries.reserve(blocks.size());
+      for (std::size_t i = 0; i < blocks.size(); ++i) {
+        sigs.push_back(role == VerifierRole::kCloudServer ? blocks[i].sig.for_cs()
+                                                          : blocks[i].sig.for_da());
+        entries.push_back({q_user, messages[i], &sigs.back()});
+      }
+      batch.add_batch(*par->engine, entries);
+    } else {
+      for (const auto& sb : blocks) {
+        messages.push_back(block_message_bytes(sb.block));
+        batch.add(q_user, messages.back(),
+                  role == VerifierRole::kCloudServer ? sb.sig.for_cs() : sb.sig.for_da());
+      }
+    }
+    if (batch.size() == 0 || batch.verify(verifier_key)) {
+      report.accepted = true;
+      report.ops = group.counters();
+      return report;
+    }
+    // Fall through to individual checks to count the failures.
+  }
+
+  if (par != nullptr) {
+    std::vector<const SignedBlock*> ptrs;
+    ptrs.reserve(blocks.size());
+    for (const auto& sb : blocks) ptrs.push_back(&sb);
+    report.signature_failures += count_signature_failures(*par, q_user, ptrs, role);
+  } else {
+    for (const auto& sb : blocks) {
+      if (!check_block_signature(group, q_user, sb, verifier_key, role)) {
+        ++report.signature_failures;
+      }
+    }
+  }
+  report.accepted = report.signature_failures == 0;
+  report.ops = group.counters();
+  return report;
 }
 
 }  // namespace
@@ -57,132 +280,39 @@ AuditReport verify_computation_audit(const PairingGroup& group, const Point& q_u
                                      const AuditChallenge& challenge,
                                      const AuditResponse& response,
                                      const IdentityKey& da_key, SignatureCheckMode mode) {
-  group.reset_counters();
-  AuditReport report;
-  report.samples_requested = challenge.sample_indices.size();
-  report.samples_returned = response.items.size();
+  return verify_computation_audit_impl(group, nullptr, q_user, q_server, task, commitment,
+                                       challenge, response, da_key, mode);
+}
 
-  if (!response.warrant_accepted) {
-    report.warrant_rejected = true;
-    report.ops = group.counters();
-    return report;
-  }
-
-  // Check Sig_CS(R) once (Eq. 7 applied to the server's identity).
-  const std::span<const std::uint8_t> root_bytes(commitment.root.data(), commitment.root.size());
-  report.root_signature_valid =
-      ibc::dv_verify(group, q_server, root_bytes, commitment.root_sig_da, da_key);
-
-  // A response must cover exactly the challenged set.
-  std::unordered_set<std::uint64_t> challenged(challenge.sample_indices.begin(),
-                                               challenge.sample_indices.end());
-
-  ibc::BatchAccumulator batch{group};
-  std::vector<const SignedBlock*> batched_blocks;
-
-  for (const auto& item : response.items) {
-    if (challenged.erase(item.request_index) == 0 ||
-        item.request_index >= task.requests.size()) {
-      // Unrequested or duplicate sample: treat as a root failure (the server
-      // is not answering the challenge).
-      ++report.root_failures;
-      continue;
-    }
-    const ComputeRequest& request = task.requests[item.request_index];
-
-    // (a) IsSignatureWrong: every input block, individually or batched.
-    bool positions_match = item.inputs.size() == request.positions.size();
-    for (std::size_t i = 0; positions_match && i < item.inputs.size(); ++i) {
-      positions_match = item.inputs[i].block.index == request.positions[i];
-    }
-    if (!positions_match) {
-      ++report.signature_failures;  // wrong/missing positions ⇒ Eq. 7 cannot hold
-    } else if (mode == SignatureCheckMode::kIndividual) {
-      for (const auto& input : item.inputs) {
-        if (!check_block_signature(group, q_user, input, da_key,
-                                   VerifierRole::kDesignatedAgency)) {
-          ++report.signature_failures;
-        }
-      }
-    } else {
-      for (const auto& input : item.inputs) {
-        batch.add(q_user, block_message_bytes(input.block), input.sig.for_da());
-        batched_blocks.push_back(&input);
-      }
-    }
-
-    // (b) IsComputingWrong: recompute y over the returned inputs.
-    if (positions_match) {
-      std::vector<std::uint64_t> operands;
-      operands.reserve(item.inputs.size());
-      for (const auto& input : item.inputs) operands.push_back(input.block.value());
-      if (operands.empty() || evaluate(request.kind, operands) != item.result) {
-        ++report.computation_failures;
-      }
-    }
-
-    // (c) IsRootWrong: reconstruct R from H(y ‖ p) and the sibling set.
-    const merkle::Digest leaf =
-        merkle::MerkleTree::leaf_hash(result_leaf_bytes(request, item.result));
-    if (!merkle::MerkleTree::verify(commitment.root, leaf, item.path)) {
-      ++report.root_failures;
-    }
-  }
-
-  // Samples the server silently dropped count as failures.
-  report.root_failures += challenged.size();
-
-  if (mode == SignatureCheckMode::kBatch && batch.size() > 0 && !batch.verify(da_key)) {
-    // Batch rejected: locate the offenders individually (standard batch-
-    // verification fallback; still cheap because cheating is the rare case).
-    for (const SignedBlock* input : batched_blocks) {
-      if (!check_block_signature(group, q_user, *input, da_key,
-                                 VerifierRole::kDesignatedAgency)) {
-        ++report.signature_failures;
-      }
-    }
-    if (report.signature_failures == 0) ++report.signature_failures;  // aggregate forged
-  }
-
-  report.accepted = report.root_signature_valid && report.signature_failures == 0 &&
-                    report.computation_failures == 0 && report.root_failures == 0;
-  report.ops = group.counters();
-  return report;
+AuditReport verify_computation_audit(const ParallelPairingEngine& engine,
+                                     const Point& q_user, const Point& q_server,
+                                     const ComputationTask& task,
+                                     const Commitment& commitment,
+                                     const AuditChallenge& challenge,
+                                     const AuditResponse& response,
+                                     const IdentityKey& da_key, SignatureCheckMode mode) {
+  const ibc::DesignatedVerifier verifier{engine.group(), da_key};
+  const ParallelContext par{&engine, &verifier};
+  return verify_computation_audit_impl(engine.group(), &par, q_user, q_server, task,
+                                       commitment, challenge, response, da_key, mode);
 }
 
 StorageAuditReport verify_storage_audit(const PairingGroup& group, const Point& q_user,
                                         std::span<const SignedBlock> blocks,
                                         const IdentityKey& verifier_key, VerifierRole role,
                                         SignatureCheckMode mode) {
-  group.reset_counters();
-  StorageAuditReport report;
-  report.blocks_checked = blocks.size();
+  return verify_storage_audit_impl(group, nullptr, q_user, blocks, verifier_key, role, mode);
+}
 
-  if (mode == SignatureCheckMode::kBatch) {
-    ibc::BatchAccumulator batch{group};
-    std::vector<Bytes> messages;
-    messages.reserve(blocks.size());
-    for (const auto& sb : blocks) {
-      messages.push_back(block_message_bytes(sb.block));
-      batch.add(q_user, messages.back(),
-                role == VerifierRole::kCloudServer ? sb.sig.for_cs() : sb.sig.for_da());
-    }
-    if (batch.size() == 0 || batch.verify(verifier_key)) {
-      report.accepted = true;
-      report.ops = group.counters();
-      return report;
-    }
-    // Fall through to individual checks to count the failures.
-  }
-
-  for (const auto& sb : blocks) {
-    if (!check_block_signature(group, q_user, sb, verifier_key, role)) {
-      ++report.signature_failures;
-    }
-  }
-  report.accepted = report.signature_failures == 0;
-  report.ops = group.counters();
-  return report;
+StorageAuditReport verify_storage_audit(const ParallelPairingEngine& engine,
+                                        const Point& q_user,
+                                        std::span<const SignedBlock> blocks,
+                                        const IdentityKey& verifier_key, VerifierRole role,
+                                        SignatureCheckMode mode) {
+  const ibc::DesignatedVerifier verifier{engine.group(), verifier_key};
+  const ParallelContext par{&engine, &verifier};
+  return verify_storage_audit_impl(engine.group(), &par, q_user, blocks, verifier_key,
+                                   role, mode);
 }
 
 }  // namespace seccloud::core

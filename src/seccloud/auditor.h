@@ -10,6 +10,7 @@
 // sampled signature).
 #pragma once
 
+#include "pairing/parallel.h"
 #include "seccloud/server.h"
 
 namespace seccloud::core {
@@ -52,6 +53,19 @@ AuditReport verify_computation_audit(const PairingGroup& group, const Point& q_u
                                      const AuditResponse& response,
                                      const IdentityKey& da_key, SignatureCheckMode mode);
 
+/// Parallel variant: input-block signature checks (individual mode and the
+/// batch-rejection fallback) and the per-entry batch aggregation run across
+/// the engine's pool, with sk_DA fixed-argument precomputation. The report —
+/// verdict, failure counts, and op totals — is bit-identical to the serial
+/// overload for any thread count.
+AuditReport verify_computation_audit(const pairing::ParallelPairingEngine& engine,
+                                     const Point& q_user, const Point& q_server,
+                                     const ComputationTask& task,
+                                     const Commitment& commitment,
+                                     const AuditChallenge& challenge,
+                                     const AuditResponse& response,
+                                     const IdentityKey& da_key, SignatureCheckMode mode);
+
 /// Storage-only audit (Protocol II / "Data Verification", Eq. 5): checks
 /// designated-verifier signatures on a set of stored blocks. Works for the
 /// CS (ingest-time screening) and the DA alike — pass the matching Σ.
@@ -65,6 +79,14 @@ struct StorageAuditReport {
 enum class VerifierRole : std::uint8_t { kCloudServer, kDesignatedAgency };
 
 StorageAuditReport verify_storage_audit(const PairingGroup& group, const Point& q_user,
+                                        std::span<const SignedBlock> blocks,
+                                        const IdentityKey& verifier_key, VerifierRole role,
+                                        SignatureCheckMode mode);
+
+/// Parallel variant (see verify_computation_audit above): bit-identical
+/// report, signature work spread across the engine's pool.
+StorageAuditReport verify_storage_audit(const pairing::ParallelPairingEngine& engine,
+                                        const Point& q_user,
                                         std::span<const SignedBlock> blocks,
                                         const IdentityKey& verifier_key, VerifierRole role,
                                         SignatureCheckMode mode);

@@ -9,6 +9,16 @@ std::size_t field_width(const PairingGroup& group) {
   return (group.params().p.bit_length() + 7) / 8;
 }
 
+/// Fail-fast bound for attacker-controlled element counts: true iff `count`
+/// items of at least `min_item_bytes` each could still fit in the decoder's
+/// remaining input. Checked BEFORE any reserve() so a few-byte malicious
+/// header cannot force a multi-megabyte allocation — capacity growth stays
+/// proportional to the bytes actually supplied.
+bool count_fits_remaining(const Decoder& dec, std::uint64_t count,
+                          std::size_t min_item_bytes) {
+  return count <= dec.remaining() / min_item_bytes;
+}
+
 }  // namespace
 
 // --- Encoder ------------------------------------------------------------
@@ -188,14 +198,20 @@ std::optional<ComputationTask> decode_task(const PairingGroup& group,
                                            std::span<const std::uint8_t> data) {
   Decoder dec{group, data};
   const auto count = dec.get_u32();
-  if (!count || *count > (1u << 20)) return std::nullopt;
+  // Each request encodes to >= 5 bytes (kind + position count).
+  if (!count || *count > (1u << 20) || !count_fits_remaining(dec, *count, 5)) {
+    return std::nullopt;
+  }
   ComputationTask task;
   task.requests.reserve(*count);
   for (std::uint32_t i = 0; i < *count; ++i) {
     const auto kind = dec.get_u8();
     if (!kind || *kind > static_cast<std::uint8_t>(FuncKind::kPolyEval)) return std::nullopt;
     const auto positions = dec.get_u32();
-    if (!positions || *positions > (1u << 20)) return std::nullopt;
+    if (!positions || *positions > (1u << 20) ||
+        !count_fits_remaining(dec, *positions, 8)) {
+      return std::nullopt;
+    }
     ComputeRequest request;
     request.kind = static_cast<FuncKind>(*kind);
     request.positions.reserve(*positions);
@@ -242,7 +258,9 @@ std::optional<Commitment> decode_commitment(const PairingGroup& group,
                                             std::span<const std::uint8_t> data) {
   Decoder dec{group, data};
   const auto count = dec.get_u32();
-  if (!count || *count > (1u << 24)) return std::nullopt;
+  if (!count || *count > (1u << 24) || !count_fits_remaining(dec, *count, 8)) {
+    return std::nullopt;
+  }
   Commitment commitment;
   commitment.results.reserve(*count);
   for (std::uint32_t i = 0; i < *count; ++i) {
@@ -303,7 +321,9 @@ std::optional<AuditChallenge> decode_challenge(const PairingGroup& group,
                                                std::span<const std::uint8_t> data) {
   Decoder dec{group, data};
   const auto count = dec.get_u32();
-  if (!count || *count > (1u << 20)) return std::nullopt;
+  if (!count || *count > (1u << 20) || !count_fits_remaining(dec, *count, 8)) {
+    return std::nullopt;
+  }
   AuditChallenge challenge;
   challenge.sample_indices.reserve(*count);
   for (std::uint32_t i = 0; i < *count; ++i) {
@@ -341,7 +361,11 @@ std::optional<AuditResponse> decode_response(const PairingGroup& group,
   const auto accepted = dec.get_u8();
   if (!accepted || *accepted > 1) return std::nullopt;
   const auto item_count = dec.get_u32();
-  if (!item_count || *item_count > (1u << 20)) return std::nullopt;
+  // Each item encodes to >= 24 bytes (index + result + input count + proof length).
+  if (!item_count || *item_count > (1u << 20) ||
+      !count_fits_remaining(dec, *item_count, 24)) {
+    return std::nullopt;
+  }
   AuditResponse response;
   response.warrant_accepted = *accepted == 1;
   response.items.reserve(*item_count);
@@ -350,7 +374,12 @@ std::optional<AuditResponse> decode_response(const PairingGroup& group,
     const auto index = dec.get_u64();
     const auto result = index ? dec.get_u64() : std::nullopt;
     const auto input_count = result ? dec.get_u32() : std::nullopt;
-    if (!index || !result || !input_count || *input_count > (1u << 16)) return std::nullopt;
+    // Each signed block encodes to >= 13 bytes (index + payload length +
+    // point tag) even before its two GT elements.
+    if (!index || !result || !input_count || *input_count > (1u << 16) ||
+        !count_fits_remaining(dec, *input_count, 13)) {
+      return std::nullopt;
+    }
     item.request_index = *index;
     item.result = *result;
     item.inputs.reserve(*input_count);

@@ -1,10 +1,28 @@
 #include "sim/montecarlo.h"
 
+#include <atomic>
 #include <vector>
 
 #include "seccloud/auditor.h"
 
 namespace seccloud::sim {
+namespace {
+
+/// One audit trial: true iff the cheating server survives undetected.
+bool trial_undetected(const DetectionParams& params, double comp_defect_pr,
+                      double pos_defect_pr, num::RandomSource& rng,
+                      std::vector<bool>& defective) {
+  for (std::size_t i = 0; i < params.task_size; ++i) {
+    defective[i] = rng.next_double() < comp_defect_pr || rng.next_double() < pos_defect_pr;
+  }
+  const auto samples = core::sample_indices(params.task_size, params.sample_size, rng);
+  for (const auto index : samples) {
+    if (defective[index]) return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 DetectionStats run_detection_model(const DetectionParams& params, std::size_t trials,
                                    num::RandomSource& rng) {
@@ -16,21 +34,47 @@ DetectionStats run_detection_model(const DetectionParams& params, std::size_t tr
   stats.trials = trials;
   std::vector<bool> defective(params.task_size);
   for (std::size_t trial = 0; trial < trials; ++trial) {
-    for (std::size_t i = 0; i < params.task_size; ++i) {
-      defective[i] = rng.next_double() < comp_defect_pr || rng.next_double() < pos_defect_pr;
+    if (trial_undetected(params, comp_defect_pr, pos_defect_pr, rng, defective)) {
+      ++stats.undetected;
     }
-    const auto samples =
-        core::sample_indices(params.task_size, params.sample_size, rng);
-    bool detected = false;
-    for (const auto index : samples) {
-      if (defective[index]) {
-        detected = true;
-        break;
-      }
-    }
-    if (!detected) ++stats.undetected;
   }
   return stats;
 }
 
+DetectionStats run_detection_model_seeded(const DetectionParams& params,
+                                          std::size_t trials, std::uint64_t seed,
+                                          util::ThreadPool* pool) {
+  const double comp_defect_pr =
+      (1.0 - params.cheat.csc) * (1.0 - 1.0 / params.cheat.range);
+  const double pos_defect_pr = (1.0 - params.cheat.ssc) * (1.0 - params.cheat.pr_forge);
+
+  DetectionStats stats;
+  stats.trials = trials;
+
+  // Each trial owns an independent generator seeded from (seed + trial), so
+  // its outcome does not depend on which worker runs it; the undetected
+  // count is an integer sum and therefore identical for any thread count.
+  std::atomic<std::size_t> undetected{0};
+  const auto run_range = [&](std::size_t begin, std::size_t end) {
+    std::vector<bool> defective(params.task_size);
+    std::size_t local = 0;
+    for (std::size_t trial = begin; trial < end; ++trial) {
+      num::Xoshiro256 trial_rng{seed + trial};
+      if (trial_undetected(params, comp_defect_pr, pos_defect_pr, trial_rng, defective)) {
+        ++local;
+      }
+    }
+    undetected.fetch_add(local, std::memory_order_relaxed);
+  };
+
+  if (pool != nullptr && pool->size() > 1) {
+    pool->parallel_for(trials, run_range);
+  } else {
+    run_range(0, trials);
+  }
+  stats.undetected = undetected.load(std::memory_order_relaxed);
+  return stats;
+}
+
 }  // namespace seccloud::sim
+

@@ -6,9 +6,11 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "analysis/sampling.h"
 #include "bigint/rng.h"
+#include "util/thread_pool.h"
 
 namespace seccloud::sim {
 
@@ -34,5 +36,13 @@ struct DetectionStats {
 /// cheat survives iff no sampled sub-task is defective.
 DetectionStats run_detection_model(const DetectionParams& params, std::size_t trials,
                                    num::RandomSource& rng);
+
+/// Deterministic, parallelizable variant: trial i draws from its own
+/// Xoshiro256 seeded with (seed + i), so the undetected count — an
+/// order-independent integer sum — is bit-identical for every thread count
+/// (pass a pool, or nullptr for the serial reference path).
+DetectionStats run_detection_model_seeded(const DetectionParams& params,
+                                          std::size_t trials, std::uint64_t seed,
+                                          util::ThreadPool* pool = nullptr);
 
 }  // namespace seccloud::sim

@@ -1,0 +1,90 @@
+// A small work-stealing thread pool for the parallel verification engine.
+//
+// Each lane owns a deque of tasks: the owner pushes/pops at the back (LIFO,
+// cache-friendly) and idle lanes steal from the front of other lanes (FIFO,
+// takes the oldest — and typically largest — pending work). Lane 0 belongs
+// to the submitting thread, which helps execute while it waits, so a pool
+// constructed with `threads == 1` spawns no workers and degenerates to the
+// plain serial loop.
+//
+// Determinism contract: tasks must write to disjoint slots; reductions
+// happen on the calling thread after wait() in a fixed order. Nothing in the
+// pool itself introduces ordering dependence into results.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace seccloud::util {
+
+class ThreadPool {
+ public:
+  using Task = std::function<void()>;
+
+  /// Tracks a set of submitted tasks so the submitter can wait for exactly
+  /// its own work (several groups may share one pool).
+  class TaskGroup {
+   public:
+    TaskGroup() = default;
+    TaskGroup(const TaskGroup&) = delete;
+    TaskGroup& operator=(const TaskGroup&) = delete;
+
+   private:
+    friend class ThreadPool;
+    std::atomic<std::size_t> pending_{0};
+  };
+
+  /// `threads == 0` means std::thread::hardware_concurrency() (at least 1).
+  /// `threads` counts lanes including the calling thread: a pool of size T
+  /// spawns T − 1 workers.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total lanes (workers + the helping caller).
+  std::size_t size() const noexcept { return lanes_; }
+
+  /// Enqueues one task under `group` (round-robin across lanes).
+  void submit(TaskGroup& group, Task task);
+
+  /// Blocks until every task submitted under `group` has finished; the
+  /// calling thread executes and steals tasks while it waits.
+  void wait(TaskGroup& group);
+
+  /// Runs body(begin, end) over a partition of [0, n); returns when all of
+  /// [0, n) has been processed. Chunks are oversplit (~4 per lane) so
+  /// stealing can rebalance uneven work.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+ private:
+  struct Lane {
+    std::mutex m;
+    std::deque<Task> tasks;
+  };
+
+  /// Pops from lane `self`'s back or steals from another lane's front.
+  bool try_run_one(std::size_t self);
+  void worker_loop(std::size_t index);
+
+  std::size_t lanes_ = 1;
+  std::vector<std::unique_ptr<Lane>> queues_;
+  std::vector<std::thread> workers_;
+  std::atomic<std::size_t> queued_{0};  ///< tasks currently in some deque
+  std::atomic<bool> stop_{false};
+  std::mutex sleep_m_;
+  std::condition_variable sleep_cv_;  ///< workers idle here
+  std::mutex done_m_;
+  std::condition_variable done_cv_;  ///< wait() sleeps here
+  std::atomic<std::size_t> next_lane_{0};
+};
+
+}  // namespace seccloud::util

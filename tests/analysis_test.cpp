@@ -188,6 +188,70 @@ TEST(OptimalSampling, TotalCostComponentsAddUp) {
 
 // --- History learner ---------------------------------------------------------
 
+TEST(Sampling, DetailedResultDiscriminatesOutcomes) {
+  // Honest server: found immediately at t = 0.
+  const auto honest = min_sample_size_detailed({1.0, 1.0, 2.0, 0.0}, 1e-4);
+  EXPECT_EQ(honest.outcome, SampleSizeOutcome::kFound);
+  EXPECT_EQ(honest.min_t, 0u);
+
+  // |R| = 1: fundamentally undetectable, NOT a cap problem.
+  const auto undetectable = min_sample_size_detailed({0.0, 1.0, 1.0, 0.0}, 1e-4);
+  EXPECT_EQ(undetectable.outcome, SampleSizeOutcome::kUndetectable);
+
+  // Near-perfect cheat with a tiny cap: detectable in principle, cap too low.
+  const CheatModel slippery{0.99, 1.0, 2.0, 0.0};
+  const auto capped = min_sample_size_detailed(slippery, 1e-4, /*t_max=*/10);
+  EXPECT_EQ(capped.outcome, SampleSizeOutcome::kTMaxExceeded);
+  // With a generous cap the same model IS detectable — proving the two
+  // nullopt cases of the optional API really were different situations.
+  const auto found = min_sample_size_detailed(slippery, 1e-4);
+  EXPECT_EQ(found.outcome, SampleSizeOutcome::kFound);
+  EXPECT_GT(found.min_t, 10u);
+
+  // The optional wrapper still conflates them (documented behavior).
+  EXPECT_FALSE(min_sample_size({0.0, 1.0, 1.0, 0.0}, 1e-4).has_value());
+  EXPECT_FALSE(min_sample_size(slippery, 1e-4, 10).has_value());
+}
+
+TEST(OptimalSampling, HugeCheatDamageStaysFinite) {
+  // Regression: with C_cheat at infinite_range() scale the old direct
+  // evaluation produced inf/NaN intermediates — Eq. 17 returned NaN and
+  // Eq. 18 rounded its argument to -0 and answered t* = 0 ("audit
+  // nothing") precisely when the stakes were highest.
+  const CostModel extreme{1.0, 1.0, 1e10, 1.0, 1.0, 1e300};
+  const double q = 0.5;
+  for (const std::size_t t : {std::size_t{0}, std::size_t{10}, std::size_t{1000}}) {
+    EXPECT_FALSE(std::isnan(total_cost(extreme, q, t))) << "t=" << t;
+  }
+  const std::size_t t_star = optimal_sample_size(extreme, q);
+  EXPECT_GT(t_star, 0u) << "huge cheat damage must increase, not zero, the sample size";
+  EXPECT_EQ(t_star, optimal_sample_size_exhaustive(extreme, q, 4000));
+}
+
+TEST(OptimalSampling, LogSpaceMatchesBruteForceAcrossScales) {
+  // Pin Theorem 3 against the exhaustive scan over a sweep of damage scales
+  // spanning the overflow boundary of a3·C_cheat·ln q.
+  const double q = 0.75;
+  for (const double c_cheat : {1e2, 1e6, 1e15, 1e100, 1e300}) {
+    for (const double a3 : {1.0, 1e5, 1e10}) {
+      const CostModel c{2.0, 1.0, a3, 3.0, 1.0, c_cheat};
+      const std::size_t analytic = optimal_sample_size(c, q);
+      const std::size_t brute = optimal_sample_size_exhaustive(c, q, 5000);
+      EXPECT_EQ(analytic, brute) << "a3=" << a3 << " c_cheat=" << c_cheat;
+    }
+  }
+}
+
+TEST(OptimalSampling, TotalCostNeverNanOnDegenerateInputs) {
+  const CostModel inf_damage{1.0, 1.0, 1e200, 1.0, 1.0, 1e200};  // a3·C_cheat = inf
+  // t = 2000 makes pow(q, t) underflow to exactly 0: the old direct
+  // evaluation computed inf·0 = NaN here.
+  EXPECT_FALSE(std::isnan(total_cost(inf_damage, 0.5, 2000)));
+  EXPECT_FALSE(std::isnan(total_cost(inf_damage, 0.5, 500)));
+  EXPECT_FALSE(std::isnan(total_cost(inf_damage, 0.0, 5)));
+  EXPECT_TRUE(std::isinf(total_cost(inf_damage, 0.5, 0)));  // genuinely infinite
+}
+
 TEST(History, FirstObservationSetsEstimates) {
   CostHistoryLearner learner;
   learner.observe_audit(10.0, 3.0);

@@ -3,6 +3,10 @@
 // a truncation sweep that feeds every prefix of a valid encoding back in.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
 #include "ibc/keys.h"
 #include "seccloud/auditor.h"
 #include "seccloud/client.h"
@@ -219,6 +223,110 @@ TEST_F(CodecTest, VarBytesLengthLimitEnforced) {
   const Bytes wire = std::move(enc).take();
   Decoder dec{g, wire};
   EXPECT_FALSE(dec.get_var_bytes(/*max_len=*/50).has_value());
+}
+
+}  // namespace
+}  // namespace seccloud::core
+
+// --- allocation-bounded malformed-input regressions ------------------------
+//
+// A handful of header bytes must not be able to force the decoders into
+// multi-megabyte reserve() calls: capacity growth has to stay proportional
+// to the bytes actually supplied. The global operator new is instrumented
+// (binary-wide; gtest's own bookkeeping allocations are negligible next to
+// the megabytes a regression would show).
+
+namespace {
+std::atomic<std::size_t> g_bytes_allocated{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_bytes_allocated.fetch_add(size, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace seccloud::core {
+namespace {
+
+constexpr std::size_t kAllocationBound = 64u * 1024;  // far below the ~MBs a bug costs
+
+TEST_F(CodecTest, DecodeTaskHugeCountHeaderRejectedWithoutAllocation) {
+  Encoder enc{g};
+  enc.put_u32(1u << 20);  // claims a million requests...
+  enc.put_u8(0);          // ...but supplies one byte
+  const Bytes wire = std::move(enc).take();
+  ASSERT_EQ(wire.size(), 5u);
+  const std::size_t before = g_bytes_allocated.load();
+  EXPECT_FALSE(decode_task(g, wire).has_value());
+  EXPECT_LT(g_bytes_allocated.load() - before, kAllocationBound)
+      << "decoder reserved capacity for a count the input cannot contain";
+}
+
+TEST_F(CodecTest, DecodeTaskHugePositionCountRejectedWithoutAllocation) {
+  Encoder enc{g};
+  enc.put_u32(1);         // one request
+  enc.put_u8(0);          // kind
+  enc.put_u32(1u << 20);  // a million positions, zero bytes behind them
+  const Bytes wire = std::move(enc).take();
+  const std::size_t before = g_bytes_allocated.load();
+  EXPECT_FALSE(decode_task(g, wire).has_value());
+  EXPECT_LT(g_bytes_allocated.load() - before, kAllocationBound);
+}
+
+TEST_F(CodecTest, DecodeCommitmentHugeCountRejectedWithoutAllocation) {
+  Encoder enc{g};
+  enc.put_u32(1u << 24);  // claims 16M results in a 4-byte message
+  const Bytes wire = std::move(enc).take();
+  const std::size_t before = g_bytes_allocated.load();
+  EXPECT_FALSE(decode_commitment(g, wire).has_value());
+  EXPECT_LT(g_bytes_allocated.load() - before, kAllocationBound);
+}
+
+TEST_F(CodecTest, DecodeChallengeHugeCountRejectedWithoutAllocation) {
+  Encoder enc{g};
+  enc.put_u32(1u << 20);
+  const Bytes wire = std::move(enc).take();
+  const std::size_t before = g_bytes_allocated.load();
+  EXPECT_FALSE(decode_challenge(g, wire).has_value());
+  EXPECT_LT(g_bytes_allocated.load() - before, kAllocationBound);
+}
+
+TEST_F(CodecTest, DecodeResponseHugeItemCountRejectedWithoutAllocation) {
+  Encoder enc{g};
+  enc.put_u8(1);          // warrant accepted
+  enc.put_u32(1u << 20);  // a million items in a 5-byte message
+  const Bytes wire = std::move(enc).take();
+  const std::size_t before = g_bytes_allocated.load();
+  EXPECT_FALSE(decode_response(g, wire).has_value());
+  EXPECT_LT(g_bytes_allocated.load() - before, kAllocationBound);
+}
+
+TEST_F(CodecTest, DecodeResponseHugeInputCountRejectedWithoutAllocation) {
+  Encoder enc{g};
+  enc.put_u8(1);
+  enc.put_u32(1);         // one item
+  enc.put_u64(0);         // request index
+  enc.put_u64(0);         // result
+  enc.put_u32(1u << 16);  // 65536 input blocks, zero bytes behind them
+  const Bytes wire = std::move(enc).take();
+  const std::size_t before = g_bytes_allocated.load();
+  EXPECT_FALSE(decode_response(g, wire).has_value());
+  EXPECT_LT(g_bytes_allocated.load() - before, kAllocationBound);
+}
+
+TEST_F(CodecTest, PlausibleCountsStillDecode) {
+  // The fail-fast bound must not reject honest encodings: re-run a round
+  // trip whose counts sit exactly at what the remaining bytes can encode.
+  const Bytes wire = encode_task(g, task);
+  const auto back = decode_task(g, wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->requests.size(), task.requests.size());
 }
 
 }  // namespace

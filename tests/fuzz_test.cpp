@@ -150,6 +150,36 @@ TEST_F(FuzzTest, MutatedWarrantsNeverAuthorize) {
   }
 }
 
+TEST_F(FuzzTest, AdversarialCountHeadersNeverCrashOrAccept) {
+  // Handcrafted corpus: headers claiming enormous element counts followed by
+  // (almost) no payload. Every decoder must reject them up front — and, per
+  // the allocation regressions in codec_test.cpp, without reserving capacity
+  // the input cannot back.
+  const std::uint32_t counts[] = {1u << 16, 1u << 20, (1u << 20) + 1, 1u << 24,
+                                  0xFFFFFFFFu};
+  for (const auto count : counts) {
+    Encoder header{g};
+    header.put_u32(count);
+    const Bytes count_only = std::move(header).take();
+    EXPECT_FALSE(decode_task(g, count_only).has_value());
+    EXPECT_FALSE(decode_commitment(g, count_only).has_value());
+    EXPECT_FALSE(decode_challenge(g, count_only).has_value());
+
+    Encoder response{g};
+    response.put_u8(1);  // warrant accepted
+    response.put_u32(count);
+    EXPECT_FALSE(decode_response(g, std::move(response).take()).has_value());
+
+    Encoder nested{g};   // huge inner count behind a valid-looking item
+    nested.put_u8(1);
+    nested.put_u32(1);
+    nested.put_u64(0);
+    nested.put_u64(0);
+    nested.put_u32(count);
+    EXPECT_FALSE(decode_response(g, std::move(nested).take()).has_value());
+  }
+}
+
 // --- adversarially malformed responses (beyond byte mutation) ---------------
 
 class MalformedResponseTest : public FuzzTest {
