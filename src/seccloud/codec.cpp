@@ -181,6 +181,33 @@ std::optional<SignedBlock> decode_signed_block(const PairingGroup& group,
   return sb;
 }
 
+Bytes encode_block_list(const PairingGroup& group, std::span<const SignedBlock> blocks) {
+  Encoder enc{group};
+  enc.put_u32(static_cast<std::uint32_t>(blocks.size()));
+  for (const auto& sb : blocks) encode_signed_block_into(enc, sb);
+  return std::move(enc).take();
+}
+
+std::optional<std::vector<SignedBlock>> decode_block_list(
+    const PairingGroup& group, std::span<const std::uint8_t> data) {
+  Decoder dec{group, data};
+  const auto count = dec.get_u32();
+  // Each signed block encodes to >= 13 bytes (index + payload length + point
+  // tag) even before its two GT elements.
+  if (!count || *count > (1u << 20) || !count_fits_remaining(dec, *count, 13)) {
+    return std::nullopt;
+  }
+  std::vector<SignedBlock> blocks;
+  blocks.reserve(*count);
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    auto sb = decode_signed_block_from(dec);
+    if (!sb) return std::nullopt;
+    blocks.push_back(std::move(*sb));
+  }
+  if (!dec.exhausted()) return std::nullopt;
+  return blocks;
+}
+
 // --- ComputationTask -----------------------------------------------------
 
 Bytes encode_task(const PairingGroup& group, const ComputationTask& task) {

@@ -93,6 +93,12 @@ Bytes encode_response(const PairingGroup& group, const AuditResponse& response);
 std::optional<AuditResponse> decode_response(const PairingGroup& group,
                                              std::span<const std::uint8_t> data);
 
+/// Count-prefixed list of signed blocks — the Protocol II storage-retrieval
+/// reply shipped by the audit-session layer. Empty lists are valid.
+Bytes encode_block_list(const PairingGroup& group, std::span<const SignedBlock> blocks);
+std::optional<std::vector<SignedBlock>> decode_block_list(
+    const PairingGroup& group, std::span<const std::uint8_t> data);
+
 // internal helpers shared by the codecs (exposed for unit tests)
 void encode_signed_block_into(Encoder& enc, const SignedBlock& sb);
 std::optional<SignedBlock> decode_signed_block_from(Decoder& dec);

@@ -1,0 +1,217 @@
+#include "seccloud/session.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hash/sha256.h"
+#include "seccloud/codec.h"
+
+namespace seccloud::core {
+namespace {
+
+constexpr std::uint8_t kMagic0 = 'S';
+constexpr std::uint8_t kMagic1 = 'C';
+constexpr std::uint8_t kVersion = 1;
+constexpr std::size_t kHeaderBytes = 3 + 1 + 4 + 4 + 4;  // magic‖ver‖type‖session‖seq‖len
+constexpr std::size_t kChecksumBytes = 8;
+
+void append_u32(Bytes& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (i * 8)));
+}
+
+std::uint32_t read_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+}  // namespace
+
+const char* to_string(MessageType type) noexcept {
+  switch (type) {
+    case MessageType::kAuditChallenge: return "audit-challenge";
+    case MessageType::kAuditResponse: return "audit-response";
+    case MessageType::kStorageChallenge: return "storage-challenge";
+    case MessageType::kStorageResponse: return "storage-response";
+  }
+  return "unknown";
+}
+
+const char* to_string(SessionVerdict verdict) noexcept {
+  switch (verdict) {
+    case SessionVerdict::kAccepted: return "accepted";
+    case SessionVerdict::kRejected: return "rejected";
+    case SessionVerdict::kInconclusive: return "inconclusive";
+  }
+  return "unknown";
+}
+
+// --- framing -------------------------------------------------------------
+
+Bytes encode_frame(MessageType type, std::uint32_t session_id, std::uint32_t seq,
+                   std::span<const std::uint8_t> payload) {
+  Bytes out;
+  out.reserve(kHeaderBytes + payload.size() + kChecksumBytes);
+  out.push_back(kMagic0);
+  out.push_back(kMagic1);
+  out.push_back(kVersion);
+  out.push_back(static_cast<std::uint8_t>(type));
+  append_u32(out, session_id);
+  append_u32(out, seq);
+  append_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  const hash::Digest digest = hash::Sha256::digest(std::span<const std::uint8_t>(out));
+  out.insert(out.end(), digest.begin(), digest.begin() + kChecksumBytes);
+  return out;
+}
+
+std::optional<Frame> decode_frame(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kHeaderBytes + kChecksumBytes) return std::nullopt;
+  if (bytes[0] != kMagic0 || bytes[1] != kMagic1 || bytes[2] != kVersion) return std::nullopt;
+  const std::uint8_t type = bytes[3];
+  if (type < 1 || type > kMessageTypeCount) return std::nullopt;
+  const std::uint32_t session_id = read_u32(bytes.data() + 4);
+  const std::uint32_t seq = read_u32(bytes.data() + 8);
+  const std::uint32_t len = read_u32(bytes.data() + 12);
+  if (bytes.size() != kHeaderBytes + std::size_t{len} + kChecksumBytes) return std::nullopt;
+  const hash::Digest digest = hash::Sha256::digest(bytes.first(kHeaderBytes + len));
+  if (!std::equal(digest.begin(), digest.begin() + kChecksumBytes,
+                  bytes.end() - kChecksumBytes)) {
+    return std::nullopt;
+  }
+  Frame frame;
+  frame.type = static_cast<MessageType>(type);
+  frame.session_id = session_id;
+  frame.seq = seq;
+  frame.payload.assign(bytes.begin() + static_cast<std::ptrdiff_t>(kHeaderBytes),
+                       bytes.end() - kChecksumBytes);
+  return frame;
+}
+
+// --- retry policy ----------------------------------------------------------
+
+std::uint64_t RetryPolicy::backoff_for(std::size_t failed_attempts) const noexcept {
+  if (failed_attempts == 0 || backoff_base_units == 0) return 0;
+  double units = static_cast<double>(backoff_base_units);
+  const double cap = static_cast<double>(backoff_cap_units);
+  for (std::size_t i = 1; i < failed_attempts && units < cap; ++i) {
+    units *= backoff_factor;
+  }
+  return static_cast<std::uint64_t>(std::min(units, cap));
+}
+
+// --- the session driver -----------------------------------------------------
+
+AuditSession::AuditSession(const PairingGroup& group, RetryPolicy policy)
+    : group_(&group), policy_(policy) {
+  if (policy_.max_attempts == 0) policy_.max_attempts = 1;
+}
+
+template <typename Issue, typename Conclude>
+SessionReport AuditSession::drive(AuditTransport& link, MessageType request_type,
+                                  MessageType reply_type, num::RandomSource& rng,
+                                  Issue&& issue, Conclude&& conclude) {
+  SessionReport report;
+  const auto session_id = static_cast<std::uint32_t>(rng.next_u64());
+
+  for (std::size_t attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
+    ++report.attempts;
+    const auto seq = static_cast<std::uint32_t>(attempt);
+    const Bytes request = issue();
+    const Bytes frame = encode_frame(request_type, session_id, seq, request);
+    report.bytes_sent += frame.size();
+
+    std::optional<Bytes> reply;
+    for (const Bytes& raw : link.exchange(request_type, frame)) {
+      report.bytes_received += raw.size();
+      auto decoded = decode_frame(raw);
+      if (!decoded) {
+        ++report.corrupt_frames;  // in-flight damage — a channel fault
+        continue;
+      }
+      if (decoded->type != reply_type || decoded->session_id != session_id ||
+          decoded->seq != seq) {
+        ++report.stale_replies;  // delayed/duplicated reply to an older attempt
+        continue;
+      }
+      if (reply) {
+        ++report.duplicate_replies;
+        continue;
+      }
+      reply = std::move(decoded->payload);
+    }
+
+    if (reply) {
+      if (const auto verdict = conclude(*reply, report)) {
+        report.verdict = *verdict;
+        return report;
+      }
+      ++report.malformed_replies;  // intact frame, undecodable payload — retried
+    } else {
+      ++report.timeouts;
+    }
+    report.waited_units += policy_.timeout_units;
+    if (attempt < policy_.max_attempts) report.waited_units += policy_.backoff_for(attempt);
+  }
+
+  report.verdict = SessionVerdict::kInconclusive;
+  return report;
+}
+
+SessionReport AuditSession::run_computation_audit(
+    AuditTransport& link, const Point& q_user, const Point& q_server,
+    const ComputationTask& task, const Commitment& commitment, const Warrant& warrant,
+    std::size_t sample_size, const IdentityKey& da_key, SignatureCheckMode mode,
+    num::RandomSource& rng) {
+  AuditChallenge current;
+  return drive(
+      link, MessageType::kAuditChallenge, MessageType::kAuditResponse, rng,
+      [&]() {
+        // Idempotent re-issue: a fresh sample (fresh nonce), the same warrant.
+        current = make_challenge(task.requests.size(), sample_size, warrant, rng);
+        return encode_challenge(*group_, current);
+      },
+      [&](const Bytes& payload, SessionReport& report) -> std::optional<SessionVerdict> {
+        const auto response = decode_response(*group_, payload);
+        if (!response) return std::nullopt;
+        report.computation = verify_computation_audit(*group_, q_user, q_server, task,
+                                                      commitment, current, *response,
+                                                      da_key, mode);
+        return report.computation.accepted ? SessionVerdict::kAccepted
+                                           : SessionVerdict::kRejected;
+      });
+}
+
+SessionReport AuditSession::run_storage_audit(AuditTransport& link, const Point& q_user,
+                                              std::uint64_t universe,
+                                              std::size_t sample_size,
+                                              const IdentityKey& da_key,
+                                              SignatureCheckMode mode,
+                                              num::RandomSource& rng) {
+  std::vector<std::uint64_t> indices;
+  return drive(
+      link, MessageType::kStorageChallenge, MessageType::kStorageResponse, rng,
+      [&]() {
+        indices = sample_indices(universe, sample_size, rng);
+        AuditChallenge probe;  // Protocol II needs only the positions
+        probe.sample_indices = indices;
+        return encode_challenge(*group_, probe);
+      },
+      [&](const Bytes& payload, SessionReport& report) -> std::optional<SessionVerdict> {
+        const auto blocks = decode_block_list(*group_, payload);
+        if (!blocks) return std::nullopt;
+        // The checksum proved the server produced this reply, so a wrong
+        // shape (count or claimed positions) is attributable misbehaviour,
+        // not channel noise.
+        bool shape_ok = blocks->size() == indices.size();
+        for (std::size_t i = 0; shape_ok && i < indices.size(); ++i) {
+          shape_ok = (*blocks)[i].block.index == indices[i];
+        }
+        report.storage = verify_storage_audit(*group_, q_user, *blocks, da_key,
+                                              VerifierRole::kDesignatedAgency, mode);
+        return shape_ok && report.storage.accepted ? SessionVerdict::kAccepted
+                                                   : SessionVerdict::kRejected;
+      });
+}
+
+}  // namespace seccloud::core

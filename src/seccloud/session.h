@@ -1,0 +1,169 @@
+// Resilient audit sessions over unreliable DA↔CS channels.
+//
+// Algorithm 1 and Protocol II assume every message arrives intact; a
+// production deployment cannot. This layer wraps the audit exchanges in
+// integrity-checked frames and drives them with a retry/backoff policy so
+// that a flaky network is never mistaken for a cheating server:
+//
+//  * every message travels in a frame carrying (type, session, seq) plus a
+//    truncated-SHA-256 checksum — in-flight corruption is detected at the
+//    frame layer and classified as CHANNEL failure (retried), while a frame
+//    that passes the checksum carries exactly the bytes the peer sent, so
+//    any cryptographic failure inside it is attributable to the PEER;
+//  * challenges are re-issued idempotently: each retry draws a fresh sample
+//    (fresh nonce) under the SAME warrant, and the attempt number is the
+//    frame sequence, so duplicated or delayed replies from earlier attempts
+//    are recognized as stale instead of being verified against the wrong
+//    challenge;
+//  * the session separates verdicts: kAccepted / kRejected are conclusive
+//    audit outcomes (the paper's accept / cheating-detected), kInconclusive
+//    means the retry budget ran out before any attempt completed — a
+//    channel, not audit, outcome.
+#pragma once
+
+#include "seccloud/auditor.h"
+
+namespace seccloud::core {
+
+// --- framing -------------------------------------------------------------
+
+/// Protocol messages that cross the DA↔CS channel during an audit session.
+enum class MessageType : std::uint8_t {
+  kAuditChallenge = 1,   ///< Algorithm 1 challenge (computation audit)
+  kAuditResponse = 2,    ///< Algorithm 1 response
+  kStorageChallenge = 3, ///< Protocol II sampled positions
+  kStorageResponse = 4,  ///< Protocol II retrieved signed blocks
+};
+
+inline constexpr std::size_t kMessageTypeCount = 4;
+
+/// Dense [0, kMessageTypeCount) index for per-type tables.
+constexpr std::size_t message_type_index(MessageType type) noexcept {
+  return static_cast<std::size_t>(type) - 1;
+}
+
+const char* to_string(MessageType type) noexcept;
+
+/// A decoded session frame: header fields plus the opaque payload.
+struct Frame {
+  MessageType type = MessageType::kAuditChallenge;
+  std::uint32_t session_id = 0;
+  std::uint32_t seq = 0;  ///< the issuing attempt number
+  Bytes payload;
+};
+
+/// Frames a payload: magic ‖ version ‖ type ‖ session ‖ seq ‖ len ‖ payload
+/// ‖ checksum (first 8 bytes of SHA-256 over everything before it).
+Bytes encode_frame(MessageType type, std::uint32_t session_id, std::uint32_t seq,
+                   std::span<const std::uint8_t> payload);
+
+/// Total decoder: any truncation, bad magic/type, length mismatch, or
+/// checksum failure yields nullopt. A successful decode guarantees the
+/// payload is bit-identical to what the sender framed.
+std::optional<Frame> decode_frame(std::span<const std::uint8_t> bytes);
+
+// --- transport abstraction ----------------------------------------------
+
+/// One request/response exchange over a (possibly lossy) channel. The
+/// implementation ships the encoded request frame toward the server party
+/// and returns every raw frame that arrives back — possibly none (drop or
+/// timeout), possibly several (duplicates, late replies from earlier
+/// attempts), possibly corrupted. sim::FaultyAuditLink is the fault-
+/// injecting implementation.
+class AuditTransport {
+ public:
+  virtual ~AuditTransport() = default;
+  virtual std::vector<Bytes> exchange(MessageType type, const Bytes& frame) = 0;
+};
+
+// --- retry policy ---------------------------------------------------------
+
+/// Retry/timeout/backoff knobs. Time is simulated (unit-less); the session
+/// only accumulates how long it would have waited.
+struct RetryPolicy {
+  std::size_t max_attempts = 5;       ///< total challenge issues (>= 1)
+  std::uint64_t timeout_units = 100;  ///< wait charged to every failed attempt
+  std::uint64_t backoff_base_units = 50;  ///< extra wait before the 2nd attempt
+  double backoff_factor = 2.0;            ///< exponential growth per retry
+  std::uint64_t backoff_cap_units = 1600; ///< ceiling on a single backoff
+
+  /// Backoff charged after `failed_attempts` >= 1 consecutive failures:
+  /// min(cap, base · factor^(failed_attempts − 1)).
+  std::uint64_t backoff_for(std::size_t failed_attempts) const noexcept;
+};
+
+// --- session report --------------------------------------------------------
+
+enum class SessionVerdict : std::uint8_t {
+  kAccepted,      ///< conclusive: the audit checks passed
+  kRejected,      ///< conclusive: cheating detected (or warrant refused)
+  kInconclusive,  ///< retry budget exhausted — a CHANNEL failure, not an audit verdict
+};
+
+const char* to_string(SessionVerdict verdict) noexcept;
+
+/// Outcome of one audit session, with per-fault tallies as observed from the
+/// session's side of the channel.
+struct SessionReport {
+  SessionVerdict verdict = SessionVerdict::kInconclusive;
+  std::size_t attempts = 0;           ///< challenges issued (1..max_attempts)
+  std::size_t timeouts = 0;           ///< attempts that produced no usable reply
+  std::size_t corrupt_frames = 0;     ///< arrivals failing the frame checksum
+  std::size_t stale_replies = 0;      ///< checksum-valid but older seq / other session
+  std::size_t duplicate_replies = 0;  ///< extra copies of the current reply
+  std::size_t malformed_replies = 0;  ///< checksum-valid frame, undecodable payload
+  std::uint64_t waited_units = 0;     ///< simulated timeout + backoff time
+  std::uint64_t bytes_sent = 0;       ///< frames offered to the channel
+  std::uint64_t bytes_received = 0;   ///< frames delivered back (incl. corrupt)
+
+  /// Detail of the concluding verification. `computation` is meaningful for
+  /// computation sessions, `storage` for storage sessions, and only when the
+  /// verdict is conclusive.
+  AuditReport computation;
+  StorageAuditReport storage;
+
+  bool conclusive() const noexcept { return verdict != SessionVerdict::kInconclusive; }
+};
+
+// --- the session driver -----------------------------------------------------
+
+/// Runs storage and computation audits over an AuditTransport with retries.
+/// Deterministic: all randomness (sampling, session ids) comes from the
+/// caller's RandomSource, and the fault injection of a sim channel is
+/// seeded, so whole sessions are bit-reproducible.
+class AuditSession {
+ public:
+  AuditSession(const PairingGroup& group, RetryPolicy policy);
+
+  const RetryPolicy& policy() const noexcept { return policy_; }
+
+  /// Algorithm 1 with retries: each attempt re-issues a fresh challenge
+  /// (new sample, same warrant) with seq = attempt number, then verifies the
+  /// first intact, current-attempt response.
+  SessionReport run_computation_audit(AuditTransport& link, const Point& q_user,
+                                      const Point& q_server, const ComputationTask& task,
+                                      const Commitment& commitment, const Warrant& warrant,
+                                      std::size_t sample_size, const IdentityKey& da_key,
+                                      SignatureCheckMode mode, num::RandomSource& rng);
+
+  /// Protocol II with retries: samples `sample_size` positions from
+  /// [0, universe) afresh per attempt and verifies the returned blocks'
+  /// designated-verifier signatures.
+  SessionReport run_storage_audit(AuditTransport& link, const Point& q_user,
+                                  std::uint64_t universe, std::size_t sample_size,
+                                  const IdentityKey& da_key, SignatureCheckMode mode,
+                                  num::RandomSource& rng);
+
+ private:
+  /// Shared attempt loop: `issue` builds the attempt's request payload,
+  /// `conclude` verifies a decoded reply payload and fills the report.
+  template <typename Issue, typename Conclude>
+  SessionReport drive(AuditTransport& link, MessageType request_type,
+                      MessageType reply_type, num::RandomSource& rng, Issue&& issue,
+                      Conclude&& conclude);
+
+  const PairingGroup* group_;
+  RetryPolicy policy_;
+};
+
+}  // namespace seccloud::core

@@ -77,6 +77,8 @@ struct ComputeRequest {
 /// The full computing service request {F, P} of Section V-C-1.
 struct ComputationTask {
   std::vector<ComputeRequest> requests;
+
+  bool operator==(const ComputationTask&) const = default;
 };
 
 /// Evaluates f over the given operand values (the honest computation).
@@ -94,6 +96,8 @@ struct Commitment {
   merkle::Digest root{};               ///< R
   DvSignature root_sig_da;             ///< Sig_CS(R) for the DA
   DvSignature root_sig_user;           ///< Sig_CS(R) for the requesting user
+
+  bool operator==(const Commitment&) const = default;
 };
 
 /// Delegation warrant (Section V-D): the user authorizes the DA to audit on
@@ -106,6 +110,8 @@ struct Warrant {
                               ///< designated to the cloud server.
 
   Bytes body_bytes() const;
+
+  bool operator==(const Warrant&) const = default;
 };
 
 /// Audit challenge (Algorithm 1, "Audit Challenge Step"): the sampled
@@ -113,6 +119,8 @@ struct Warrant {
 struct AuditChallenge {
   std::vector<std::uint64_t> sample_indices;
   Warrant warrant;
+
+  bool operator==(const AuditChallenge&) const = default;
 };
 
 /// Per-sample audit response: inputs with signatures, claimed result, and
@@ -122,11 +130,15 @@ struct AuditResponseItem {
   std::vector<SignedBlock> inputs;
   std::uint64_t result = 0;
   merkle::Proof path;
+
+  bool operator==(const AuditResponseItem&) const = default;
 };
 
 struct AuditResponse {
   bool warrant_accepted = false;  ///< server refuses expired warrants
   std::vector<AuditResponseItem> items;
+
+  bool operator==(const AuditResponse&) const = default;
 };
 
 }  // namespace seccloud::core

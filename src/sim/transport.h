@@ -1,10 +1,22 @@
-// Simulated transport: wire-size estimation and per-party traffic meters.
+// Simulated transport: wire-size estimation, per-party traffic meters, and
+// the fault-injecting channel that actually carries encoded protocol
+// messages between simulated parties.
 // The paper flags data-transfer bottlenecks as a top obstacle [1]; the cost
-// model's C_trans term is fed from these byte counts.
+// model's C_trans term is fed from these byte counts. The FaultyChannel
+// extends the passive byte-meter into an active lossy pipe: under a seeded
+// RNG and a declarative FaultPlan it drops, truncates, bit-flips,
+// duplicates, reorders, and delays messages — deterministically per seed —
+// so the audit-session layer (seccloud/session.h) can be exercised against
+// every channel failure a production DA↔CS link exhibits.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <optional>
+#include <utility>
 
+#include "bigint/rng.h"
+#include "seccloud/session.h"
 #include "seccloud/types.h"
 
 namespace seccloud::sim {
@@ -35,5 +47,103 @@ std::uint64_t wire_size_task(const ComputationTask& task);
 std::uint64_t wire_size_commitment(const PairingGroup& group, const Commitment& commitment);
 std::uint64_t wire_size_challenge(const PairingGroup& group, const AuditChallenge& challenge);
 std::uint64_t wire_size_response(const PairingGroup& group, const AuditResponse& response);
+
+// --- fault injection -------------------------------------------------------
+
+/// Per-message fault probabilities, each in [0, 1]. Faults are drawn
+/// independently in a fixed order (duplicate, then per copy: drop, truncate,
+/// bit-flip, delay, then reorder), so a given seed always produces the same
+/// fault sequence.
+struct FaultSpec {
+  double drop = 0.0;       ///< the message vanishes
+  double truncate = 0.0;   ///< a strict prefix of random length arrives
+  double bit_flip = 0.0;   ///< 1–4 random bits arrive flipped
+  double duplicate = 0.0;  ///< two independent copies enter the pipe
+  double reorder = 0.0;    ///< two arrivals of one transmit swap places
+  double delay = 0.0;      ///< the copy arrives only with a later transmit/drain
+
+  bool lossless() const noexcept {
+    return drop <= 0 && truncate <= 0 && bit_flip <= 0 && duplicate <= 0 &&
+           reorder <= 0 && delay <= 0;
+  }
+};
+
+/// Declarative plan: a base spec for every message type plus optional
+/// per-type overrides (indexed by core::MessageType).
+struct FaultPlan {
+  FaultSpec base;
+  std::array<std::optional<FaultSpec>, core::kMessageTypeCount> overrides;
+
+  const FaultSpec& spec(core::MessageType type) const noexcept {
+    const auto& entry = overrides[core::message_type_index(type)];
+    return entry ? *entry : base;
+  }
+  void set(core::MessageType type, FaultSpec spec) {
+    overrides[core::message_type_index(type)] = spec;
+  }
+
+  static FaultPlan lossless() { return {}; }
+  /// Uniform loss knob used by the ablation: drop and bit-flip each with
+  /// probability p on every message type.
+  static FaultPlan uniform_loss(double p) {
+    FaultPlan plan;
+    plan.base.drop = p;
+    plan.base.bit_flip = p;
+    return plan;
+  }
+};
+
+/// Injected-fault counters (channel side; the session layer keeps its own
+/// view in core::SessionReport).
+struct FaultTally {
+  std::uint64_t offered = 0;     ///< messages handed to transmit()
+  std::uint64_t delivered = 0;   ///< copies that came out of the pipe
+  std::uint64_t dropped = 0;
+  std::uint64_t truncated = 0;
+  std::uint64_t corrupted = 0;   ///< bit-flipped
+  std::uint64_t duplicated = 0;
+  std::uint64_t reordered = 0;
+  std::uint64_t delayed = 0;
+
+  FaultTally& operator+=(const FaultTally& other) noexcept;
+};
+
+/// A unidirectional lossy pipe for encoded protocol messages. All fault
+/// decisions come from one seeded xoshiro256**, so the full arrival sequence
+/// is bit-reproducible from (plan, seed, transmit sequence).
+class FaultyChannel {
+ public:
+  FaultyChannel(FaultPlan plan, std::uint64_t seed);
+
+  /// Passes one encoded message through the pipe and returns every copy that
+  /// arrives, in arrival order (possibly none). Copies delayed by earlier
+  /// transmits are flushed first — they finally arrive.
+  std::vector<core::Bytes> transmit(core::MessageType type,
+                                    std::span<const std::uint8_t> wire);
+
+  /// Collects copies still in flight (the receiver polling after a timeout).
+  std::vector<core::Bytes> drain();
+
+  /// Copies currently held by the delay fault.
+  std::size_t in_flight() const noexcept { return delayed_.size(); }
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+  const FaultTally& tally() const noexcept { return total_; }
+  const FaultTally& tally(core::MessageType type) const noexcept {
+    return per_type_[core::message_type_index(type)];
+  }
+  /// Bytes offered to / delivered by the pipe.
+  const TrafficMeter& meter() const noexcept { return meter_; }
+
+ private:
+  bool chance(double p);
+
+  FaultPlan plan_;
+  num::Xoshiro256 rng_;
+  std::vector<std::pair<core::MessageType, core::Bytes>> delayed_;
+  FaultTally total_;
+  std::array<FaultTally, core::kMessageTypeCount> per_type_{};
+  TrafficMeter meter_;
+};
 
 }  // namespace seccloud::sim

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "ibc/keys.h"
+#include "property_support.h"
 #include "seccloud/auditor.h"
 #include "seccloud/client.h"
 #include "seccloud/codec.h"
@@ -80,7 +81,8 @@ TEST_F(FuzzTest, MutatedSignedBlocksNeverVerify) {
   Xoshiro256 fuzz{1};
   const Bytes wire = encode_signed_block(g, blocks[0]);
   int decodable = 0;
-  for (int round = 0; round < 500; ++round) {
+  const int rounds = static_cast<int>(testsupport::property_iters(500));
+  for (int round = 0; round < rounds; ++round) {
     const Bytes mutated = mutate(wire, 1 + static_cast<int>(fuzz.next_u64() % 4), fuzz);
     const auto decoded = decode_signed_block(g, mutated);  // must not crash
     if (!decoded) continue;
@@ -98,7 +100,7 @@ TEST_F(FuzzTest, MutatedSignedBlocksNeverVerify) {
     EXPECT_FALSE(report.accepted);
   }
   // Most mutations are rejected structurally; a few decode (payload bytes).
-  EXPECT_LT(decodable, 250);
+  EXPECT_LT(decodable, rounds / 2);
 }
 
 TEST_F(FuzzTest, MutatedMessagesNeverCrashDecoders) {
@@ -118,7 +120,8 @@ TEST_F(FuzzTest, MutatedMessagesNeverCrashDecoders) {
       encode_challenge(g, challenge),
       encode_response(g, response),
   };
-  for (int round = 0; round < 300; ++round) {
+  const int rounds = static_cast<int>(testsupport::property_iters(300));
+  for (int round = 0; round < rounds; ++round) {
     for (const auto& wire : wires) {
       const Bytes mutated = mutate(wire, 1 + static_cast<int>(fuzz.next_u64() % 6), fuzz);
       // None of these may crash or corrupt memory; results are discarded.
@@ -137,7 +140,8 @@ TEST_F(FuzzTest, MutatedWarrantsNeverAuthorize) {
   Xoshiro256 fuzz{3};
   const Warrant warrant = client.make_warrant(da_key.id, 99, rng);
   const Bytes wire = encode_warrant(g, warrant);
-  for (int round = 0; round < 200; ++round) {
+  const int rounds = static_cast<int>(testsupport::property_iters(200));
+  for (int round = 0; round < rounds; ++round) {
     const Bytes mutated = mutate(wire, 1 + static_cast<int>(fuzz.next_u64() % 3), fuzz);
     const auto decoded = decode_warrant(g, mutated);
     if (!decoded) continue;

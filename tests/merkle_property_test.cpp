@@ -1,0 +1,129 @@
+// Property tests for the Merkle commitment tree (ctest label `property`).
+//
+// For seeded random leaf sets of many sizes — including 1 and
+// non-powers-of-two, the shapes where odd-node promotion bugs live — every
+// leaf's audit path must verify against the root, and any perturbation
+// (wrong leaf, flipped sibling byte, flipped side bit, dropped/appended
+// node, wrong root) must fail. Proof serialization round-trips, and
+// malformed proof bytes are rejected.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bigint/rng.h"
+#include "merkle/tree.h"
+#include "property_support.h"
+
+namespace seccloud::merkle {
+namespace {
+
+using num::Xoshiro256;
+using testsupport::property_iters;
+
+std::vector<Digest> random_leaves(std::size_t count, Xoshiro256& rng) {
+  std::vector<Digest> leaves(count);
+  for (Digest& d : leaves) rng.fill(d);
+  return leaves;
+}
+
+// Sizes chosen around every structural boundary: single leaf, perfect trees,
+// one-off-perfect, and odd interior shapes.
+const std::size_t kSizes[] = {1, 2,  3,  4,  5,  6,  7,  8,  9,  12, 15,
+                              16, 17, 31, 32, 33, 64, 65, 100};
+
+TEST(MerklePropertyTest, EveryLeafProofVerifiesAtEverySize) {
+  const std::size_t rounds = property_iters(8);
+  for (std::size_t round = 0; round < rounds; ++round) {
+    Xoshiro256 rng{0x3E41E000 + round};
+    for (const std::size_t size : kSizes) {
+      const MerkleTree tree = MerkleTree::build(random_leaves(size, rng));
+      EXPECT_EQ(tree.leaf_count(), size);
+      for (std::size_t i = 0; i < size; ++i) {
+        const Proof proof = tree.prove(i);
+        EXPECT_TRUE(MerkleTree::verify(tree.root(), tree.leaf(i), proof))
+            << "size " << size << " leaf " << i;
+      }
+    }
+  }
+}
+
+TEST(MerklePropertyTest, AnyPerturbationFailsVerification) {
+  const std::size_t rounds = property_iters(4);
+  for (std::size_t round = 0; round < rounds; ++round) {
+    Xoshiro256 rng{0x9E57 + round};
+    for (const std::size_t size : kSizes) {
+      const MerkleTree tree = MerkleTree::build(random_leaves(size, rng));
+      const std::size_t index = rng.next_u64() % size;
+      const Proof proof = tree.prove(index);
+      const Digest leaf = tree.leaf(index);
+      ASSERT_TRUE(MerkleTree::verify(tree.root(), leaf, proof));
+
+      // Wrong leaf digest.
+      Digest bad_leaf = leaf;
+      bad_leaf[rng.next_u64() % bad_leaf.size()] ^= 0x01;
+      EXPECT_FALSE(MerkleTree::verify(tree.root(), bad_leaf, proof));
+
+      // Wrong root.
+      Digest bad_root = tree.root();
+      bad_root[rng.next_u64() % bad_root.size()] ^= 0x80;
+      EXPECT_FALSE(MerkleTree::verify(bad_root, leaf, proof));
+
+      if (!proof.empty()) {
+        const std::size_t step = rng.next_u64() % proof.size();
+
+        // Flipped sibling byte.
+        Proof tampered = proof;
+        tampered[step].sibling[rng.next_u64() % 32] ^= 0xFF;
+        EXPECT_FALSE(MerkleTree::verify(tree.root(), leaf, tampered));
+
+        // Flipped side bit: H(a ‖ b) != H(b ‖ a) except on the measure-zero
+        // chance a == b, which random digests never hit.
+        Proof flipped = proof;
+        flipped[step].sibling_on_left = !flipped[step].sibling_on_left;
+        EXPECT_FALSE(MerkleTree::verify(tree.root(), leaf, flipped));
+
+        // Dropped node.
+        Proof shortened = proof;
+        shortened.erase(shortened.begin() + static_cast<std::ptrdiff_t>(step));
+        EXPECT_FALSE(MerkleTree::verify(tree.root(), leaf, shortened));
+      }
+
+      // Appended node (also covers the size == 1, empty-proof case).
+      Proof extended = proof;
+      ProofNode extra;
+      rng.fill(extra.sibling);
+      extra.sibling_on_left = (rng.next_u64() & 1) != 0;
+      extended.push_back(extra);
+      EXPECT_FALSE(MerkleTree::verify(tree.root(), leaf, extended));
+    }
+  }
+}
+
+TEST(MerklePropertyTest, ProofSerializationRoundTripsAndRejectsMutations) {
+  const std::size_t rounds = property_iters(8);
+  for (std::size_t round = 0; round < rounds; ++round) {
+    Xoshiro256 rng{0x5E41A + round};
+    const std::size_t size = kSizes[rng.next_u64() % std::size(kSizes)];
+    const MerkleTree tree = MerkleTree::build(random_leaves(size, rng));
+    const Proof proof = tree.prove(rng.next_u64() % size);
+    const auto wire = MerkleTree::serialize_proof(proof);
+    const auto back = MerkleTree::deserialize_proof(wire);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, proof);
+    // The format is a bare sequence of 33-byte nodes: a prefix cut at a node
+    // boundary is itself a valid (shorter) proof; any other cut must fail.
+    for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+      const auto prefix = MerkleTree::deserialize_proof(
+          std::span<const std::uint8_t>(wire.data(), cut));
+      if (cut % 33 == 0) {
+        ASSERT_TRUE(prefix.has_value());
+        EXPECT_EQ(prefix->size(), cut / 33);
+      } else {
+        EXPECT_FALSE(prefix.has_value());
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace seccloud::merkle

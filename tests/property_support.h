@@ -1,0 +1,23 @@
+// Shared support for the property-test suites (ctest label `property`).
+//
+// Iteration counts obey the SECCLOUD_PROPERTY_ITERS environment variable so
+// CI can run the same suites under sanitizers with a reduced budget.
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+
+namespace seccloud::testsupport {
+
+/// Returns the suite's iteration count: SECCLOUD_PROPERTY_ITERS if set to a
+/// positive integer, else `default_iters`.
+inline std::size_t property_iters(std::size_t default_iters) {
+  const char* env = std::getenv("SECCLOUD_PROPERTY_ITERS");
+  if (env == nullptr || *env == '\0') return default_iters;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0' || parsed == 0) return default_iters;
+  return static_cast<std::size_t>(parsed);
+}
+
+}  // namespace seccloud::testsupport

@@ -6,6 +6,7 @@
 #include "sim/cloud.h"
 #include "sim/montecarlo.h"
 #include "sim/resale.h"
+#include "util/thread_pool.h"
 
 namespace seccloud::sim {
 namespace {
@@ -253,6 +254,38 @@ TEST(MonteCarlo, PaperSampleSizeDrivesSuccessBelowEpsilon) {
   Xoshiro256 rng{4242};
   const auto stats = run_detection_model(params, 20000, rng);
   EXPECT_EQ(stats.undetected, 0u);
+}
+
+// Seed-reproducibility regression: the seeded Monte-Carlo is a contract —
+// (params, trials, seed) fully determines the counts, for ANY thread count,
+// and the seed genuinely drives the trials.
+TEST(MonteCarlo, SeededModelReproducibleAcrossThreadCountsAndSeedsDiffer) {
+  DetectionParams params;
+  params.cheat = {0.5, 0.5, 2.0, 0.0};
+  params.task_size = 64;
+  params.sample_size = 4;
+  constexpr std::size_t kTrials = 1500;
+  // Trial i draws from Xoshiro256(seed + i), so adjacent base seeds share
+  // almost all their per-trial streams — space the seeds beyond kTrials.
+  const std::uint64_t seeds[] = {91, 700091, 42000091};
+
+  std::vector<std::size_t> undetected;
+  for (const std::uint64_t seed : seeds) {
+    const auto serial = run_detection_model_seeded(params, kTrials, seed, nullptr);
+    ASSERT_EQ(serial.trials, kTrials);
+    for (const std::size_t threads : {1u, 2u, 4u}) {
+      util::ThreadPool pool{threads};
+      const auto parallel = run_detection_model_seeded(params, kTrials, seed, &pool);
+      EXPECT_EQ(parallel.undetected, serial.undetected)
+          << "seed " << seed << ", " << threads << " threads";
+    }
+    // Repeat run, same seed: bit-identical.
+    const auto again = run_detection_model_seeded(params, kTrials, seed, nullptr);
+    EXPECT_EQ(again.undetected, serial.undetected);
+    undetected.push_back(serial.undetected);
+  }
+  // Different seeds must not all collapse to one count.
+  EXPECT_TRUE(undetected[0] != undetected[1] || undetected[1] != undetected[2]);
 }
 
 
