@@ -3,6 +3,7 @@
 // the batch size grows, single-signer and mixed-signer.
 #include <benchmark/benchmark.h>
 
+#include "bench_support.h"
 #include "hash/hash_to.h"
 #include "ibc/dvs.h"
 #include "ibc/keys.h"
@@ -119,8 +120,8 @@ int main(int argc, char** argv) {
   std::printf("=== E3: batch verification ablation (Section VI) ===\n"
               "expected shape: individual grows linearly in batch size; batch stays\n"
               "near-constant (1 pairing) with a small linear point-add term.\n\n");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  seccloud::bench::Bench bench{"ablation_batch_verification"};
+  bench.use_group(pairing::default_group());
+  seccloud::bench::run_gbench(argc, argv);
+  return bench.finish();
 }

@@ -10,7 +10,10 @@
 // launder a cheating server into an inconclusive one.
 #include <cstdio>
 
+#include "bench_support.h"
+#include "ibc/keys.h"
 #include "pairing/group.h"
+#include "seccloud/client.h"
 #include "sim/session_link.h"
 
 using namespace seccloud;
@@ -44,8 +47,10 @@ double per_trial(std::uint64_t total, std::size_t trials) {
 }  // namespace
 
 int main() {
+  seccloud::bench::Bench bench{"ablation_faulty_channel"};
   const PairingGroup& group = pairing::tiny_group();
-  const std::size_t trials = 25;
+  bench.use_group(group);
+  const std::size_t trials = seccloud::bench::scaled(25, 6);
   const std::uint64_t seed = 0xFA171E5ULL;
 
   std::printf("=== E9: faulty-channel audit sessions (computation audit, %zu trials/cell) ===\n\n",
@@ -90,7 +95,10 @@ int main() {
               static_cast<unsigned long long>(tally.dropped),
               static_cast<unsigned long long>(tally.corrupted));
 
-  // Storage audits over the same channel, harsh cell only.
+  // Storage audits over the same channel, harsh cell only. Tracing starts
+  // here so TRACE_ablation_faulty_channel.json holds exactly the storage-audit
+  // sessions, each with its per-attempt retry spans nested underneath.
+  bench.enable_tracing();
   sim::FaultyTrialConfig storage;
   storage.plan = sim::FaultPlan::uniform_loss(0.3);
   storage.policy.max_attempts = 8;
@@ -104,5 +112,36 @@ int main() {
               "corrupting-server detect %.0f%%\n",
               100.0 * per_trial(storage_honest.accepted, trials),
               100.0 * per_trial(storage_cheater.rejected, trials));
-  return 0;
+
+  // One storage-audit session end to end, with its machine-readable report —
+  // the session-layer counterpart of the aggregate table above.
+  {
+    num::Xoshiro256 rng{seed};
+    const ibc::Sio sio{group, rng};
+    const ibc::IdentityKey user_key = sio.extract("user@report");
+    const ibc::IdentityKey server_key = sio.extract("cs@report");
+    const ibc::IdentityKey da_key = sio.extract("da@report");
+    const core::UserClient client{group, sio.params(), user_key, server_key.q_id,
+                                  da_key.q_id};
+    std::vector<core::DataBlock> raw;
+    for (std::uint64_t i = 0; i < 16; ++i) raw.push_back(core::DataBlock::from_value(i, i));
+    sim::SimCloudServer server{group, server_key, "cs-report",
+                               sim::ServerBehavior::honest(), seed};
+    server.handle_store(user_key.id, client.sign_blocks(raw, rng));
+    sim::FaultyAuditLink link{group, server, sim::FaultPlan::uniform_loss(0.3), seed + 9};
+    link.bind_storage(user_key.q_id, user_key.id);
+    core::RetryPolicy policy;
+    policy.max_attempts = 8;
+    core::AuditSession session{group, policy};
+    const core::SessionReport report = session.run_storage_audit(
+        link, user_key.q_id, 16, 8, da_key, core::SignatureCheckMode::kBatch, rng);
+    std::printf("\nsingle storage session report (loss=0.30, budget=8):\n%s\n",
+                report.to_json().c_str());
+    bench.value("single_session_attempts", static_cast<double>(report.attempts));
+  }
+
+  bench.value("trials_per_cell", static_cast<double>(trials));
+  bench.value("storage_honest_accept_rate", per_trial(storage_honest.accepted, trials));
+  bench.value("storage_cheater_detect_rate", per_trial(storage_cheater.rejected, trials));
+  return bench.finish();
 }

@@ -6,6 +6,7 @@
 
 #include <string>
 
+#include "bench_support.h"
 #include "merkle/tree.h"
 
 using namespace seccloud::merkle;
@@ -63,8 +64,8 @@ int main(int argc, char** argv) {
   std::printf("=== E4: Merkle commitment ablation ===\n"
               "expected shape: build O(n); prove/verify O(log n); proof size = 33\n"
               "bytes per tree level (the paper's per-sample sibling set).\n\n");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  seccloud::bench::Bench bench{"ablation_merkle_commitment"};
+  bench.note("pairing_free", "Merkle commitments only — no pairing group involved");
+  seccloud::bench::run_gbench(argc, argv);
+  return bench.finish();
 }

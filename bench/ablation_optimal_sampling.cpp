@@ -7,11 +7,14 @@
 #include <cstdio>
 
 #include "analysis/sampling.h"
+#include "bench_support.h"
 
 using namespace seccloud::analysis;
 
 int main() {
+  seccloud::bench::Bench bench{"ablation_optimal_sampling"};
   std::printf("=== E2: Theorem 3 optimal sampling ===\n\n");
+  std::size_t mismatches = 0;
   std::printf("%10s %10s %10s %8s | %8s %8s | %14s %14s\n", "C_trans", "C_cheat", "C_comp",
               "q", "t* eq18", "t* brute", "C(t*)", "C(t*+5)");
 
@@ -24,6 +27,7 @@ int main() {
         const CostModel model{1, 1, 1, ct, 5.0, cc};
         const std::size_t closed = optimal_sample_size(model, q);
         const std::size_t brute = optimal_sample_size_exhaustive(model, q, 4000);
+        if (closed != brute) ++mismatches;
         std::printf("%10.1f %10.0e %10.1f %8.2f | %8zu %8zu | %14.2f %14.2f %s\n", ct, cc,
                     5.0, q, closed, brute, total_cost(model, q, closed),
                     total_cost(model, q, closed + 5), closed == brute ? "" : "MISMATCH!");
@@ -42,5 +46,8 @@ int main() {
     std::printf("%10.1f", total_cost(model, 0.75, t));
   }
   std::printf("\n  (minimum at t* = %zu)\n", t_star);
-  return 0;
+  bench.value("t_star_reference", static_cast<double>(t_star));
+  bench.value("closed_vs_brute_mismatches", static_cast<double>(mismatches));
+  bench.note("pairing_free", "closed-form Theorem 3 sweep only");
+  return bench.finish();
 }

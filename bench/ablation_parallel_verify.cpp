@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_support.h"
 #include "hash/hash_to.h"
 #include "ibc/dvs.h"
 #include "ibc/keys.h"
@@ -151,7 +152,8 @@ bool matches(const RunResult& a, const RunResult& b) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::size_t n = 1024;
+  seccloud::bench::Bench bench{"ablation_parallel_verify"};
+  std::size_t n = seccloud::bench::scaled(1024, 32);
   if (argc > 1) n = static_cast<std::size_t>(std::strtoull(argv[1], nullptr, 10));
   const unsigned hw = std::thread::hardware_concurrency();
 
@@ -160,12 +162,16 @@ int main(int argc, char** argv) {
               n, hw);
   std::fprintf(stderr, "setting up %zu signatures...\n", n);
   const Fixture fixture{n};
+  bench.use_group(fixture.g);
+  bench.value("signatures", static_cast<double>(n));
 
   const RunResult serial = run_serial(fixture);
   if (!serial.batch_verdict) {
     std::printf("FAIL: serial batch verification rejected a valid batch\n");
     return 1;
   }
+  bench.value("serial_batch_ms", serial.batch_ms);
+  bench.value("serial_individual_ms", serial.individual_ms);
 
   std::printf("%8s %12s %14s %14s %14s\n", "threads", "batch (ms)", "individual(ms)",
               "batch spdup", "indiv spdup");
@@ -184,6 +190,9 @@ int main(int argc, char** argv) {
     std::printf("%8zu %12.2f %14.2f %13.2fx %13.2fx\n", t, par.batch_ms,
                 par.individual_ms, serial.batch_ms / par.batch_ms,
                 serial.individual_ms / par.individual_ms);
+    const std::string prefix = "threads" + std::to_string(t);
+    bench.value(prefix + "_batch_ms", par.batch_ms);
+    bench.value(prefix + "_individual_ms", par.individual_ms);
   }
 
   std::printf("\nall thread counts reproduced the serial verdicts, serialized\n"
@@ -191,5 +200,6 @@ int main(int argc, char** argv) {
   if (hw < 2) {
     std::printf("note: single hardware thread — speedups cannot exceed ~1.0x here.\n");
   }
-  return 0;
+  bench.note("bit_identity", "all thread counts matched the serial reference");
+  return bench.finish();
 }

@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "baselines/cbs.h"
+#include "bench_support.h"
 #include "seccloud/system.h"
 
 using namespace seccloud;
@@ -27,6 +28,7 @@ std::uint64_t grid_function(std::uint64_t x) { return x * x * 31 + x * 7 + 1; }
 }  // namespace
 
 int main() {
+  seccloud::bench::Bench bench{"ablation_predecessor_cbs"};
   std::printf("=== E7: SecCloud vs CBS (the cost of privacy) ===\n\n");
   constexpr std::uint64_t kDomain = 64;
 
@@ -43,6 +45,7 @@ int main() {
 
   // --- SecCloud: DV signatures + Merkle + sampling (tiny group) ------------
   const auto& g = pairing::tiny_group();
+  bench.use_group(g);
   core::SecCloudSystem sys{g, 909};
   auto user = sys.register_user("grid-user");
   std::vector<core::DataBlock> blocks;
@@ -89,5 +92,9 @@ int main() {
   std::printf("\nthe sampling math (Fig. 4 / Eq. 10) is shared: both schemes need the\n"
               "same t for the same detection level; SecCloud's extra pairings buy\n"
               "designated verification (privacy) and signed position binding.\n");
-  return cbs_report.accepted && report.accepted ? 0 : 1;
+  bench.value("cbs_audit_ms", cbs_audit_ms);
+  bench.value("seccloud_audit_ms", seccloud_audit_ms);
+  bench.value("seccloud_audit_pairings", static_cast<double>(ops.pairings));
+  if (!cbs_report.accepted || !report.accepted) return 1;
+  return bench.finish();
 }

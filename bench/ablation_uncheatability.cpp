@@ -5,12 +5,15 @@
 // model-level simulator, plus a crypto-backed spot check on the tiny group.
 #include <cstdio>
 
+#include "bench_support.h"
 #include "sim/cloud.h"
 #include "sim/montecarlo.h"
 
 using namespace seccloud;
 
 int main() {
+  seccloud::bench::Bench bench{"ablation_uncheatability"};
+  const std::size_t mc_trials = seccloud::bench::scaled(30000, 2000);
   std::printf("=== E1: uncheatability — closed form vs simulation ===\n\n");
   std::printf("%6s %6s %8s %4s | %12s %12s %12s\n", "CSC", "SSC", "R", "t", "Eq.14 bound",
               "joint exact", "monte-carlo");
@@ -26,7 +29,7 @@ int main() {
       params.cheat = {profile[0], profile[1], profile[2], 0.0};
       params.task_size = 300;
       params.sample_size = t;
-      const auto stats = sim::run_detection_model(params, 30000, rng);
+      const auto stats = sim::run_detection_model(params, mc_trials, rng);
       std::printf("%6.2f %6.2f %8.0g %4zu | %12.3e %12.3e %12.3e\n", profile[0], profile[1],
                   profile[2], t, analysis::pr_cheating_success(params.cheat, t),
                   analysis::pr_cheating_success_joint(params.cheat, t),
@@ -37,6 +40,7 @@ int main() {
   // Crypto-backed spot check: a CSC = 0.5 / R = 2 cheater audited end-to-end
   // with real signatures and Merkle commitments on the tiny group.
   std::printf("\ncrypto-backed spot check (tiny group, CSC=0.5, R=2, t=8):\n");
+  bench.use_group(pairing::tiny_group());
   sim::CloudSim cloud{pairing::tiny_group(), sim::CloudConfig{1, 1, 99}};
   const std::size_t user = cloud.register_user("mc@example.com");
   std::vector<core::DataBlock> blocks;
@@ -55,7 +59,7 @@ int main() {
     task.requests.push_back(std::move(req));
   }
   int undetected = 0;
-  const int rounds = 150;
+  const int rounds = static_cast<int>(seccloud::bench::scaled(150, 20));
   for (int round = 0; round < rounds; ++round) {
     const auto distributed = cloud.submit_task(user, task);
     const auto report = cloud.audit_task(user, distributed, 8, core::SignatureCheckMode::kBatch);
@@ -65,5 +69,9 @@ int main() {
   std::printf("  empirical survival: %d/%d = %.3f | closed form: %.3f\n", undetected, rounds,
               static_cast<double>(undetected) / rounds,
               analysis::pr_cheating_success(model, 8));
-  return 0;
+  bench.value("mc_trials_per_cell", static_cast<double>(mc_trials));
+  bench.value("spot_check_rounds", static_cast<double>(rounds));
+  bench.value("spot_check_empirical_survival", static_cast<double>(undetected) / rounds);
+  bench.value("spot_check_closed_form", analysis::pr_cheating_success(model, 8));
+  return bench.finish();
 }

@@ -4,6 +4,7 @@
 // the task size n grow, plus the compressed-point saving.
 #include <cstdio>
 
+#include "bench_support.h"
 #include "ibc/keys.h"
 #include "seccloud/auditor.h"
 #include "seccloud/client.h"
@@ -14,7 +15,9 @@
 using namespace seccloud;
 
 int main() {
+  seccloud::bench::Bench bench{"ablation_wire_overhead"};
   const auto& g = pairing::tiny_group();
+  bench.use_group(g);
   num::Xoshiro256 rng{606};
   const ibc::Sio sio{g, rng};
   const auto user_key = sio.extract("user");
@@ -29,9 +32,11 @@ int main() {
 
   // --- per-element sizes ---------------------------------------------------
   const auto one_block = client.sign_block(core::DataBlock::from_value(0, 42), rng);
+  const std::size_t signed_block_bytes = core::encode_signed_block(g, one_block).size();
+  bench.value("signed_block_bytes", static_cast<double>(signed_block_bytes));
+  bench.value("field_bytes", static_cast<double>(field_bytes));
   std::printf("signed block (8B payload): %zu bytes (point %zu + 2 GT %zu + framing)\n",
-              core::encode_signed_block(g, one_block).size(), 1 + 2 * field_bytes,
-              2 * field_bytes);
+              signed_block_bytes, 1 + 2 * field_bytes, 2 * field_bytes);
   std::printf("compressed point would save %zu bytes/signature\n\n", field_bytes);
 
   // --- response size vs sample size t ------------------------------------
@@ -81,5 +86,5 @@ int main() {
   std::printf("\nshape: response bytes grow linearly in t (dominated by the sampled\n"
               "input blocks + signatures); the Merkle share grows only as log n —\n"
               "this is why the paper samples instead of shipping whole results.\n");
-  return 0;
+  return bench.finish();
 }

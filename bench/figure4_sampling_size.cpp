@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "analysis/sampling.h"
+#include "bench_support.h"
 
 using namespace seccloud::analysis;
 
@@ -43,6 +44,7 @@ void print_surface(double range, const char* label) {
 }  // namespace
 
 int main() {
+  seccloud::bench::Bench bench{"figure4_sampling_size"};
   std::printf("=== Figure 4: required sample size for uncheatable cloud computing ===\n");
   std::printf("    (inf = undetectable cheat, no finite t; >cap = exceeds the t_max cap)\n\n");
   print_surface(2.0, "R = 2 (guessable range)");
@@ -51,9 +53,12 @@ int main() {
   // The two anchors the paper calls out explicitly.
   const CheatModel anchor_r2{0.5, 0.5, 2.0, 0.0};
   const CheatModel anchor_inf{0.5, 0.5, infinite_range(), 0.0};
-  std::printf("paper anchor CSC=SSC=0.5, R=2      : paper t = 33, ours t = %zu\n",
-              *min_sample_size(anchor_r2, 1e-4));
-  std::printf("paper anchor CSC=SSC=0.5, R->inf   : paper t = 15, ours t = %zu\n",
-              *min_sample_size(anchor_inf, 1e-4));
-  return 0;
+  const std::size_t t_r2 = *min_sample_size(anchor_r2, 1e-4);
+  const std::size_t t_inf = *min_sample_size(anchor_inf, 1e-4);
+  std::printf("paper anchor CSC=SSC=0.5, R=2      : paper t = 33, ours t = %zu\n", t_r2);
+  std::printf("paper anchor CSC=SSC=0.5, R->inf   : paper t = 15, ours t = %zu\n", t_inf);
+  bench.value("anchor_r2_t", static_cast<double>(t_r2));
+  bench.value("anchor_inf_t", static_cast<double>(t_inf));
+  bench.note("pairing_free", "closed-form sampling analysis only");
+  return bench.finish();
 }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "baselines/wang_auditing.h"
+#include "bench_support.h"
 #include "hash/hash_to.h"
 #include "ibc/dvs.h"
 #include "ibc/keys.h"
@@ -28,12 +29,13 @@ double ms_since(std::chrono::steady_clock::time_point start) {
 }  // namespace
 
 int main() {
+  seccloud::bench::Bench bench{"figure5_verification_cost"};
   const auto& g = pairing::default_group();
   num::Xoshiro256 rng{20100611};
   const ibc::Sio sio{g, rng};
   const ibc::IdentityKey csp = sio.extract("csp");
 
-  constexpr std::size_t kMaxUsers = 50;
+  const std::size_t kMaxUsers = seccloud::bench::scaled(50, 4);
   constexpr std::size_t kBlocksPerWangFile = 4;
   constexpr std::size_t kWangSamples = 2;
 
@@ -71,6 +73,8 @@ int main() {
   }
 
   const pairing::ParallelPairingEngine engine{g};
+  bench.use_engine(engine);
+  bench.value("max_users", static_cast<double>(kMaxUsers));
 
   std::printf("=== Figure 5: verification cost vs number of cloud users ===\n");
   std::printf("(ours = designated-verifier batch, Eq. 8/9, final pairing only;\n"
@@ -132,5 +136,6 @@ int main() {
 
   std::printf("\nshape check (paper): ours stays ~constant in the number of users;\n"
               "the comparison schemes grow linearly (2 pairings per user).\n");
-  return 0;
+  bench.note("shape", "ours ~constant pairings vs users; Wang-style 2 pairings/user");
+  return bench.finish();
 }

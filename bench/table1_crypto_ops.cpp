@@ -10,6 +10,7 @@
 
 #include "baselines/ecdsa.h"
 #include "baselines/rsa.h"
+#include "bench_support.h"
 #include "hash/sha256.h"
 #include "pairing/group.h"
 
@@ -123,8 +124,9 @@ int main(int argc, char** argv) {
   std::printf("=== Table I: cryptographic operation execution time ===\n");
   std::printf("paper reference (MIRACL, Core 2 Duo E6550): T_mult = 0.86 ms, "
               "T_pair = 4.14 ms\n\n");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  seccloud::bench::Bench bench{"table1_crypto_ops"};
+  bench.use_group(group());
+  bench.note("paper_reference", "T_mult=0.86ms T_pair=4.14ms (MIRACL, Core 2 Duo E6550)");
+  seccloud::bench::run_gbench(argc, argv);
+  return bench.finish();
 }

@@ -17,6 +17,7 @@
 #include "baselines/bgls.h"
 #include "baselines/ecdsa.h"
 #include "baselines/rsa.h"
+#include "bench_support.h"
 #include "hash/hash_to.h"
 #include "ibc/dvs.h"
 #include "ibc/keys.h"
@@ -33,9 +34,12 @@ double ms_since(std::chrono::steady_clock::time_point start) {
 }  // namespace
 
 int main() {
-  constexpr std::size_t kBatch = 20;  // τ
+  seccloud::bench::Bench bench{"table2_signature_comparison"};
+  const std::size_t kBatch = seccloud::bench::scaled(20, 4);  // τ
   num::Xoshiro256 rng{555};
   const auto& g = pairing::default_group();
+  bench.use_group(g);
+  bench.value("batch_size_tau", static_cast<double>(kBatch));
 
   std::printf("=== Table II: signature schemes over a batch of tau = %zu ===\n\n", kBatch);
   std::printf("%-10s %18s %18s %16s %16s\n", "scheme", "individual (ms)", "batch (ms)",
@@ -139,11 +143,13 @@ int main() {
     std::printf("%-10s %18.2f %18.2f %16llu %16llu %s\n", "SecCloud", individual_ms,
                 batch_ms, static_cast<unsigned long long>(individual_pairings),
                 static_cast<unsigned long long>(batch_pairings), ok ? "" : "(VERIFY FAILED)");
+    bench.value("seccloud_individual_pairings", static_cast<double>(individual_pairings));
+    bench.value("seccloud_batch_pairings", static_cast<double>(batch_pairings));
   }
 
   std::printf("\npaper's count model: RSA tau*T_RSA | ECDSA tau*T_ECDSA | "
               "BGLS 2tau -> tau+1 pairings | ours 2tau -> 2 pairings.\n"
               "(our verifier-side DV check is 1 pairing/signature, so the measured\n"
               " individual column shows tau pairings; the batch column stays O(1).)\n");
-  return 0;
+  return bench.finish();
 }

@@ -1,0 +1,430 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace seccloud::obs {
+
+// --- JsonWriter ------------------------------------------------------------
+
+void JsonWriter::comma() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // the key already emitted the separator
+  }
+  if (!first_.empty()) {
+    if (!first_.back()) out_.push_back(',');
+    first_.back() = false;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma();
+  out_.push_back('{');
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  out_.push_back('}');
+  first_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma();
+  out_.push_back('[');
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  out_.push_back(']');
+  first_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  comma();
+  out_.push_back('"');
+  out_ += json_escape(k);
+  out_ += "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  comma();
+  out_.push_back('"');
+  out_ += json_escape(v);
+  out_.push_back('"');
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  comma();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  comma();
+  if (!std::isfinite(v)) {
+    out_ += "0";  // JSON has no inf/NaN; metrics never produce them
+    return *this;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  comma();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  comma();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(std::string_view json) {
+  comma();
+  out_ += json;
+  return *this;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+// --- parser ----------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> run() {
+    auto v = parse_value();
+    if (!v) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<std::string> parse_string() {
+    if (!consume('"')) return std::nullopt;
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return std::nullopt;
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return std::nullopt;
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return std::nullopt;
+            }
+            // Our writers only emit \u00XX control escapes; decode those and
+            // pass anything wider through as '?' (never produced by us).
+            out.push_back(code < 0x80 ? static_cast<char>(code) : '?');
+            break;
+          }
+          default: return std::nullopt;
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<JsonValue> parse_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return std::nullopt;
+    const char c = text_[pos_];
+    JsonValue v;
+    if (c == '{') {
+      ++pos_;
+      v.type = JsonValue::Type::kObject;
+      skip_ws();
+      if (consume('}')) return v;
+      while (true) {
+        skip_ws();
+        auto k = parse_string();
+        if (!k || !consume(':')) return std::nullopt;
+        auto member = parse_value();
+        if (!member) return std::nullopt;
+        v.object.emplace(std::move(*k), std::move(*member));
+        if (consume(',')) continue;
+        if (consume('}')) return v;
+        return std::nullopt;
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      v.type = JsonValue::Type::kArray;
+      skip_ws();
+      if (consume(']')) return v;
+      while (true) {
+        auto element = parse_value();
+        if (!element) return std::nullopt;
+        v.array.push_back(std::move(*element));
+        if (consume(',')) continue;
+        if (consume(']')) return v;
+        return std::nullopt;
+      }
+    }
+    if (c == '"') {
+      auto s = parse_string();
+      if (!s) return std::nullopt;
+      v.type = JsonValue::Type::kString;
+      v.string = std::move(*s);
+      return v;
+    }
+    if (literal("true")) {
+      v.type = JsonValue::Type::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (literal("false")) {
+      v.type = JsonValue::Type::kBool;
+      v.boolean = false;
+      return v;
+    }
+    if (literal("null")) return v;
+    // number
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '-' ||
+            text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return std::nullopt;
+    const std::string num(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double parsed = std::strtod(num.c_str(), &end);
+    if (end != num.c_str() + num.size()) return std::nullopt;
+    v.type = JsonValue::Type::kNumber;
+    v.number = parsed;
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::find(std::string_view k) const {
+  if (type != Type::kObject) return nullptr;
+  const auto it = object.find(std::string(k));
+  return it == object.end() ? nullptr : &it->second;
+}
+
+std::optional<JsonValue> json_parse(std::string_view text) {
+  return Parser{text}.run();
+}
+
+// --- metrics codec ---------------------------------------------------------
+
+std::string metrics_to_json(const MetricsSnapshot& snapshot) {
+  JsonWriter w;
+  w.begin_object();
+
+  w.key("counters").begin_object();
+  for (const auto& [name, value] : snapshot.counters) w.key(name).value(value);
+  w.end_object();
+
+  w.key("gauges").begin_object();
+  for (const auto& [name, gauge] : snapshot.gauges) {
+    w.key(name).begin_object();
+    w.key("value").value(gauge.value);
+    w.key("max").value(gauge.max);
+    w.end_object();
+  }
+  w.end_object();
+
+  w.key("histograms").begin_object();
+  for (const auto& [name, hist] : snapshot.histograms) {
+    w.key(name).begin_object();
+    w.key("count").value(hist.count);
+    w.key("sum").value(hist.sum);
+    w.key("min").value(hist.min);
+    w.key("max").value(hist.max);
+    w.key("p50").value(hist.percentile(0.50));
+    w.key("p95").value(hist.percentile(0.95));
+    w.key("p99").value(hist.percentile(0.99));
+    w.key("edges").begin_array();
+    for (const double e : hist.edges) w.value(e);
+    w.end_array();
+    w.key("counts").begin_array();
+    for (const std::uint64_t c : hist.counts) w.value(c);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+
+  w.end_object();
+  return std::move(w).str();
+}
+
+std::optional<MetricsSnapshot> metrics_from_json(std::string_view json) {
+  const auto root = json_parse(json);
+  if (!root || !root->is_object()) return std::nullopt;
+  MetricsSnapshot snap;
+
+  if (const JsonValue* counters = root->find("counters")) {
+    if (!counters->is_object()) return std::nullopt;
+    for (const auto& [name, v] : counters->object) {
+      if (!v.is_number()) return std::nullopt;
+      snap.counters[name] = static_cast<std::uint64_t>(v.number);
+    }
+  }
+  if (const JsonValue* gauges = root->find("gauges")) {
+    if (!gauges->is_object()) return std::nullopt;
+    for (const auto& [name, v] : gauges->object) {
+      const JsonValue* value = v.find("value");
+      const JsonValue* max = v.find("max");
+      if (value == nullptr || max == nullptr) return std::nullopt;
+      snap.gauges[name] = GaugeValue{static_cast<std::int64_t>(value->number),
+                                     static_cast<std::int64_t>(max->number)};
+    }
+  }
+  if (const JsonValue* histograms = root->find("histograms")) {
+    if (!histograms->is_object()) return std::nullopt;
+    for (const auto& [name, v] : histograms->object) {
+      HistogramSnapshot hist;
+      const JsonValue* count = v.find("count");
+      const JsonValue* sum = v.find("sum");
+      const JsonValue* min = v.find("min");
+      const JsonValue* max = v.find("max");
+      const JsonValue* edges = v.find("edges");
+      const JsonValue* counts = v.find("counts");
+      if (count == nullptr || sum == nullptr || min == nullptr || max == nullptr ||
+          edges == nullptr || !edges->is_array() || counts == nullptr ||
+          !counts->is_array()) {
+        return std::nullopt;
+      }
+      hist.count = static_cast<std::uint64_t>(count->number);
+      hist.sum = sum->number;
+      hist.min = min->number;
+      hist.max = max->number;
+      for (const JsonValue& e : edges->array) hist.edges.push_back(e.number);
+      for (const JsonValue& c : counts->array) {
+        hist.counts.push_back(static_cast<std::uint64_t>(c.number));
+      }
+      if (hist.counts.size() != hist.edges.size() + 1) return std::nullopt;
+      snap.histograms[name] = std::move(hist);
+    }
+  }
+  return snap;
+}
+
+std::string summary_line(const MetricsSnapshot& snapshot) {
+  auto sum_suffix = [&snapshot](std::string_view suffix) {
+    std::uint64_t total = 0;
+    for (const auto& [name, value] : snapshot.counters) {
+      if (name.size() >= suffix.size() &&
+          std::string_view(name).substr(name.size() - suffix.size()) == suffix) {
+        total += value;
+      }
+    }
+    return total;
+  };
+
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "pairings=%llu point_muls=%llu hash_to_points=%llu",
+                static_cast<unsigned long long>(sum_suffix(".pairings")),
+                static_cast<unsigned long long>(sum_suffix(".point_muls")),
+                static_cast<unsigned long long>(sum_suffix(".hash_to_points")));
+  std::string out = buf;
+
+  // The three busiest histograms, by observation count.
+  std::vector<std::pair<std::string, const HistogramSnapshot*>> busiest;
+  for (const auto& [name, hist] : snapshot.histograms) {
+    if (hist.count > 0) busiest.emplace_back(name, &hist);
+  }
+  std::sort(busiest.begin(), busiest.end(),
+            [](const auto& a, const auto& b) { return a.second->count > b.second->count; });
+  if (busiest.size() > 3) busiest.resize(3);
+  for (const auto& [name, hist] : busiest) {
+    std::snprintf(buf, sizeof buf, " | %s n=%llu p50=%.3g p95=%.3g p99=%.3g", name.c_str(),
+                  static_cast<unsigned long long>(hist->count), hist->percentile(0.50),
+                  hist->percentile(0.95), hist->percentile(0.99));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace seccloud::obs

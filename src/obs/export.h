@@ -1,0 +1,91 @@
+// Machine-readable exporters for the observability layer:
+//   * JsonWriter — a tiny streaming JSON builder (automatic commas,
+//     escaping, round-trip-exact doubles) shared by the metrics exporter,
+//     the Chrome trace exporter, SessionReport::to_json, and bench_support;
+//   * JsonValue — a minimal recursive-descent JSON reader, enough to parse
+//     everything the writers emit (snapshot round-trip tests, BENCH_*.json
+//     diff tooling);
+//   * metrics_to_json / metrics_from_json — the lossless snapshot codec
+//     (histograms carry p50/p95/p99 as derived, ignored-on-parse fields);
+//   * summary_line — the one-line human digest the benches print.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace seccloud::obs {
+
+// --- writing ---------------------------------------------------------------
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  JsonWriter& key(std::string_view k);
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view{v}); }
+  JsonWriter& value(bool v);
+  JsonWriter& value(double v);  ///< %.17g — parses back to the same bits
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  /// Splices pre-serialized JSON (e.g. an already-exported snapshot).
+  JsonWriter& raw(std::string_view json);
+
+  std::string str() && { return std::move(out_); }
+  const std::string& view() const& { return out_; }
+
+ private:
+  void comma();
+
+  std::string out_;
+  std::vector<bool> first_;  ///< per nesting level: no element emitted yet
+  bool pending_key_ = false;
+};
+
+std::string json_escape(std::string_view s);
+
+// --- reading ---------------------------------------------------------------
+
+/// A parsed JSON value. Numbers are doubles (every number we emit is
+/// exactly representable or written with %.17g).
+struct JsonValue {
+  enum class Type : std::uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_object() const noexcept { return type == Type::kObject; }
+  bool is_array() const noexcept { return type == Type::kArray; }
+  bool is_number() const noexcept { return type == Type::kNumber; }
+  bool is_string() const noexcept { return type == Type::kString; }
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view k) const;
+};
+
+/// Total parser: returns nullopt on any syntax error or trailing garbage.
+std::optional<JsonValue> json_parse(std::string_view text);
+
+// --- metrics codec ---------------------------------------------------------
+
+std::string metrics_to_json(const MetricsSnapshot& snapshot);
+std::optional<MetricsSnapshot> metrics_from_json(std::string_view json);
+
+/// One-line digest: counter/histogram totals plus p50/p95/p99 of the
+/// busiest histograms — what the benches print next to the JSON path.
+std::string summary_line(const MetricsSnapshot& snapshot);
+
+}  // namespace seccloud::obs

@@ -1,0 +1,236 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace seccloud::obs {
+
+namespace detail {
+
+std::size_t thread_slot() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot = next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+}  // namespace detail
+
+// --- Counter ---------------------------------------------------------------
+
+std::uint64_t Counter::value() const noexcept {
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) total += shard.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Counter::reset() noexcept {
+  for (Shard& shard : shards_) shard.v.store(0, std::memory_order_relaxed);
+}
+
+// --- Gauge -----------------------------------------------------------------
+
+void Gauge::bump_max(std::int64_t v) noexcept {
+  std::int64_t seen = max_.load(std::memory_order_relaxed);
+  while (v > seen &&
+         !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+}
+
+void Gauge::set(std::int64_t v) noexcept {
+  v_.store(v, std::memory_order_relaxed);
+  bump_max(v);
+}
+
+void Gauge::add(std::int64_t delta) noexcept {
+  const std::int64_t now = v_.fetch_add(delta, std::memory_order_relaxed) + delta;
+  bump_max(now);
+}
+
+void Gauge::reset() noexcept {
+  v_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+// --- Histogram -------------------------------------------------------------
+
+namespace {
+
+/// fetch_add for atomic<double> without requiring the C++20 library feature
+/// (CAS loop; contention on a histogram's sum is rare and short).
+void atomic_add(std::atomic<double>& a, double delta) noexcept {
+  double seen = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(seen, seen + delta, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& a, double v) noexcept {
+  double seen = a.load(std::memory_order_relaxed);
+  while (v < seen &&
+         !a.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& a, double v) noexcept {
+  double seen = a.load(std::memory_order_relaxed);
+  while (v > seen &&
+         !a.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> edges) : edges_(std::move(edges)) {
+  if (edges_.empty()) throw std::invalid_argument("Histogram: no bucket edges");
+  if (!std::is_sorted(edges_.begin(), edges_.end()) ||
+      std::adjacent_find(edges_.begin(), edges_.end()) != edges_.end()) {
+    throw std::invalid_argument("Histogram: edges must be strictly ascending");
+  }
+  counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(edges_.size() + 1);
+}
+
+void Histogram::observe(double x) noexcept {
+  const auto it = std::lower_bound(edges_.begin(), edges_.end(), x);
+  const auto bucket = static_cast<std::size_t>(it - edges_.begin());
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  // First observation seeds min/max (count_ goes 0 → 1 exactly once; a
+  // racing second observer may briefly see min 0.0, folded out by the
+  // explicit min/max below because the seed is an observed value too).
+  if (count_.fetch_add(1, std::memory_order_relaxed) == 0) {
+    min_.store(x, std::memory_order_relaxed);
+    max_.store(x, std::memory_order_relaxed);
+  }
+  atomic_add(sum_, x);
+  atomic_min(min_, x);
+  atomic_max(max_, x);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.edges = edges_;
+  snap.counts.resize(edges_.size() + 1);
+  for (std::size_t i = 0; i <= edges_.size(); ++i) {
+    snap.counts[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.min = min_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void Histogram::reset() noexcept {
+  for (std::size_t i = 0; i <= edges_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+double HistogramSnapshot::percentile(double q) const noexcept {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const auto before = static_cast<double>(cumulative);
+    cumulative += counts[i];
+    if (rank <= static_cast<double>(cumulative)) {
+      // Interpolate inside bucket i, clamped to the observed extremes so
+      // the open-ended first/overflow buckets report finite values.
+      double lo = i == 0 ? min : edges[i - 1];
+      double hi = i == edges.size() ? max : edges[i];
+      lo = std::max(lo, min);
+      hi = std::min(hi, max);
+      if (hi < lo) hi = lo;
+      const double frac = (rank - before) / static_cast<double>(counts[i]);
+      return lo + frac * (hi - lo);
+    }
+  }
+  return max;
+}
+
+// --- MetricsRegistry -------------------------------------------------------
+
+std::span<const double> default_latency_edges_ms() noexcept {
+  static const double edges[] = {0.001, 0.0025, 0.005, 0.01,  0.025, 0.05,
+                                 0.1,   0.25,   0.5,   1.0,   2.5,   5.0,
+                                 10.0,  25.0,   50.0,  100.0, 250.0, 500.0,
+                                 1000.0, 2500.0, 5000.0, 10000.0};
+  return edges;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(m_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(m_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  return histogram(name, default_latency_edges_ms());
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::span<const double> edges) {
+  std::lock_guard<std::mutex> lock(m_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(
+                          std::vector<double>(edges.begin(), edges.end())))
+             .first;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::register_collector(std::string name, Collector fn) {
+  std::lock_guard<std::mutex> lock(m_);
+  collectors_[std::move(name)] = std::move(fn);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  std::vector<Collector> collectors;
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    for (const auto& [name, counter] : counters_) snap.counters[name] = counter->value();
+    for (const auto& [name, gauge] : gauges_) {
+      snap.gauges[name] = GaugeValue{gauge->value(), gauge->max()};
+    }
+    for (const auto& [name, hist] : histograms_) snap.histograms[name] = hist->snapshot();
+    collectors.reserve(collectors_.size());
+    for (const auto& [name, fn] : collectors_) collectors.push_back(fn);
+  }
+  // Outside the lock: collectors may do their own synchronization.
+  for (const Collector& fn : collectors) fn(snap);
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(m_);
+  for (const auto& [name, counter] : counters_) counter->reset();
+  for (const auto& [name, gauge] : gauges_) gauge->reset();
+  for (const auto& [name, hist] : histograms_) hist->reset();
+}
+
+MetricsRegistry& default_registry() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace seccloud::obs

@@ -1,0 +1,193 @@
+// The metrics substrate every layer reports through: monotonic counters,
+// gauges, and fixed-bucket latency histograms, all name-keyed on a
+// thread-safe registry.
+//
+// Hot-path cost is the design constraint: a Counter::inc is one relaxed
+// fetch_add on a cache-line-padded per-thread shard (no false sharing
+// between workers), a Histogram::observe is one binary search over the
+// bucket edges plus a handful of relaxed atomics, and a Gauge::set is one
+// store plus a max-tracking CAS. Handles returned by the registry stay
+// valid for its whole lifetime (metrics are never removed), so call sites
+// look a name up once and keep the reference.
+//
+// Aggregation happens only at snapshot() time: shards are summed, bucket
+// counts are copied, and registered collectors (e.g. the pairing group's
+// lifetime op counters) contribute lazily — idle instrumentation costs
+// nothing on the paths the Figure 5 / Table II benches measure.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace seccloud::obs {
+
+namespace detail {
+
+/// Small dense id for the calling thread, assigned on first use; shard
+/// selection and trace thread ids both key off it.
+std::size_t thread_slot() noexcept;
+
+}  // namespace detail
+
+/// Monotonic counter, sharded across cache lines so concurrent workers
+/// never contend on one atomic.
+class Counter {
+ public:
+  static constexpr std::size_t kShards = 16;
+
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void inc(std::uint64_t n = 1) noexcept {
+    shards_[detail::thread_slot() & (kShards - 1)].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  /// Sum over shards; exact once writers are quiescent.
+  std::uint64_t value() const noexcept;
+  void reset() noexcept;
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Shard, kShards> shards_{};
+};
+
+/// Point-in-time value with a high-water mark (e.g. queue depth).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void set(std::int64_t v) noexcept;
+  void add(std::int64_t delta) noexcept;
+  std::int64_t value() const noexcept { return v_.load(std::memory_order_relaxed); }
+  std::int64_t max() const noexcept { return max_.load(std::memory_order_relaxed); }
+  void reset() noexcept;
+
+ private:
+  void bump_max(std::int64_t v) noexcept;
+
+  std::atomic<std::int64_t> v_{0};
+  std::atomic<std::int64_t> max_{0};
+};
+
+/// Aggregated view of one gauge.
+struct GaugeValue {
+  std::int64_t value = 0;
+  std::int64_t max = 0;
+
+  bool operator==(const GaugeValue&) const = default;
+};
+
+/// Aggregated view of one histogram: bucket i counts observations in
+/// (edges[i-1], edges[i]] (bucket 0 is (-inf, edges[0]], the last bucket is
+/// the overflow (edges.back(), +inf)).
+struct HistogramSnapshot {
+  std::vector<double> edges;
+  std::vector<std::uint64_t> counts;  ///< edges.size() + 1 buckets
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  double mean() const noexcept {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+  /// Quantile q in [0, 1] by linear interpolation inside the owning bucket,
+  /// clamped to the observed [min, max] so the overflow bucket stays finite.
+  double percentile(double q) const noexcept;
+
+  bool operator==(const HistogramSnapshot&) const = default;
+};
+
+/// Fixed-bucket histogram. Bucket edges are immutable after construction;
+/// observe() is wait-free apart from the relaxed atomics.
+class Histogram {
+ public:
+  /// `edges` must be strictly ascending and non-empty.
+  explicit Histogram(std::vector<double> edges);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void observe(double x) noexcept;
+  std::uint64_t count() const noexcept { return count_.load(std::memory_order_relaxed); }
+  const std::vector<double>& edges() const noexcept { return edges_; }
+  HistogramSnapshot snapshot() const;
+  void reset() noexcept;
+
+ private:
+  std::vector<double> edges_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;  ///< edges_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Everything the registry knows at one instant. Maps are ordered so the
+/// JSON export (obs/export.h) is byte-stable for diffing across runs.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, GaugeValue> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  bool operator==(const MetricsSnapshot&) const = default;
+};
+
+/// Default latency bucket edges (milliseconds): log-ish 1 µs .. 10 s.
+std::span<const double> default_latency_edges_ms() noexcept;
+
+/// Thread-safe, name-keyed home for all metrics. Lookup takes a mutex;
+/// returned references are stable for the registry's lifetime, so hot paths
+/// resolve once and increment through the handle.
+class MetricsRegistry {
+ public:
+  /// Collector: contributes derived values at snapshot time (zero cost in
+  /// between). Must not call back into the registry.
+  using Collector = std::function<void(MetricsSnapshot&)>;
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// Returns the existing histogram if `name` is already registered (the
+  /// edges argument is then ignored). Default edges: latency in ms.
+  Histogram& histogram(std::string_view name);
+  Histogram& histogram(std::string_view name, std::span<const double> edges);
+
+  /// Registers (or replaces — registration is idempotent per name) a named
+  /// collector sampled on every snapshot().
+  void register_collector(std::string name, Collector fn);
+
+  MetricsSnapshot snapshot() const;
+  /// Zeroes every owned counter/gauge/histogram. Collectors are untouched —
+  /// they report cumulative values owned elsewhere.
+  void reset();
+
+ private:
+  mutable std::mutex m_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, Collector, std::less<>> collectors_;
+};
+
+/// Process-wide registry the built-in instrumentation (sessions, channel
+/// tallies, Monte-Carlo harnesses, bench support) reports into.
+MetricsRegistry& default_registry();
+
+}  // namespace seccloud::obs

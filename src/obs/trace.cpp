@@ -1,0 +1,200 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+namespace seccloud::obs {
+
+namespace {
+
+/// Per-thread span nesting depth. Global (not per-tracer): one tracer is
+/// active at a time and spans are begun/ended on the same thread.
+thread_local std::uint32_t t_depth = 0;
+
+std::uint32_t this_thread_id() noexcept {
+  return static_cast<std::uint32_t>(detail::thread_slot());
+}
+
+std::atomic<Tracer*> g_current{nullptr};
+
+}  // namespace
+
+// --- Span ------------------------------------------------------------------
+
+Span::Span(Tracer* tracer, std::string name)
+    : tracer_(tracer), name_(std::move(name)) {
+  begin_ = tracer_->now_us();
+  depth_ = t_depth++;
+}
+
+Span::Span(Span&& other) noexcept
+    : tracer_(other.tracer_),
+      name_(std::move(other.name_)),
+      begin_(other.begin_),
+      depth_(other.depth_),
+      args_(std::move(other.args_)) {
+  other.tracer_ = nullptr;
+}
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    end();
+    tracer_ = other.tracer_;
+    name_ = std::move(other.name_);
+    begin_ = other.begin_;
+    depth_ = other.depth_;
+    args_ = std::move(other.args_);
+    other.tracer_ = nullptr;
+  }
+  return *this;
+}
+
+void Span::arg(std::string key, std::string value) {
+  if (tracer_ == nullptr) return;
+  args_.emplace_back(std::move(key), std::move(value));
+}
+
+void Span::end() {
+  if (tracer_ == nullptr) return;
+  Tracer* tracer = tracer_;
+  tracer_ = nullptr;
+  --t_depth;
+  TraceEvent event;
+  event.name = std::move(name_);
+  event.kind = EventKind::kSpan;
+  event.ts_us = begin_;
+  event.dur_us = tracer->now_us() - begin_;
+  event.tid = this_thread_id();
+  event.depth = depth_;
+  event.args = std::move(args_);
+  tracer->record(std::move(event));
+}
+
+// --- Tracer ----------------------------------------------------------------
+
+Tracer::Tracer(Clock clock)
+    : clock_(clock), epoch_(std::chrono::steady_clock::now()) {}
+
+std::uint64_t Tracer::now_us() const noexcept {
+  if (clock_ == Clock::kDeterministic) {
+    return tick_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                        std::chrono::steady_clock::now() - epoch_)
+                                        .count());
+}
+
+void Tracer::instant(std::string name,
+                     std::vector<std::pair<std::string, std::string>> args) {
+  TraceEvent event;
+  event.name = std::move(name);
+  event.kind = EventKind::kInstant;
+  event.ts_us = now_us();
+  event.tid = this_thread_id();
+  event.depth = t_depth;
+  event.args = std::move(args);
+  record(std::move(event));
+}
+
+void Tracer::record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(m_);
+  events_.push_back(std::move(event));
+}
+
+std::size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    out = events_;
+  }
+  std::stable_sort(out.begin(), out.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+    return a.dur_us > b.dur_us;  // enclosing span first
+  });
+  return out;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(m_);
+  events_.clear();
+}
+
+std::string Tracer::to_chrome_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("displayTimeUnit");
+  w.value("ms");
+  w.key("traceEvents");
+  w.begin_array();
+  for (const TraceEvent& event : events()) {
+    w.begin_object();
+    w.key("name");
+    w.value(event.name);
+    w.key("cat");
+    w.value("seccloud");
+    w.key("ph");
+    w.value(event.kind == EventKind::kSpan ? "X" : "i");
+    if (event.kind == EventKind::kInstant) {
+      w.key("s");
+      w.value("t");
+    }
+    w.key("ts");
+    w.value(event.ts_us);
+    if (event.kind == EventKind::kSpan) {
+      w.key("dur");
+      w.value(event.dur_us);
+    }
+    w.key("pid");
+    w.value(std::uint64_t{1});
+    w.key("tid");
+    w.value(std::uint64_t{event.tid});
+    if (!event.args.empty()) {
+      w.key("args");
+      w.begin_object();
+      for (const auto& [key, value] : event.args) {
+        w.key(key);
+        w.value(value);
+      }
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return std::move(w).str();
+}
+
+// --- current tracer --------------------------------------------------------
+
+Tracer* current_tracer() noexcept { return g_current.load(std::memory_order_acquire); }
+
+void set_current_tracer(Tracer* tracer) noexcept {
+  g_current.store(tracer, std::memory_order_release);
+}
+
+TracerScope::TracerScope(Tracer* tracer) : prev_(current_tracer()) {
+  set_current_tracer(tracer);
+}
+
+TracerScope::~TracerScope() { set_current_tracer(prev_); }
+
+Span trace_span(std::string name) {
+  Tracer* tracer = current_tracer();
+  if (tracer == nullptr) return Span{};
+  return tracer->span(std::move(name));
+}
+
+void trace_instant(std::string name) {
+  Tracer* tracer = current_tracer();
+  if (tracer == nullptr) return;
+  tracer->instant(std::move(name));
+}
+
+}  // namespace seccloud::obs

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "hash/hash_to.h"
+#include "obs/metrics.h"
 
 namespace seccloud::pairing {
 
@@ -24,6 +25,7 @@ Point PairingGroup::hash_to_g1(std::string_view tag, std::string_view data) cons
 }
 
 Point PairingGroup::hash_to_g1(std::string_view tag, std::span<const std::uint8_t> data) const {
+  counters_.hash_to_points.fetch_add(1, std::memory_order_relaxed);
   // Try-and-increment: x_ctr = H(tag ‖ data ‖ ctr) until x lies on the
   // curve, then clear the cofactor. Expected two attempts.
   std::vector<std::uint8_t> buf(data.begin(), data.end());
@@ -174,29 +176,35 @@ Gt PairingGroup::finalize(const Fp2& f) const {
 }
 
 OpCounters PairingGroup::counters() const noexcept {
-  OpCounters out;
-  out.pairings = counters_.pairings.load(std::memory_order_relaxed);
-  out.miller_loops = counters_.miller_loops.load(std::memory_order_relaxed);
-  out.final_exps = counters_.final_exps.load(std::memory_order_relaxed);
-  out.point_muls = counters_.point_muls.load(std::memory_order_relaxed);
-  out.gt_exps = counters_.gt_exps.load(std::memory_order_relaxed);
-  return out;
+  return snapshot(counters_) - snapshot(baseline_);
 }
 
 void PairingGroup::reset_counters() const noexcept {
-  counters_.pairings.store(0, std::memory_order_relaxed);
-  counters_.miller_loops.store(0, std::memory_order_relaxed);
-  counters_.final_exps.store(0, std::memory_order_relaxed);
-  counters_.point_muls.store(0, std::memory_order_relaxed);
-  counters_.gt_exps.store(0, std::memory_order_relaxed);
+  // Rebaseline instead of zeroing: the raw accumulator stays cumulative so
+  // registry collectors (publish_to) report lifetime totals regardless of
+  // how often a measured section resets.
+  store(baseline_, snapshot(counters_));
+}
+
+OpCounters PairingGroup::lifetime_counters() const noexcept {
+  return snapshot(counters_);
 }
 
 void PairingGroup::add_ops(const OpCounters& delta) const noexcept {
-  counters_.pairings.fetch_add(delta.pairings, std::memory_order_relaxed);
-  counters_.miller_loops.fetch_add(delta.miller_loops, std::memory_order_relaxed);
-  counters_.final_exps.fetch_add(delta.final_exps, std::memory_order_relaxed);
-  counters_.point_muls.fetch_add(delta.point_muls, std::memory_order_relaxed);
-  counters_.gt_exps.fetch_add(delta.gt_exps, std::memory_order_relaxed);
+  accumulate(counters_, delta);
+}
+
+void PairingGroup::publish_to(obs::MetricsRegistry& registry, std::string prefix) const {
+  registry.register_collector(
+      prefix, [this, prefix](obs::MetricsSnapshot& snap) {
+        const OpCounters ops = lifetime_counters();
+        snap.counters[prefix + ".pairings"] = ops.pairings;
+        snap.counters[prefix + ".miller_loops"] = ops.miller_loops;
+        snap.counters[prefix + ".final_exps"] = ops.final_exps;
+        snap.counters[prefix + ".point_muls"] = ops.point_muls;
+        snap.counters[prefix + ".gt_exps"] = ops.gt_exps;
+        snap.counters[prefix + ".hash_to_points"] = ops.hash_to_points;
+      });
 }
 
 std::vector<std::uint8_t> PairingGroup::gt_serialize(const Gt& x) const {

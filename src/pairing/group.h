@@ -9,13 +9,19 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 #include "ec/curve.h"
 #include "field/fp2.h"
+#include "pairing/op_counters.h"
 #include "pairing/params.h"
+
+namespace seccloud::obs {
+class MetricsRegistry;
+}  // namespace seccloud::obs
 
 namespace seccloud::pairing {
 
@@ -25,20 +31,6 @@ using num::BigUint;
 
 /// GT element (unitary norm-1 element of F_{p^2} of order dividing q).
 using Gt = Fp2;
-
-/// Expensive-operation counters (instrumentation used by the Figure 5 /
-/// Table II benches to report pairing & point-mult counts). Snapshot value
-/// type; the group accumulates them atomically, so totals are exact even
-/// when verification work is spread across a thread pool.
-struct OpCounters {
-  std::uint64_t pairings = 0;      ///< full pair() evaluations
-  std::uint64_t miller_loops = 0;  ///< Miller loops (pair_product shares one final exp)
-  std::uint64_t final_exps = 0;
-  std::uint64_t point_muls = 0;
-  std::uint64_t gt_exps = 0;
-
-  bool operator==(const OpCounters&) const = default;
-};
 
 class PairingGroup {
  public:
@@ -108,21 +100,23 @@ class PairingGroup {
   /// section. counters() returns a consistent-enough snapshot for the
   /// post-quiescence readouts the benches and reports do.
   OpCounters counters() const noexcept;
+  /// Rebaselines counters() to zero. The raw accumulator keeps growing —
+  /// lifetime_counters() is unaffected, so registry collectors see cumulative
+  /// totals even across reset-heavy measured sections.
   void reset_counters() const noexcept;
+  /// Cumulative operation totals since construction (ignores resets).
+  OpCounters lifetime_counters() const noexcept;
 
   /// Counter hook for engine layers (e.g. precomputed pairings) that
   /// evaluate Miller machinery outside pair(): adds `delta` atomically.
   void add_ops(const OpCounters& delta) const noexcept;
 
- private:
-  struct AtomicOpCounters {
-    std::atomic<std::uint64_t> pairings{0};
-    std::atomic<std::uint64_t> miller_loops{0};
-    std::atomic<std::uint64_t> final_exps{0};
-    std::atomic<std::uint64_t> point_muls{0};
-    std::atomic<std::uint64_t> gt_exps{0};
-  };
+  /// Registers a collector on `registry` that publishes lifetime counters as
+  /// "<prefix>.pairings", "<prefix>.miller_loops", ... on every snapshot.
+  /// The group must outlive the registry's use of the collector.
+  void publish_to(obs::MetricsRegistry& registry, std::string prefix) const;
 
+ private:
   Fp2 miller_loop(const Point& p, const Point& q) const;
   Fp2 final_exponentiation(const Fp2& f) const;
 
@@ -131,7 +125,8 @@ class PairingGroup {
   std::unique_ptr<field::Fp2Field> fp2_;
   std::unique_ptr<ec::Curve> curve_;
   Point generator_;
-  mutable AtomicOpCounters counters_;
+  mutable AtomicOpCounters counters_;  ///< raw lifetime totals
+  mutable AtomicOpCounters baseline_;  ///< reset_counters() snapshot
 };
 
 /// Shared default 512-bit group (constructed once; the generator derivation

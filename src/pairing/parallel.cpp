@@ -1,11 +1,31 @@
 #include "pairing/parallel.h"
 
+#include <chrono>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace seccloud::pairing {
 
 Gt ParallelPairingEngine::pair_product(
     std::span<const std::pair<Point, Point>> pairs) const {
+  obs::Span span = obs::trace_span("pair_product");
+  if (span) span.arg("pairs", std::to_string(pairs.size()));
+  obs::Histogram* latency = pair_product_ms_.load(std::memory_order_relaxed);
+  const auto begin_time = latency != nullptr ? std::chrono::steady_clock::now()
+                                             : std::chrono::steady_clock::time_point{};
+  const auto observe = [&] {
+    if (latency == nullptr) return;
+    const std::chrono::duration<double, std::milli> elapsed =
+        std::chrono::steady_clock::now() - begin_time;
+    latency->observe(elapsed.count());
+  };
+
   if (pool_->size() == 1 || pairs.size() < 2) {
-    return group_->pair_product(pairs);
+    const Gt out = group_->pair_product(pairs);
+    observe();
+    return out;
   }
   // Each Miller value lands in its own slot; the fold below then multiplies
   // them in the serial order. Field multiplication is exact and associative,
@@ -13,6 +33,11 @@ Gt ParallelPairingEngine::pair_product(
   const auto& f2 = group_->fp2();
   std::vector<Fp2> values(pairs.size(), f2.one());
   pool_->parallel_for(pairs.size(), [&](std::size_t begin, std::size_t end) {
+    obs::Span chunk = obs::trace_span("miller_chunk");
+    if (chunk) {
+      chunk.arg("begin", std::to_string(begin));
+      chunk.arg("end", std::to_string(end));
+    }
     for (std::size_t i = begin; i < end; ++i) {
       const auto& [p, q] = pairs[i];
       if (p.infinity || q.infinity) continue;
@@ -21,7 +46,9 @@ Gt ParallelPairingEngine::pair_product(
   });
   Fp2 acc = f2.one();
   for (const Fp2& v : values) acc = f2.mul(acc, v);
-  return group_->finalize(acc);
+  const Gt out = group_->finalize(acc);
+  observe();
+  return out;
 }
 
 void ParallelPairingEngine::for_each(
@@ -34,6 +61,15 @@ void ParallelPairingEngine::for_each(
 void ParallelPairingEngine::for_chunks(
     std::size_t n, const std::function<void(std::size_t, std::size_t)>& body) const {
   pool_->parallel_for(n, body);
+}
+
+void ParallelPairingEngine::bind_metrics(obs::MetricsRegistry& registry,
+                                         std::string_view prefix) const {
+  const std::string p{prefix};
+  group_->publish_to(registry, p + ".ops");
+  pool_->bind_metrics(registry, p + ".pool");
+  pair_product_ms_.store(&registry.histogram(p + ".pair_product_ms"),
+                         std::memory_order_relaxed);
 }
 
 }  // namespace seccloud::pairing

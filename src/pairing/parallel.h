@@ -9,11 +9,18 @@
 // reported totals are exact too.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <string_view>
 
 #include "pairing/group.h"
 #include "util/thread_pool.h"
+
+namespace seccloud::obs {
+class Histogram;
+class MetricsRegistry;
+}  // namespace seccloud::obs
 
 namespace seccloud::pairing {
 
@@ -41,9 +48,16 @@ class ParallelPairingEngine {
   void for_chunks(std::size_t n,
                   const std::function<void(std::size_t, std::size_t)>& body) const;
 
+  /// Attaches telemetry: group op counters under "<prefix>.ops.*", pool
+  /// stats under "<prefix>.pool.*" and a "<prefix>.pair_product_ms" latency
+  /// histogram. Const because engines are routinely held const; only the
+  /// telemetry sinks mutate.
+  void bind_metrics(obs::MetricsRegistry& registry, std::string_view prefix) const;
+
  private:
   const PairingGroup* group_;
   std::unique_ptr<util::ThreadPool> pool_;
+  mutable std::atomic<obs::Histogram*> pair_product_ms_{nullptr};
 };
 
 }  // namespace seccloud::pairing

@@ -1,10 +1,12 @@
 #include "seccloud/auditor.h"
 
 #include <algorithm>
+#include <string>
 #include <unordered_set>
 #include <utility>
 
 #include "ibc/ibs.h"
+#include "obs/trace.h"
 #include "seccloud/client.h"
 
 namespace seccloud::core {
@@ -55,6 +57,11 @@ AuditReport verify_computation_audit_impl(
     const AuditChallenge& challenge, const AuditResponse& response,
     const IdentityKey& da_key, SignatureCheckMode mode) {
   group.reset_counters();
+  obs::Span span = obs::trace_span("computation_audit");
+  if (span) {
+    span.arg("samples", std::to_string(challenge.sample_indices.size()));
+    span.arg("mode", mode == SignatureCheckMode::kBatch ? "batch" : "individual");
+  }
   AuditReport report;
   report.samples_requested = challenge.sample_indices.size();
   report.samples_returned = response.items.size();
@@ -145,6 +152,8 @@ AuditReport verify_computation_audit_impl(
   report.root_failures += challenged.size();
 
   if (mode == SignatureCheckMode::kIndividual && par != nullptr) {
+    obs::Span verify_span = obs::trace_span("individual_verify");
+    if (verify_span) verify_span.arg("blocks", std::to_string(batched_blocks.size()));
     report.signature_failures += count_signature_failures(
         *par, q_user, batched_blocks, VerifierRole::kDesignatedAgency);
   }
@@ -161,10 +170,18 @@ AuditReport verify_computation_audit_impl(
     batch.add_batch(*par->engine, entries);
   }
 
-  if (mode == SignatureCheckMode::kBatch && batch.size() > 0 && !batch.verify(da_key)) {
+  bool batch_ok = true;
+  if (mode == SignatureCheckMode::kBatch && batch.size() > 0) {
+    obs::Span batch_span = obs::trace_span("batch_verify");
+    if (batch_span) batch_span.arg("entries", std::to_string(batch.size()));
+    batch_ok = batch.verify(da_key);
+  }
+  if (mode == SignatureCheckMode::kBatch && batch.size() > 0 && !batch_ok) {
     // Batch rejected: locate the offenders individually (standard batch-
     // verification fallback; still cheap because cheating is the rare case).
     if (par != nullptr) {
+      obs::Span verify_span = obs::trace_span("individual_verify");
+      if (verify_span) verify_span.arg("blocks", std::to_string(batched_blocks.size()));
       report.signature_failures += count_signature_failures(
           *par, q_user, batched_blocks, VerifierRole::kDesignatedAgency);
     } else {
@@ -191,10 +208,17 @@ StorageAuditReport verify_storage_audit_impl(const PairingGroup& group,
                                              const IdentityKey& verifier_key,
                                              VerifierRole role, SignatureCheckMode mode) {
   group.reset_counters();
+  obs::Span span = obs::trace_span("storage_audit");
+  if (span) {
+    span.arg("blocks", std::to_string(blocks.size()));
+    span.arg("mode", mode == SignatureCheckMode::kBatch ? "batch" : "individual");
+  }
   StorageAuditReport report;
   report.blocks_checked = blocks.size();
 
   if (mode == SignatureCheckMode::kBatch) {
+    obs::Span batch_span = obs::trace_span("batch_verify");
+    if (batch_span) batch_span.arg("entries", std::to_string(blocks.size()));
     ibc::BatchAccumulator batch{group};
     std::vector<Bytes> messages;
     messages.reserve(blocks.size());
@@ -228,6 +252,8 @@ StorageAuditReport verify_storage_audit_impl(const PairingGroup& group,
     // Fall through to individual checks to count the failures.
   }
 
+  obs::Span verify_span = obs::trace_span("individual_verify");
+  if (verify_span) verify_span.arg("blocks", std::to_string(blocks.size()));
   if (par != nullptr) {
     std::vector<const SignedBlock*> ptrs;
     ptrs.reserve(blocks.size());
@@ -240,6 +266,7 @@ StorageAuditReport verify_storage_audit_impl(const PairingGroup& group,
       }
     }
   }
+  verify_span.end();
   report.accepted = report.signature_failures == 0;
   report.ops = group.counters();
   return report;

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "hash/sha256.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "seccloud/codec.h"
 
 namespace seccloud::core {
@@ -100,6 +104,60 @@ std::uint64_t RetryPolicy::backoff_for(std::size_t failed_attempts) const noexce
   return static_cast<std::uint64_t>(std::min(units, cap));
 }
 
+// --- session report --------------------------------------------------------
+
+namespace {
+
+void write_op_counters(obs::JsonWriter& w, const pairing::OpCounters& ops) {
+  w.begin_object();
+  w.key("pairings").value(ops.pairings);
+  w.key("miller_loops").value(ops.miller_loops);
+  w.key("final_exps").value(ops.final_exps);
+  w.key("point_muls").value(ops.point_muls);
+  w.key("gt_exps").value(ops.gt_exps);
+  w.key("hash_to_points").value(ops.hash_to_points);
+  w.end_object();
+}
+
+}  // namespace
+
+std::string SessionReport::to_json() const {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("verdict").value(to_string(verdict));
+  w.key("attempts").value(static_cast<std::uint64_t>(attempts));
+  w.key("timeouts").value(static_cast<std::uint64_t>(timeouts));
+  w.key("corrupt_frames").value(static_cast<std::uint64_t>(corrupt_frames));
+  w.key("stale_replies").value(static_cast<std::uint64_t>(stale_replies));
+  w.key("duplicate_replies").value(static_cast<std::uint64_t>(duplicate_replies));
+  w.key("malformed_replies").value(static_cast<std::uint64_t>(malformed_replies));
+  w.key("waited_units").value(waited_units);
+  w.key("bytes_sent").value(bytes_sent);
+  w.key("bytes_received").value(bytes_received);
+  w.key("computation").begin_object();
+  w.key("accepted").value(computation.accepted);
+  w.key("warrant_rejected").value(computation.warrant_rejected);
+  w.key("root_signature_valid").value(computation.root_signature_valid);
+  w.key("samples_requested").value(static_cast<std::uint64_t>(computation.samples_requested));
+  w.key("samples_returned").value(static_cast<std::uint64_t>(computation.samples_returned));
+  w.key("signature_failures").value(static_cast<std::uint64_t>(computation.signature_failures));
+  w.key("computation_failures")
+      .value(static_cast<std::uint64_t>(computation.computation_failures));
+  w.key("root_failures").value(static_cast<std::uint64_t>(computation.root_failures));
+  w.key("ops");
+  write_op_counters(w, computation.ops);
+  w.end_object();
+  w.key("storage").begin_object();
+  w.key("accepted").value(storage.accepted);
+  w.key("blocks_checked").value(static_cast<std::uint64_t>(storage.blocks_checked));
+  w.key("signature_failures").value(static_cast<std::uint64_t>(storage.signature_failures));
+  w.key("ops");
+  write_op_counters(w, storage.ops);
+  w.end_object();
+  w.end_object();
+  return std::move(w).str();
+}
+
 // --- the session driver -----------------------------------------------------
 
 AuditSession::AuditSession(const PairingGroup& group, RetryPolicy policy)
@@ -107,15 +165,41 @@ AuditSession::AuditSession(const PairingGroup& group, RetryPolicy policy)
   if (policy_.max_attempts == 0) policy_.max_attempts = 1;
 }
 
+namespace {
+
+/// Folds a finished session's tallies into the default registry: channel
+/// faults (corrupt/stale/duplicate — the frame layer's view, unified with
+/// sim::FaultTally's channel-side counts), peer faults (intact frame,
+/// undecodable payload), and the verdict split.
+void publish_session_report(const SessionReport& report) {
+  auto& reg = obs::default_registry();
+  reg.counter("session.attempts").inc(report.attempts);
+  reg.counter("session.timeouts").inc(report.timeouts);
+  reg.counter("session.channel.corrupt_frames").inc(report.corrupt_frames);
+  reg.counter("session.channel.stale_replies").inc(report.stale_replies);
+  reg.counter("session.channel.duplicate_replies").inc(report.duplicate_replies);
+  reg.counter("session.peer.malformed_replies").inc(report.malformed_replies);
+  reg.counter(std::string("session.verdict.") + to_string(report.verdict)).inc();
+}
+
+}  // namespace
+
 template <typename Issue, typename Conclude>
 SessionReport AuditSession::drive(AuditTransport& link, MessageType request_type,
                                   MessageType reply_type, num::RandomSource& rng,
                                   Issue&& issue, Conclude&& conclude) {
   SessionReport report;
   const auto session_id = static_cast<std::uint32_t>(rng.next_u64());
+  obs::Span session_span = obs::trace_span("audit_session");
+  if (session_span) {
+    session_span.arg("type", to_string(request_type));
+    session_span.arg("session_id", std::to_string(session_id));
+  }
 
   for (std::size_t attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
     ++report.attempts;
+    obs::Span attempt_span = obs::trace_span("attempt");
+    if (attempt_span) attempt_span.arg("seq", std::to_string(attempt));
     const auto seq = static_cast<std::uint32_t>(attempt);
     const Bytes request = issue();
     const Bytes frame = encode_frame(request_type, session_id, seq, request);
@@ -127,15 +211,18 @@ SessionReport AuditSession::drive(AuditTransport& link, MessageType request_type
       auto decoded = decode_frame(raw);
       if (!decoded) {
         ++report.corrupt_frames;  // in-flight damage — a channel fault
+        obs::trace_instant("corrupt_frame");
         continue;
       }
       if (decoded->type != reply_type || decoded->session_id != session_id ||
           decoded->seq != seq) {
         ++report.stale_replies;  // delayed/duplicated reply to an older attempt
+        obs::trace_instant("stale_reply");
         continue;
       }
       if (reply) {
         ++report.duplicate_replies;
+        obs::trace_instant("duplicate_reply");
         continue;
       }
       reply = std::move(decoded->payload);
@@ -144,17 +231,25 @@ SessionReport AuditSession::drive(AuditTransport& link, MessageType request_type
     if (reply) {
       if (const auto verdict = conclude(*reply, report)) {
         report.verdict = *verdict;
+        if (attempt_span) attempt_span.arg("outcome", to_string(*verdict));
+        attempt_span.end();
+        publish_session_report(report);
         return report;
       }
       ++report.malformed_replies;  // intact frame, undecodable payload — retried
+      obs::trace_instant("malformed_reply");
+      if (attempt_span) attempt_span.arg("outcome", "malformed");
     } else {
       ++report.timeouts;
+      obs::trace_instant("timeout");
+      if (attempt_span) attempt_span.arg("outcome", "timeout");
     }
     report.waited_units += policy_.timeout_units;
     if (attempt < policy_.max_attempts) report.waited_units += policy_.backoff_for(attempt);
   }
 
   report.verdict = SessionVerdict::kInconclusive;
+  publish_session_report(report);
   return report;
 }
 

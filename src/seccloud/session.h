@@ -123,6 +123,11 @@ struct SessionReport {
   StorageAuditReport storage;
 
   bool conclusive() const noexcept { return verdict != SessionVerdict::kInconclusive; }
+
+  /// Machine-readable form of the whole report (verdict, retry/fault
+  /// tallies, wait/byte totals, and the concluding audit detail with its op
+  /// counters) — what ablation_faulty_channel and the session tests consume.
+  std::string to_json() const;
 };
 
 // --- the session driver -----------------------------------------------------

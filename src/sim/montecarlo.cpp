@@ -1,12 +1,24 @@
 #include "sim/montecarlo.h"
 
 #include <atomic>
+#include <chrono>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "seccloud/auditor.h"
 
 namespace seccloud::sim {
 namespace {
+
+/// Run-level telemetry: trial/undetected totals plus wall time per run.
+/// Reporting happens once per run (not per trial), so the seeded model's
+/// determinism and throughput are untouched.
+void publish_detection_run(const DetectionStats& stats, double elapsed_ms) {
+  auto& reg = obs::default_registry();
+  reg.counter("mc.trials").inc(stats.trials);
+  reg.counter("mc.undetected").inc(stats.undetected);
+  reg.histogram("mc.run_ms").observe(elapsed_ms);
+}
 
 /// One audit trial: true iff the cheating server survives undetected.
 bool trial_undetected(const DetectionParams& params, double comp_defect_pr,
@@ -30,6 +42,7 @@ DetectionStats run_detection_model(const DetectionParams& params, std::size_t tr
       (1.0 - params.cheat.csc) * (1.0 - 1.0 / params.cheat.range);
   const double pos_defect_pr = (1.0 - params.cheat.ssc) * (1.0 - params.cheat.pr_forge);
 
+  const auto begin = std::chrono::steady_clock::now();
   DetectionStats stats;
   stats.trials = trials;
   std::vector<bool> defective(params.task_size);
@@ -38,6 +51,9 @@ DetectionStats run_detection_model(const DetectionParams& params, std::size_t tr
       ++stats.undetected;
     }
   }
+  const std::chrono::duration<double, std::milli> elapsed =
+      std::chrono::steady_clock::now() - begin;
+  publish_detection_run(stats, elapsed.count());
   return stats;
 }
 
@@ -67,12 +83,16 @@ DetectionStats run_detection_model_seeded(const DetectionParams& params,
     undetected.fetch_add(local, std::memory_order_relaxed);
   };
 
+  const auto begin = std::chrono::steady_clock::now();
   if (pool != nullptr && pool->size() > 1) {
     pool->parallel_for(trials, run_range);
   } else {
     run_range(0, trials);
   }
   stats.undetected = undetected.load(std::memory_order_relaxed);
+  const std::chrono::duration<double, std::milli> elapsed =
+      std::chrono::steady_clock::now() - begin;
+  publish_detection_run(stats, elapsed.count());
   return stats;
 }
 

@@ -1,7 +1,11 @@
 #include "sim/session_link.h"
 
+#include <chrono>
 #include <iterator>
+#include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "seccloud/client.h"
 #include "seccloud/codec.h"
 
@@ -121,7 +125,11 @@ FaultyTrialStats run_faulty_audit_trials(const PairingGroup& group,
 
   FaultyTrialStats stats;
   stats.trials = trials;
+  obs::Histogram& trial_ms = obs::default_registry().histogram("sim.trial_ms");
   for (std::size_t trial = 0; trial < trials; ++trial) {
+    const auto trial_begin = std::chrono::steady_clock::now();
+    obs::Span trial_span = obs::trace_span("audit_trial");
+    if (trial_span) trial_span.arg("trial", std::to_string(trial));
     // Trial i's whole random universe — server behaviour, sampling, fault
     // injection — derives from (seed, i): bit-reproducible, order-free.
     const std::uint64_t base = seed + kGolden * (trial + 1);
@@ -158,6 +166,13 @@ FaultyTrialStats run_faulty_audit_trials(const PairingGroup& group,
     stats.bytes_sent += report.bytes_sent;
     stats.bytes_received += report.bytes_received;
     stats.channel += link.tally();
+    // The link is fresh per trial, so its tally is exactly this trial's
+    // channel-side fault counts.
+    publish(link.tally(), obs::default_registry(), "channel");
+    if (trial_span) trial_span.arg("verdict", core::to_string(report.verdict));
+    const std::chrono::duration<double, std::milli> elapsed =
+        std::chrono::steady_clock::now() - trial_begin;
+    trial_ms.observe(elapsed.count());
   }
   return stats;
 }

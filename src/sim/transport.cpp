@@ -1,5 +1,8 @@
 #include "sim/transport.h"
 
+#include <string>
+
+#include "obs/metrics.h"
 #include "seccloud/codec.h"
 
 namespace seccloud::sim {
@@ -55,6 +58,19 @@ FaultTally& FaultTally::operator+=(const FaultTally& other) noexcept {
   reordered += other.reordered;
   delayed += other.delayed;
   return *this;
+}
+
+void publish(const FaultTally& tally, obs::MetricsRegistry& registry,
+             std::string_view prefix) {
+  const std::string p{prefix};
+  registry.counter(p + ".offered").inc(tally.offered);
+  registry.counter(p + ".delivered").inc(tally.delivered);
+  registry.counter(p + ".dropped").inc(tally.dropped);
+  registry.counter(p + ".truncated").inc(tally.truncated);
+  registry.counter(p + ".corrupted").inc(tally.corrupted);
+  registry.counter(p + ".duplicated").inc(tally.duplicated);
+  registry.counter(p + ".reordered").inc(tally.reordered);
+  registry.counter(p + ".delayed").inc(tally.delayed);
 }
 
 FaultyChannel::FaultyChannel(FaultPlan plan, std::uint64_t seed)

@@ -13,11 +13,16 @@
 #include <array>
 #include <cstdint>
 #include <optional>
+#include <string_view>
 #include <utility>
 
 #include "bigint/rng.h"
 #include "seccloud/session.h"
 #include "seccloud/types.h"
+
+namespace seccloud::obs {
+class MetricsRegistry;
+}  // namespace seccloud::obs
 
 namespace seccloud::sim {
 
@@ -107,6 +112,14 @@ struct FaultTally {
 
   FaultTally& operator+=(const FaultTally& other) noexcept;
 };
+
+/// Adds the tally's counts to "<prefix>.offered", "<prefix>.delivered",
+/// "<prefix>.dropped", ... on `registry`, unifying the channel-side view
+/// with the session layer's "session.channel.*" counters. Pass a fresh
+/// (per-link or per-trial) tally — the counts are accumulated, so feeding
+/// the same cumulative tally twice double-counts.
+void publish(const FaultTally& tally, obs::MetricsRegistry& registry,
+             std::string_view prefix);
 
 /// A unidirectional lossy pipe for encoded protocol messages. All fault
 /// decisions come from one seeded xoshiro256**, so the full arrival sequence

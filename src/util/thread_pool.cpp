@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <string>
+
+#include "obs/metrics.h"
 
 namespace seccloud::util {
 
@@ -43,11 +46,14 @@ void ThreadPool::submit(TaskGroup& group, Task task) {
     queues_[lane]->tasks.push_back(std::move(wrapped));
   }
   queued_.fetch_add(1, std::memory_order_release);
+  if (obs::Counter* tasks = m_tasks_.load(std::memory_order_relaxed)) tasks->inc();
+  if (obs::Gauge* depth = m_depth_.load(std::memory_order_relaxed)) depth->add(1);
   sleep_cv_.notify_one();
 }
 
 bool ThreadPool::try_run_one(std::size_t self) {
   Task task;
+  bool stolen = false;
   // Own lane first (back = most recently pushed), then steal round-robin
   // from the front of the other lanes.
   for (std::size_t attempt = 0; attempt < lanes_; ++attempt) {
@@ -61,12 +67,25 @@ bool ThreadPool::try_run_one(std::size_t self) {
     } else {
       task = std::move(victim.tasks.front());
       victim.tasks.pop_front();
+      stolen = true;
     }
     break;
   }
   if (!task) return false;
   queued_.fetch_sub(1, std::memory_order_acq_rel);
-  task();
+  if (obs::Gauge* depth = m_depth_.load(std::memory_order_relaxed)) depth->add(-1);
+  if (stolen) {
+    if (obs::Counter* steals = m_steals_.load(std::memory_order_relaxed)) steals->inc();
+  }
+  if (obs::Histogram* task_ms = m_task_ms_.load(std::memory_order_relaxed)) {
+    const auto begin = std::chrono::steady_clock::now();
+    task();
+    const std::chrono::duration<double, std::milli> elapsed =
+        std::chrono::steady_clock::now() - begin;
+    task_ms->observe(elapsed.count());
+  } else {
+    task();
+  }
   return true;
 }
 
@@ -95,6 +114,14 @@ void ThreadPool::wait(TaskGroup& group) {
       return group.pending_.load(std::memory_order_acquire) == 0;
     });
   }
+}
+
+void ThreadPool::bind_metrics(obs::MetricsRegistry& registry, std::string_view prefix) {
+  const std::string p{prefix};
+  m_tasks_.store(&registry.counter(p + ".tasks"), std::memory_order_relaxed);
+  m_steals_.store(&registry.counter(p + ".steals"), std::memory_order_relaxed);
+  m_depth_.store(&registry.gauge(p + ".queue_depth"), std::memory_order_relaxed);
+  m_task_ms_.store(&registry.histogram(p + ".task_ms"), std::memory_order_relaxed);
 }
 
 void ThreadPool::parallel_for(

@@ -19,8 +19,16 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string_view>
 #include <thread>
 #include <vector>
+
+namespace seccloud::obs {
+class Counter;
+class Gauge;
+class Histogram;
+class MetricsRegistry;
+}  // namespace seccloud::obs
 
 namespace seccloud::util {
 
@@ -65,6 +73,12 @@ class ThreadPool {
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t, std::size_t)>& body);
 
+  /// Attaches pool telemetry to `registry`: "<prefix>.tasks" (submitted),
+  /// "<prefix>.steals" (tasks taken from another lane), "<prefix>.queue_depth"
+  /// gauge (current / high-water pending tasks) and "<prefix>.task_ms"
+  /// latency histogram. Unbound pools pay only a relaxed null check per task.
+  void bind_metrics(obs::MetricsRegistry& registry, std::string_view prefix);
+
  private:
   struct Lane {
     std::mutex m;
@@ -85,6 +99,12 @@ class ThreadPool {
   std::mutex done_m_;
   std::condition_variable done_cv_;  ///< wait() sleeps here
   std::atomic<std::size_t> next_lane_{0};
+
+  // Optional telemetry sinks (bind_metrics); nullptr = instrumentation off.
+  std::atomic<obs::Counter*> m_tasks_{nullptr};
+  std::atomic<obs::Counter*> m_steals_{nullptr};
+  std::atomic<obs::Gauge*> m_depth_{nullptr};
+  std::atomic<obs::Histogram*> m_task_ms_{nullptr};
 };
 
 }  // namespace seccloud::util

@@ -1,0 +1,241 @@
+// Observability-layer tests: histogram bucket semantics and percentile
+// math against known distributions, counter exactness under concurrency,
+// deterministic-clock span nesting, and the snapshot JSON round-trip.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace seccloud::obs {
+namespace {
+
+// --- histogram buckets -----------------------------------------------------
+
+TEST(Histogram, BucketBoundariesAreLeftOpenRightClosed) {
+  // Bucket i counts (edges[i-1], edges[i]]; bucket 0 is (-inf, edges[0]],
+  // the last bucket is the overflow (edges.back(), +inf).
+  Histogram h{{10.0, 20.0}};
+  h.observe(10.0);   // exactly on the first edge -> bucket 0
+  h.observe(10.001); // just past it -> bucket 1
+  h.observe(20.0);   // exactly on the second edge -> bucket 1
+  h.observe(20.001); // past the last edge -> overflow
+  h.observe(-5.0);   // below everything -> bucket 0
+
+  const HistogramSnapshot snap = h.snapshot();
+  ASSERT_EQ(snap.counts.size(), 3u);
+  EXPECT_EQ(snap.counts[0], 2u);
+  EXPECT_EQ(snap.counts[1], 2u);
+  EXPECT_EQ(snap.counts[2], 1u);
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_DOUBLE_EQ(snap.min, -5.0);
+  EXPECT_DOUBLE_EQ(snap.max, 20.001);
+}
+
+TEST(Histogram, RejectsBadEdges) {
+  EXPECT_THROW(Histogram{std::vector<double>{}}, std::invalid_argument);
+  EXPECT_THROW((Histogram{{1.0, 1.0}}), std::invalid_argument);
+  EXPECT_THROW((Histogram{{2.0, 1.0}}), std::invalid_argument);
+}
+
+TEST(Histogram, PercentilesOfKnownDistribution) {
+  // 100 observations, 10 per bucket: 5, 15, 25, ..., 95 each ten times over
+  // edges {10, 20, ..., 90}. Interpolation is exact and clamps the open
+  // first/overflow buckets to the observed min/max.
+  Histogram h{{10, 20, 30, 40, 50, 60, 70, 80, 90}};
+  for (int v = 5; v <= 95; v += 10) {
+    for (int rep = 0; rep < 10; ++rep) h.observe(v);
+  }
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_DOUBLE_EQ(snap.percentile(0.50), 50.0);
+  EXPECT_DOUBLE_EQ(snap.percentile(0.95), 92.5);  // halfway into (90, max=95]
+  EXPECT_DOUBLE_EQ(snap.percentile(0.99), 94.5);
+  EXPECT_DOUBLE_EQ(snap.percentile(0.05), 7.5);   // clamped below by min=5
+  EXPECT_DOUBLE_EQ(snap.percentile(1.0), 95.0);
+  EXPECT_DOUBLE_EQ(snap.mean(), 50.0);
+}
+
+TEST(Histogram, EmptyPercentileIsZero) {
+  Histogram h{{1.0}};
+  EXPECT_DOUBLE_EQ(h.snapshot().percentile(0.5), 0.0);
+}
+
+TEST(Histogram, SingleObservationReportsItselfAtEveryQuantile) {
+  Histogram h{{10.0, 20.0}};
+  h.observe(14.0);
+  const HistogramSnapshot snap = h.snapshot();
+  for (const double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(snap.percentile(q), 14.0) << "q=" << q;
+  }
+}
+
+// --- counters and gauges ---------------------------------------------------
+
+TEST(Counter, ConcurrentIncrementsMatchSerialTotal) {
+  constexpr std::uint64_t kPerThread = 20'000;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    Counter counter;
+    std::vector<std::thread> workers;
+    for (std::size_t t = 0; t < threads; ++t) {
+      workers.emplace_back([&counter] {
+        for (std::uint64_t i = 0; i < kPerThread; ++i) counter.inc();
+      });
+    }
+    for (auto& w : workers) w.join();
+    EXPECT_EQ(counter.value(), threads * kPerThread) << threads << " threads";
+  }
+}
+
+TEST(Counter, IncByNAndReset) {
+  Counter counter;
+  counter.inc(41);
+  counter.inc();
+  EXPECT_EQ(counter.value(), 42u);
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(Gauge, TracksValueAndHighWaterMark) {
+  Gauge gauge;
+  gauge.add(3);
+  gauge.add(4);
+  gauge.add(-5);
+  EXPECT_EQ(gauge.value(), 2);
+  EXPECT_EQ(gauge.max(), 7);
+  gauge.set(1);
+  EXPECT_EQ(gauge.value(), 1);
+  EXPECT_EQ(gauge.max(), 7);
+}
+
+TEST(Registry, HandlesAreStableAndSharedByName) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("x");
+  Counter& b = registry.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  b.inc();
+  EXPECT_EQ(registry.snapshot().counters.at("x"), 2u);
+}
+
+TEST(Registry, CollectorsRunAtSnapshotAndSurviveReset) {
+  MetricsRegistry registry;
+  std::uint64_t lifetime = 7;
+  registry.register_collector("ops", [&lifetime](MetricsSnapshot& snap) {
+    snap.counters["ops.total"] = lifetime;
+  });
+  registry.counter("owned").inc(3);
+  registry.reset();  // zeroes owned metrics, leaves collectors alone
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counters.at("owned"), 0u);
+  EXPECT_EQ(snap.counters.at("ops.total"), 7u);
+}
+
+// --- tracer ----------------------------------------------------------------
+
+TEST(Tracer, DeterministicClockPinsNestingAndOrdering) {
+  Tracer tracer{Tracer::Clock::kDeterministic};
+  {
+    TracerScope scope{&tracer};
+    Span outer = trace_span("outer");
+    {
+      Span inner = trace_span("inner");
+      inner.arg("k", "v");
+      trace_instant("tick");
+    }
+    outer.end();
+  }
+  const std::vector<TraceEvent> events = tracer.events();
+  ASSERT_EQ(events.size(), 3u);
+
+  // Sorted (ts asc, longer-duration first): outer encloses inner encloses
+  // the instant, with one deterministic tick per timestamp.
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[1].name, "inner");
+  EXPECT_EQ(events[2].name, "tick");
+  EXPECT_EQ(events[0].depth, 0u);
+  EXPECT_EQ(events[1].depth, 1u);
+  EXPECT_EQ(events[0].ts_us, 0u);
+  EXPECT_EQ(events[1].ts_us, 1u);
+  EXPECT_EQ(events[2].ts_us, 2u);
+  EXPECT_EQ(events[1].dur_us, 2u);  // ticks 1 -> 3
+  EXPECT_EQ(events[0].dur_us, 4u);  // ticks 0 -> 4
+  // The parent interval fully contains the child interval.
+  EXPECT_LE(events[0].ts_us, events[1].ts_us);
+  EXPECT_GE(events[0].ts_us + events[0].dur_us, events[1].ts_us + events[1].dur_us);
+  ASSERT_EQ(events[1].args.size(), 1u);
+  EXPECT_EQ(events[1].args[0].first, "k");
+  EXPECT_EQ(events[1].args[0].second, "v");
+}
+
+TEST(Tracer, NoCurrentTracerMeansInertSpans) {
+  ASSERT_EQ(current_tracer(), nullptr);
+  Span span = trace_span("nobody-listening");
+  EXPECT_FALSE(static_cast<bool>(span));
+  trace_instant("dropped");  // must not crash
+}
+
+TEST(Tracer, ChromeJsonIsParseableAndComplete) {
+  Tracer tracer{Tracer::Clock::kDeterministic};
+  {
+    TracerScope scope{&tracer};
+    Span s = trace_span("work");
+    s.arg("quote", "needs \"escaping\"\n");
+  }
+  const auto parsed = json_parse(tracer.to_chrome_json());
+  ASSERT_TRUE(parsed.has_value());
+  const JsonValue* events = parsed->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->array.size(), 1u);
+  const JsonValue& ev = events->array[0];
+  EXPECT_EQ(ev.find("name")->string, "work");
+  EXPECT_EQ(ev.find("ph")->string, "X");
+  const JsonValue* args = ev.find("args");
+  ASSERT_NE(args, nullptr);
+  EXPECT_EQ(args->find("quote")->string, "needs \"escaping\"\n");
+}
+
+// --- snapshot JSON round-trip ----------------------------------------------
+
+TEST(Export, SnapshotRoundTripsThroughJson) {
+  MetricsRegistry registry;
+  registry.counter("session.attempts").inc(12);
+  registry.counter("pairing.pairings").inc(3);
+  registry.gauge("pool.queue_depth").add(5);
+  registry.gauge("pool.queue_depth").add(-2);
+  Histogram& h = registry.histogram("trial_ms", std::vector<double>{0.5, 1.5, 2.5});
+  h.observe(0.25);
+  h.observe(1.0);
+  h.observe(9.75);
+
+  const MetricsSnapshot original = registry.snapshot();
+  const std::string json = metrics_to_json(original);
+  const auto restored = metrics_from_json(json);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(*restored, original);
+}
+
+TEST(Export, ParserIsTotal) {
+  EXPECT_FALSE(metrics_from_json("not json").has_value());
+  EXPECT_FALSE(metrics_from_json("{\"counters\":").has_value());
+  EXPECT_FALSE(json_parse("{} trailing").has_value());
+  EXPECT_FALSE(json_parse("[1, 2,]").has_value());
+  ASSERT_TRUE(json_parse("{\"a\": [1, true, \"x\", null]}").has_value());
+}
+
+TEST(Export, SummaryLineAggregatesPairingCounters) {
+  MetricsRegistry registry;
+  registry.counter("pairing.pairings").inc(4);
+  registry.counter("engine.ops.pairings").inc(6);
+  const std::string line = summary_line(registry.snapshot());
+  EXPECT_NE(line.find("pairings=10"), std::string::npos) << line;
+}
+
+}  // namespace
+}  // namespace seccloud::obs

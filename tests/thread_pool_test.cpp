@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/thread_pool.h"
 
 namespace seccloud::util {
@@ -78,6 +79,41 @@ TEST(ThreadPool, ReusableAcrossRounds) {
     });
     ASSERT_EQ(count.load(), 64);
   }
+}
+
+TEST(ThreadPool, BoundMetricsCountEveryTask) {
+  obs::MetricsRegistry registry;
+  ThreadPool pool{2};
+  pool.bind_metrics(registry, "pool");
+
+  constexpr std::uint64_t kTasks = 200;
+  ThreadPool::TaskGroup group;
+  std::atomic<std::uint64_t> ran{0};
+  for (std::uint64_t i = 0; i < kTasks; ++i) {
+    pool.submit(group, [&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait(group);
+  ASSERT_EQ(ran.load(), kTasks);
+
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counters.at("pool.tasks"), kTasks);
+  // Every submitted task was drained, so the queue-depth gauge is back to
+  // zero; the high-water mark shows at least one task was ever queued.
+  EXPECT_EQ(snap.gauges.at("pool.queue_depth").value, 0);
+  EXPECT_GE(snap.gauges.at("pool.queue_depth").max, 1);
+  // Each task's latency was observed exactly once.
+  EXPECT_EQ(snap.histograms.at("pool.task_ms").count, kTasks);
+  // Steals are scheduling-dependent but bounded by the task count.
+  EXPECT_LE(snap.counters.at("pool.steals"), kTasks);
+}
+
+TEST(ThreadPool, UnboundPoolReportsNoMetrics) {
+  obs::MetricsRegistry registry;
+  ThreadPool pool{2};  // never bound
+  ThreadPool::TaskGroup group;
+  pool.submit(group, [] {});
+  pool.wait(group);
+  EXPECT_TRUE(registry.snapshot().counters.empty());
 }
 
 TEST(ThreadPool, ChunkSumMatchesSerial) {

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json telemetry files written by bench/bench_support.h.
+
+For every file matching BENCH_*.json under the given directory (default: the
+current directory) this asserts:
+
+  * the file is parseable JSON with the expected top-level shape
+    (name, smoke, uses_pairing_group, wall_ms, build, values, notes, metrics);
+  * the metrics block round-trips as counters / gauges / histograms with
+    consistent histogram bucket shapes (len(counts) == len(edges) + 1,
+    sum(counts) == count);
+  * when uses_pairing_group is true, the cumulative pairing-operation count
+    across all *.pairings counters is nonzero (the instrumented group really
+    published through the registry).
+
+Exits nonzero, listing every failure, if anything is wrong — CI runs this
+after the bench smoke pass.
+"""
+
+import json
+import pathlib
+import sys
+
+
+def check_histogram(name: str, hist: dict, errors: list) -> None:
+    edges = hist.get("edges")
+    counts = hist.get("counts")
+    if not isinstance(edges, list) or not isinstance(counts, list):
+        errors.append(f"histogram {name}: missing edges/counts arrays")
+        return
+    if len(counts) != len(edges) + 1:
+        errors.append(
+            f"histogram {name}: {len(counts)} buckets for {len(edges)} edges"
+        )
+    if edges != sorted(edges) or len(set(edges)) != len(edges):
+        errors.append(f"histogram {name}: edges not strictly ascending")
+    total = hist.get("count")
+    if sum(counts) != total:
+        errors.append(f"histogram {name}: bucket sum {sum(counts)} != count {total}")
+    for q in ("p50", "p95", "p99"):
+        if q not in hist:
+            errors.append(f"histogram {name}: missing {q}")
+
+
+def check_file(path: pathlib.Path) -> list:
+    errors = []
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"unreadable or invalid JSON: {exc}"]
+
+    for field in ("name", "smoke", "uses_pairing_group", "wall_ms", "build",
+                  "values", "notes", "metrics"):
+        if field not in doc:
+            errors.append(f"missing top-level field '{field}'")
+    if errors:
+        return errors
+
+    expected_name = path.stem.removeprefix("BENCH_")
+    if doc["name"] != expected_name:
+        errors.append(f"name '{doc['name']}' does not match filename")
+    if not isinstance(doc["wall_ms"], (int, float)) or doc["wall_ms"] < 0:
+        errors.append(f"wall_ms {doc['wall_ms']!r} is not a non-negative number")
+
+    metrics = doc["metrics"]
+    if not isinstance(metrics, dict):
+        return errors + ["metrics is not an object"]
+    counters = metrics.get("counters", {})
+    for name, value in counters.items():
+        if not isinstance(value, (int, float)) or value < 0:
+            errors.append(f"counter {name}: value {value!r} is not a non-negative number")
+    for name, hist in metrics.get("histograms", {}).items():
+        check_histogram(name, hist, errors)
+
+    if doc["uses_pairing_group"]:
+        pairings = sum(v for k, v in counters.items() if k.endswith(".pairings"))
+        if pairings <= 0:
+            errors.append(
+                "uses_pairing_group is true but the cumulative *.pairings "
+                "counter total is zero"
+            )
+    return errors
+
+
+def main() -> int:
+    root = pathlib.Path(sys.argv[1]) if len(sys.argv) > 1 else pathlib.Path(".")
+    files = sorted(root.glob("BENCH_*.json"))
+    if not files:
+        print(f"error: no BENCH_*.json files found under {root}", file=sys.stderr)
+        return 1
+
+    failed = 0
+    for path in files:
+        errors = check_file(path)
+        if errors:
+            failed += 1
+            print(f"FAIL {path}")
+            for error in errors:
+                print(f"  - {error}")
+        else:
+            print(f"ok   {path}")
+    if failed:
+        print(f"\n{failed}/{len(files)} bench telemetry files failed validation",
+              file=sys.stderr)
+        return 1
+    print(f"\nall {len(files)} bench telemetry files valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
