@@ -14,6 +14,7 @@
 #include "ibc/keys.h"
 #include "pairing/group.h"
 #include "seccloud/client.h"
+#include "sim/crash.h"
 #include "sim/session_link.h"
 
 using namespace seccloud;
@@ -140,8 +141,36 @@ int main() {
     bench.value("single_session_attempts", static_cast<double>(report.attempts));
   }
 
+  // Crash-probability axis: the same seeded trial protocol, but a seeded
+  // fraction of auditors is killed mid-session at a journal-record boundary
+  // and resumed from the recovered journal. Recovered sessions must reach
+  // the crash-free verdict and tallies bit for bit at every probability.
+  std::printf("\n=== crash-recovery axis (storage audit, loss=0.20, budget=8) ===\n");
+  std::printf("%8s | %8s %10s %14s %14s\n", "crash_p", "crashed", "recovered",
+              "verdict match", "report match");
+  sim::CrashRecoveryStats harshest;
+  for (const double p : {0.0, 0.25, 0.5, 1.0}) {
+    sim::CrashTrialConfig crash_config;
+    crash_config.base.plan = sim::FaultPlan::uniform_loss(0.2);
+    crash_config.base.policy.max_attempts = 8;
+    crash_config.base.storage_audit = true;
+    crash_config.base.sample_size = 8;
+    crash_config.crash_probability = p;
+    const auto stats = sim::run_crash_recovery_trials(group, crash_config, trials, seed);
+    if (p == 1.0) harshest = stats;
+    std::printf("%8.2f | %3zu/%-4zu %10zu %10zu/%-3zu %10zu/%-3zu\n", p, stats.crashed,
+                stats.trials, stats.recovered, stats.verdict_matches, stats.recovered,
+                stats.report_matches, stats.recovered);
+  }
+
   bench.value("trials_per_cell", static_cast<double>(trials));
   bench.value("storage_honest_accept_rate", per_trial(storage_honest.accepted, trials));
   bench.value("storage_cheater_detect_rate", per_trial(storage_cheater.rejected, trials));
+  bench.value("crash_trials_crashed", static_cast<double>(harshest.crashed));
+  bench.value("crash_trials_recovered", static_cast<double>(harshest.recovered));
+  bench.value("crash_verdict_match_rate",
+              per_trial(harshest.verdict_matches, harshest.recovered));
+  bench.value("crash_report_match_rate",
+              per_trial(harshest.report_matches, harshest.recovered));
   return bench.finish();
 }

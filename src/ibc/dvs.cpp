@@ -1,5 +1,7 @@
 #include "ibc/dvs.h"
 
+#include <algorithm>
+
 namespace seccloud::ibc {
 
 DvSignature dv_transform(const PairingGroup& group, const IbsSignature& sig,
@@ -43,6 +45,87 @@ bool dv_batch_verify(const ParallelPairingEngine& engine,
   BatchAccumulator acc{engine.group()};
   acc.add_batch(engine, batch);
   return acc.verify(verifier);
+}
+
+// --- batch-rejection bisection ---------------------------------------------
+
+namespace {
+
+void bisect_range(std::size_t lo, std::size_t hi, std::size_t depth,
+                  const std::function<bool(std::size_t, std::size_t)>& range_valid,
+                  std::vector<std::size_t>& out, BisectionStats& stats) {
+  stats.max_depth = std::max(stats.max_depth, depth);
+  ++stats.oracle_calls;
+  if (range_valid(lo, hi)) return;
+  if (hi - lo == 1) {
+    out.push_back(lo);
+    return;
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  bisect_range(lo, mid, depth + 1, range_valid, out, stats);
+  bisect_range(mid, hi, depth + 1, range_valid, out, stats);
+}
+
+/// Shared core: per-entry terms are already computed (serially or on the
+/// pool); the recursion aggregates subranges and pairs once per oracle call.
+std::vector<std::size_t> isolate_with_terms(const PairingGroup& group,
+                                            std::span<const BatchEntry> batch,
+                                            std::span<const Point> terms,
+                                            const IdentityKey& verifier,
+                                            BisectionStats* stats) {
+  BisectionStats local;
+  BisectionStats& s = stats != nullptr ? *stats : local;
+  const auto range_valid = [&](std::size_t lo, std::size_t hi) {
+    Point u = Point::at_infinity();
+    Gt sigma = group.gt_one();
+    for (std::size_t i = lo; i < hi; ++i) {
+      u = group.add(u, terms[i]);
+      sigma = group.gt_mul(sigma, batch[i].sig->sigma);
+    }
+    return group.pair(u, verifier.secret) == sigma;
+  };
+  std::vector<std::size_t> invalid;
+  if (!batch.empty()) bisect_range(0, batch.size(), 0, range_valid, invalid, s);
+  return invalid;
+}
+
+}  // namespace
+
+std::vector<std::size_t> bisect_invalid(
+    std::size_t n, const std::function<bool(std::size_t, std::size_t)>& range_valid,
+    BisectionStats* stats) {
+  BisectionStats local;
+  BisectionStats& s = stats != nullptr ? *stats : local;
+  std::vector<std::size_t> invalid;
+  if (n > 0) bisect_range(0, n, 0, range_valid, invalid, s);
+  return invalid;
+}
+
+std::vector<std::size_t> dv_batch_isolate(const PairingGroup& group,
+                                          std::span<const BatchEntry> batch,
+                                          const IdentityKey& verifier,
+                                          BisectionStats* stats) {
+  std::vector<Point> terms(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const BatchEntry& entry = batch[i];
+    const BigUint h = tag_hash(group, entry.sig->u, entry.message);
+    terms[i] = group.add(entry.sig->u, group.mul(h, entry.signer_q_id));
+  }
+  return isolate_with_terms(group, batch, terms, verifier, stats);
+}
+
+std::vector<std::size_t> dv_batch_isolate(const ParallelPairingEngine& engine,
+                                          std::span<const BatchEntry> batch,
+                                          const IdentityKey& verifier,
+                                          BisectionStats* stats) {
+  const PairingGroup& group = engine.group();
+  std::vector<Point> terms(batch.size());
+  engine.for_each(batch.size(), [&](std::size_t i) {
+    const BatchEntry& entry = batch[i];
+    const BigUint h = tag_hash(group, entry.sig->u, entry.message);
+    terms[i] = group.add(entry.sig->u, group.mul(h, entry.signer_q_id));
+  });
+  return isolate_with_terms(group, batch, terms, verifier, stats);
 }
 
 DesignatedVerifier::DesignatedVerifier(const PairingGroup& group,

@@ -12,6 +12,7 @@
 // costing one pairing for any number of signatures and signers.
 #pragma once
 
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -59,6 +60,47 @@ struct BatchEntry {
 /// (vs one pairing per signature individually). Empty batches verify.
 bool dv_batch_verify(const PairingGroup& group, std::span<const BatchEntry> batch,
                      const IdentityKey& verifier);
+
+// --- batch-rejection bisection ---------------------------------------------
+
+/// Cost accounting for one divide-and-conquer isolation run.
+struct BisectionStats {
+  std::size_t oracle_calls = 0;  ///< subrange validity checks (1 pairing each for DVS)
+  std::size_t max_depth = 0;     ///< deepest recursion level examined (root = 0)
+
+  bool operator==(const BisectionStats&) const = default;
+};
+
+/// Divide-and-conquer isolation of the invalid members of [0, n): checks
+/// whole subranges through `range_valid(lo, hi)` and only splits ranges that
+/// fail, so k bad members of n cost O(k·log n) oracle calls instead of n.
+/// Returns the invalid indices in ascending order. The oracle must be
+/// *monotone* (a range containing no invalid member reports valid) — true
+/// for aggregate signature checks, where a subrange of valid signatures
+/// always satisfies the aggregated equation.
+std::vector<std::size_t> bisect_invalid(
+    std::size_t n, const std::function<bool(std::size_t, std::size_t)>& range_valid,
+    BisectionStats* stats = nullptr);
+
+/// Batch-verify fallback (Section VI, degradation path): when the one-pairing
+/// Eq. (8)/(9) check rejects, isolates exactly which entries are invalid by
+/// bisecting over range aggregates — each oracle call is ONE pairing on the
+/// partial aggregate ê(Σ range terms, sk_B) == Π range Σ, so k bad of n cost
+/// O(k·log n) pairings versus n for individual re-verification. Returns the
+/// invalid entry indices in ascending order (empty means the full aggregate
+/// verifies — nothing to isolate).
+std::vector<std::size_t> dv_batch_isolate(const PairingGroup& group,
+                                          std::span<const BatchEntry> batch,
+                                          const IdentityKey& verifier,
+                                          BisectionStats* stats = nullptr);
+
+/// Parallel variant: the per-entry U + h·Q_ID terms run across the engine's
+/// pool; the bisection itself (and thus the isolated set, oracle-call count,
+/// and op-counter totals) is bit-identical to the serial overload.
+std::vector<std::size_t> dv_batch_isolate(const ParallelPairingEngine& engine,
+                                          std::span<const BatchEntry> batch,
+                                          const IdentityKey& verifier,
+                                          BisectionStats* stats = nullptr);
 
 /// Parallel Eq. (8)/(9): the per-entry U + h·Q_ID terms are computed across
 /// the engine's pool and folded in entry order, then checked with one

@@ -207,16 +207,26 @@ class Parser {
     return std::nullopt;  // unterminated
   }
 
+  // Recursive descent bounds its depth: a malformed snapshot nested
+  // thousands of containers deep must fail cleanly instead of overflowing
+  // the stack. 128 is far beyond any shape this layer emits.
+  static constexpr std::size_t kMaxDepth = 128;
+
   std::optional<JsonValue> parse_value() {
     skip_ws();
     if (pos_ >= text_.size()) return std::nullopt;
     const char c = text_[pos_];
     JsonValue v;
     if (c == '{') {
+      if (depth_ >= kMaxDepth) return std::nullopt;
+      ++depth_;
       ++pos_;
       v.type = JsonValue::Type::kObject;
       skip_ws();
-      if (consume('}')) return v;
+      if (consume('}')) {
+        --depth_;
+        return v;
+      }
       while (true) {
         skip_ws();
         auto k = parse_string();
@@ -225,21 +235,32 @@ class Parser {
         if (!member) return std::nullopt;
         v.object.emplace(std::move(*k), std::move(*member));
         if (consume(',')) continue;
-        if (consume('}')) return v;
+        if (consume('}')) {
+          --depth_;
+          return v;
+        }
         return std::nullopt;
       }
     }
     if (c == '[') {
+      if (depth_ >= kMaxDepth) return std::nullopt;
+      ++depth_;
       ++pos_;
       v.type = JsonValue::Type::kArray;
       skip_ws();
-      if (consume(']')) return v;
+      if (consume(']')) {
+        --depth_;
+        return v;
+      }
       while (true) {
         auto element = parse_value();
         if (!element) return std::nullopt;
         v.array.push_back(std::move(*element));
         if (consume(',')) continue;
-        if (consume(']')) return v;
+        if (consume(']')) {
+          --depth_;
+          return v;
+        }
         return std::nullopt;
       }
     }
@@ -282,6 +303,7 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;  ///< open containers on the parse stack
 };
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "ibc/ibs.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "seccloud/client.h"
 
@@ -13,6 +14,22 @@ namespace seccloud::core {
 namespace {
 
 using pairing::ParallelPairingEngine;
+
+/// Bisection depth values are small integers, not latencies — dedicated
+/// bucket edges so the histogram resolves depths 0..32 instead of clumping
+/// everything into the first latency bucket.
+constexpr double kBisectionDepthEdges[] = {0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32};
+
+/// Folds one isolation run into the default registry: the depth histogram
+/// plus oracle-call / isolated-entry counters.
+void publish_bisection(const ibc::BisectionStats& stats, std::size_t invalid) {
+  auto& reg = obs::default_registry();
+  reg.histogram("audit.bisection_depth", kBisectionDepthEdges)
+      .observe(static_cast<double>(stats.max_depth));
+  reg.counter("audit.bisection.runs").inc();
+  reg.counter("audit.bisection.oracle_calls").inc(stats.oracle_calls);
+  reg.counter("audit.bisection.invalid_isolated").inc(invalid);
+}
 
 /// Verifies one block's DV signature for the given role. Also enforces that
 /// the block occupies the position it claims (the signature binds the index,
@@ -121,10 +138,11 @@ AuditReport verify_computation_audit_impl(
       }
     } else {
       for (const auto& input : item.inputs) {
-        if (par != nullptr) {
-          batched_messages.push_back(block_message_bytes(input.block));
-        } else {
-          batch.add(q_user, block_message_bytes(input.block), input.sig.for_da());
+        // Messages are retained in both modes: a batch reject needs them
+        // again to rebuild the entries for bisection.
+        batched_messages.push_back(block_message_bytes(input.block));
+        if (par == nullptr) {
+          batch.add(q_user, batched_messages.back(), input.sig.for_da());
         }
         batched_blocks.push_back(&input);
       }
@@ -177,22 +195,30 @@ AuditReport verify_computation_audit_impl(
     batch_ok = batch.verify(da_key);
   }
   if (mode == SignatureCheckMode::kBatch && batch.size() > 0 && !batch_ok) {
-    // Batch rejected: locate the offenders individually (standard batch-
-    // verification fallback; still cheap because cheating is the rare case).
-    if (par != nullptr) {
-      obs::Span verify_span = obs::trace_span("individual_verify");
-      if (verify_span) verify_span.arg("blocks", std::to_string(batched_blocks.size()));
-      report.signature_failures += count_signature_failures(
-          *par, q_user, batched_blocks, VerifierRole::kDesignatedAgency);
-    } else {
-      for (const SignedBlock* input : batched_blocks) {
-        if (!check_block_signature(group, q_user, *input, da_key,
-                                   VerifierRole::kDesignatedAgency)) {
-          ++report.signature_failures;
-        }
-      }
+    // Batch rejected: bisect over range aggregates to isolate the exact
+    // invalid entries — O(k·log n) pairings for k bad of n, versus n for
+    // re-verifying every member individually.
+    obs::Span isolate_span = obs::trace_span("bisection_isolate");
+    std::vector<ibc::DvSignature> sigs;  // for_da() returns by value; keep alive
+    std::vector<ibc::BatchEntry> entries;
+    sigs.reserve(batched_blocks.size());
+    entries.reserve(batched_blocks.size());
+    for (std::size_t i = 0; i < batched_blocks.size(); ++i) {
+      sigs.push_back(batched_blocks[i]->sig.for_da());
+      entries.push_back({q_user, batched_messages[i], &sigs.back()});
     }
+    report.invalid_signature_entries =
+        par != nullptr
+            ? ibc::dv_batch_isolate(*par->engine, entries, da_key, &report.bisection)
+            : ibc::dv_batch_isolate(group, entries, da_key, &report.bisection);
+    report.signature_failures += report.invalid_signature_entries.size();
     if (report.signature_failures == 0) ++report.signature_failures;  // aggregate forged
+    if (isolate_span) {
+      isolate_span.arg("entries", std::to_string(entries.size()));
+      isolate_span.arg("invalid",
+                       std::to_string(report.invalid_signature_entries.size()));
+    }
+    publish_bisection(report.bisection, report.invalid_signature_entries.size());
   }
 
   report.accepted = report.root_signature_valid && report.signature_failures == 0 &&
@@ -220,28 +246,30 @@ StorageAuditReport verify_storage_audit_impl(const PairingGroup& group,
     obs::Span batch_span = obs::trace_span("batch_verify");
     if (batch_span) batch_span.arg("entries", std::to_string(blocks.size()));
     ibc::BatchAccumulator batch{group};
-    std::vector<Bytes> messages;
-    messages.reserve(blocks.size());
+    std::vector<Bytes> messages(blocks.size());
+    std::vector<ibc::DvSignature> sigs;  // for_cs()/for_da() return by value
+    std::vector<ibc::BatchEntry> entries;
+    sigs.reserve(blocks.size());
+    entries.reserve(blocks.size());
     if (par != nullptr) {
-      messages.resize(blocks.size());
       par->engine->for_each(blocks.size(), [&](std::size_t i) {
         messages[i] = block_message_bytes(blocks[i].block);
       });
-      std::vector<ibc::DvSignature> sigs;  // for_cs()/for_da() return by value
-      std::vector<ibc::BatchEntry> entries;
-      sigs.reserve(blocks.size());
-      entries.reserve(blocks.size());
+    } else {
       for (std::size_t i = 0; i < blocks.size(); ++i) {
-        sigs.push_back(role == VerifierRole::kCloudServer ? blocks[i].sig.for_cs()
-                                                          : blocks[i].sig.for_da());
-        entries.push_back({q_user, messages[i], &sigs.back()});
+        messages[i] = block_message_bytes(blocks[i].block);
       }
+    }
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      sigs.push_back(role == VerifierRole::kCloudServer ? blocks[i].sig.for_cs()
+                                                        : blocks[i].sig.for_da());
+      entries.push_back({q_user, messages[i], &sigs.back()});
+    }
+    if (par != nullptr) {
       batch.add_batch(*par->engine, entries);
     } else {
-      for (const auto& sb : blocks) {
-        messages.push_back(block_message_bytes(sb.block));
-        batch.add(q_user, messages.back(),
-                  role == VerifierRole::kCloudServer ? sb.sig.for_cs() : sb.sig.for_da());
+      for (const auto& entry : entries) {
+        batch.add(entry.signer_q_id, entry.message, *entry.sig);
       }
     }
     if (batch.size() == 0 || batch.verify(verifier_key)) {
@@ -249,7 +277,26 @@ StorageAuditReport verify_storage_audit_impl(const PairingGroup& group,
       report.ops = group.counters();
       return report;
     }
-    // Fall through to individual checks to count the failures.
+    // Batch rejected: isolate the invalid members by bisection instead of
+    // re-verifying all n individually (O(k·log n) pairings for k bad of n).
+    batch_span.end();
+    obs::Span isolate_span = obs::trace_span("bisection_isolate");
+    report.invalid_signature_entries =
+        par != nullptr
+            ? ibc::dv_batch_isolate(*par->engine, entries, verifier_key,
+                                    &report.bisection)
+            : ibc::dv_batch_isolate(group, entries, verifier_key, &report.bisection);
+    report.signature_failures = report.invalid_signature_entries.size();
+    if (report.signature_failures == 0) ++report.signature_failures;  // aggregate forged
+    if (isolate_span) {
+      isolate_span.arg("entries", std::to_string(entries.size()));
+      isolate_span.arg("invalid",
+                       std::to_string(report.invalid_signature_entries.size()));
+    }
+    publish_bisection(report.bisection, report.invalid_signature_entries.size());
+    report.accepted = false;
+    report.ops = group.counters();
+    return report;
   }
 
   obs::Span verify_span = obs::trace_span("individual_verify");

@@ -32,6 +32,13 @@ struct AuditReport {
   std::size_t signature_failures = 0;  ///< IsSignatureWrong(τ)
   std::size_t computation_failures = 0;  ///< IsComputingWrong(τ)
   std::size_t root_failures = 0;       ///< IsRootWrong(R(τ))
+  /// Batch mode only: the exact input-block entries (in presentation order
+  /// across the verified samples) whose signatures are invalid, isolated by
+  /// bisection when the one-pairing aggregate check rejects. Empty when the
+  /// batch verifies, or when the reject is an aggregate forgery with no
+  /// single bad member.
+  std::vector<std::size_t> invalid_signature_entries;
+  ibc::BisectionStats bisection;       ///< cost of the isolation (if any ran)
   pairing::OpCounters ops;             ///< pairing/point-mult cost of this audit
 };
 
@@ -73,6 +80,11 @@ struct StorageAuditReport {
   bool accepted = false;
   std::size_t blocks_checked = 0;
   std::size_t signature_failures = 0;
+  /// Batch mode only: per-signer verdict — indices into the audited block
+  /// span whose signatures are invalid, isolated by bisection after a batch
+  /// reject (see AuditReport::invalid_signature_entries).
+  std::vector<std::size_t> invalid_signature_entries;
+  ibc::BisectionStats bisection;
   pairing::OpCounters ops;
 };
 

@@ -1,0 +1,135 @@
+// Durable audit-session journal (write-ahead log for the DA's auditor).
+//
+// A crashed auditor must not lose in-flight session state: every phase
+// transition of an AuditSession is appended to a journal BEFORE the side
+// effect it describes (write-ahead discipline), so recovery can replay the
+// log and re-enter the session at the first attempt whose outcome never
+// landed. Records reuse the framing discipline of session.cpp: magic ‖
+// version ‖ type ‖ session ‖ seq ‖ length-prefixed payload ‖ truncated
+// SHA-256 checksum. The decoder is total and *prefix-tolerant*: a torn or
+// corrupted tail (the crash interrupting the final append) terminates the
+// replay cleanly instead of poisoning it — everything before the tear is
+// trusted, everything after is discarded.
+//
+// Record sequence of one session:
+//   kSessionStart(seq 0)        request type + master challenge seed
+//   kAttemptStart(seq k)        clock timestamp, appended before transmitting
+//   kAttemptOutcome(seq k)      outcome code + cumulative channel tallies
+//   ... (one start/outcome pair per attempt) ...
+//   kSessionEnd(seq last)       final verdict
+//
+// recover_session folds a (possibly torn) journal into a RecoveredSession:
+// the carried SessionReport tallies, the attempt to re-enter at, and —
+// when the log already holds a conclusive outcome — the final verdict, so
+// a post-conclusion crash never re-contacts the server.
+#pragma once
+
+#include "seccloud/session.h"
+
+namespace seccloud::core {
+
+// --- record format ---------------------------------------------------------
+
+enum class JournalRecordType : std::uint8_t {
+  kSessionStart = 1,   ///< session id, request type, master challenge seed
+  kAttemptStart = 2,   ///< attempt seq + clock timestamp; precedes transmit
+  kAttemptOutcome = 3, ///< attempt seq + outcome + cumulative tallies
+  kSessionEnd = 4,     ///< final verdict
+};
+
+const char* to_string(JournalRecordType type) noexcept;
+
+/// Per-attempt outcome codes journaled in kAttemptOutcome records.
+enum class AttemptOutcome : std::uint8_t {
+  kTimeout = 0,    ///< no usable reply — retried
+  kMalformed = 1,  ///< intact frame, undecodable payload — retried
+  kAccepted = 2,   ///< conclusive accept
+  kRejected = 3,   ///< conclusive reject
+};
+
+/// One decoded journal record: header fields plus the type-specific payload.
+struct JournalRecord {
+  JournalRecordType type = JournalRecordType::kSessionStart;
+  std::uint32_t session_id = 0;
+  std::uint32_t seq = 0;  ///< attempt number; 0 for session start/end
+  Bytes payload;
+};
+
+/// Frames one record (same construction as the session frame codec, with a
+/// distinct magic so journals and channel frames cannot be confused).
+Bytes encode_journal_record(const JournalRecord& record);
+
+/// Total decoder for the record starting at the head of `bytes`. On success
+/// also reports how many bytes the record occupied (so a log can be walked);
+/// any truncation, bad magic, or checksum failure yields nullopt.
+std::optional<JournalRecord> decode_journal_record(std::span<const std::uint8_t> bytes,
+                                                   std::size_t* consumed = nullptr);
+
+// Payload builders for each record type (the session driver writes these;
+// recover_session parses them back).
+Bytes encode_session_start_payload(MessageType request_type, std::uint64_t master_seed);
+Bytes encode_attempt_start_payload(std::uint64_t started_units);
+Bytes encode_attempt_outcome_payload(AttemptOutcome outcome, const SessionReport& tallies);
+Bytes encode_session_end_payload(SessionVerdict verdict);
+
+// --- the journal sink ------------------------------------------------------
+
+/// Where a session persists its records. append() must make the record
+/// durable before returning; it may throw (disk full, crash injection —
+/// see sim::CrashingJournal), in which case the record is NOT persisted.
+class SessionJournal {
+ public:
+  virtual ~SessionJournal() = default;
+  virtual void append(const JournalRecord& record) = 0;
+};
+
+/// In-memory journal: records are appended to a byte buffer exactly as they
+/// would hit disk, so torn writes are simulated by truncating the buffer at
+/// an arbitrary byte. Bumps the `journal.records` counter per append.
+class BufferJournal : public SessionJournal {
+ public:
+  void append(const JournalRecord& record) override;
+
+  const Bytes& bytes() const noexcept { return bytes_; }
+  std::size_t records() const noexcept { return records_; }
+
+  /// Simulates a torn final write: drops the last `n` bytes (clamped).
+  void truncate_tail(std::size_t n);
+
+ private:
+  Bytes bytes_;
+  std::size_t records_ = 0;
+};
+
+// --- replay & recovery -----------------------------------------------------
+
+/// Walks a journal from the start, returning every intact record in order.
+/// Stops at the first torn/corrupt record (`torn_tail` = true, and
+/// `clean_bytes` is how far the intact prefix reaches); trailing garbage
+/// never invalidates the prefix. Bumps `journal.replayed` per record.
+struct ReplayResult {
+  std::vector<JournalRecord> records;
+  bool torn_tail = false;
+  std::size_t clean_bytes = 0;
+};
+
+ReplayResult replay_journal(std::span<const std::uint8_t> bytes);
+
+/// A session state rebuilt from a journal, ready to hand to
+/// AuditSession::resume_*. `valid` is false when the journal holds no
+/// intact kSessionStart record (nothing to resume — rerun from scratch).
+struct RecoveredSession {
+  bool valid = false;
+  bool torn_tail = false;          ///< the final record was torn mid-write
+  std::uint32_t session_id = 0;
+  std::uint64_t master_seed = 0;   ///< per-attempt challenge seed base
+  MessageType request_type = MessageType::kAuditChallenge;
+  std::size_t next_attempt = 1;    ///< first attempt to (re-)run
+  bool concluded = false;          ///< a conclusive outcome already landed
+  SessionVerdict verdict = SessionVerdict::kInconclusive;
+  SessionReport carried;           ///< tallies as of the last journaled outcome
+};
+
+RecoveredSession recover_session(std::span<const std::uint8_t> journal_bytes);
+
+}  // namespace seccloud::core

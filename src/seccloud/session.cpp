@@ -9,6 +9,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "seccloud/codec.h"
+#include "seccloud/journal.h"
 
 namespace seccloud::core {
 namespace {
@@ -134,6 +135,9 @@ std::string SessionReport::to_json() const {
   w.key("waited_units").value(waited_units);
   w.key("bytes_sent").value(bytes_sent);
   w.key("bytes_received").value(bytes_received);
+  w.key("attempt_started_units").begin_array();
+  for (const std::uint64_t t : attempt_started_units) w.value(t);
+  w.end_array();
   w.key("computation").begin_object();
   w.key("accepted").value(computation.accepted);
   w.key("warrant_rejected").value(computation.warrant_rejected);
@@ -184,24 +188,79 @@ void publish_session_report(const SessionReport& report) {
 
 }  // namespace
 
+/// Stride between per-attempt challenge seeds (golden-ratio increment, the
+/// same family the sim layer uses for trial seed derivation): attempt k of a
+/// session with master seed M samples from Xoshiro256{M + k·stride}, so any
+/// attempt's challenge can be re-issued bit-identically without replaying
+/// the attempts before it.
+constexpr std::uint64_t kAttemptSeedStride = 0x9E3779B97F4A7C15ULL;
+
+AuditSession::Origin AuditSession::fresh_origin(num::RandomSource& rng) {
+  Origin origin;
+  origin.session_id = static_cast<std::uint32_t>(rng.next_u64());
+  origin.master_seed = rng.next_u64();
+  return origin;
+}
+
+AuditSession::Origin AuditSession::resumed_origin(const RecoveredSession& recovered) {
+  Origin origin;
+  origin.session_id = recovered.session_id;
+  origin.master_seed = recovered.master_seed;
+  origin.first_attempt = recovered.next_attempt;
+  origin.carried = recovered.carried;
+  origin.resumed = true;
+  return origin;
+}
+
 template <typename Issue, typename Conclude>
 SessionReport AuditSession::drive(AuditTransport& link, MessageType request_type,
-                                  MessageType reply_type, num::RandomSource& rng,
-                                  Issue&& issue, Conclude&& conclude) {
-  SessionReport report;
-  const auto session_id = static_cast<std::uint32_t>(rng.next_u64());
-  obs::Span session_span = obs::trace_span("audit_session");
+                                  MessageType reply_type, const Origin& origin,
+                                  SessionJournal* journal, Issue&& issue,
+                                  Conclude&& conclude) {
+  SessionReport report = origin.carried;
+  const std::uint32_t session_id = origin.session_id;
+  // The fallback clock resumes from the journaled cumulative waits, so a
+  // recovered session stamps the exact timestamps the crashed run would.
+  SimulatedClock fallback{report.waited_units};
+  SessionClock& clock = clock_ != nullptr ? *clock_ : fallback;
+  obs::Span session_span = obs::trace_span(origin.resumed ? "audit_session_resume"
+                                                          : "audit_session");
   if (session_span) {
     session_span.arg("type", to_string(request_type));
     session_span.arg("session_id", std::to_string(session_id));
   }
+  const auto journal_outcome = [&](std::uint32_t seq, AttemptOutcome outcome) {
+    if (journal == nullptr) return;
+    journal->append({JournalRecordType::kAttemptOutcome, session_id, seq,
+                     encode_attempt_outcome_payload(outcome, report)});
+  };
+  const auto journal_end = [&](SessionVerdict verdict, std::uint32_t seq) {
+    if (journal == nullptr) return;
+    journal->append({JournalRecordType::kSessionEnd, session_id, seq,
+                     encode_session_end_payload(verdict)});
+  };
+  if (journal != nullptr && !origin.resumed) {
+    journal->append({JournalRecordType::kSessionStart, session_id, 0,
+                     encode_session_start_payload(request_type, origin.master_seed)});
+  }
 
-  for (std::size_t attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
+  for (std::size_t attempt = origin.first_attempt; attempt <= policy_.max_attempts;
+       ++attempt) {
+    const std::uint64_t started = clock.now_units();
+    const auto seq = static_cast<std::uint32_t>(attempt);
+    // Write-ahead: the attempt-start record lands before anything touches
+    // the channel, so a crash between the two re-runs this attempt from a
+    // channel the attempt never observed.
+    if (journal != nullptr) {
+      journal->append({JournalRecordType::kAttemptStart, session_id, seq,
+                       encode_attempt_start_payload(started)});
+    }
+    report.attempt_started_units.push_back(started);
     ++report.attempts;
     obs::Span attempt_span = obs::trace_span("attempt");
     if (attempt_span) attempt_span.arg("seq", std::to_string(attempt));
-    const auto seq = static_cast<std::uint32_t>(attempt);
-    const Bytes request = issue();
+    num::Xoshiro256 attempt_rng{origin.master_seed + kAttemptSeedStride * attempt};
+    const Bytes request = issue(attempt_rng);
     const Bytes frame = encode_frame(request_type, session_id, seq, request);
     report.bytes_sent += frame.size();
 
@@ -233,6 +292,10 @@ SessionReport AuditSession::drive(AuditTransport& link, MessageType request_type
         report.verdict = *verdict;
         if (attempt_span) attempt_span.arg("outcome", to_string(*verdict));
         attempt_span.end();
+        journal_outcome(seq, *verdict == SessionVerdict::kAccepted
+                                 ? AttemptOutcome::kAccepted
+                                 : AttemptOutcome::kRejected);
+        journal_end(*verdict, seq);
         publish_session_report(report);
         return report;
       }
@@ -244,26 +307,74 @@ SessionReport AuditSession::drive(AuditTransport& link, MessageType request_type
       obs::trace_instant("timeout");
       if (attempt_span) attempt_span.arg("outcome", "timeout");
     }
-    report.waited_units += policy_.timeout_units;
-    if (attempt < policy_.max_attempts) report.waited_units += policy_.backoff_for(attempt);
+    std::uint64_t wait = policy_.timeout_units;
+    if (attempt < policy_.max_attempts) wait += policy_.backoff_for(attempt);
+    report.waited_units += wait;
+    clock.advance(wait);
+    // The outcome record carries the cumulative tallies *including* this
+    // attempt's waits, so a resumed clock lands exactly where this one is.
+    journal_outcome(seq, reply ? AttemptOutcome::kMalformed : AttemptOutcome::kTimeout);
   }
 
   report.verdict = SessionVerdict::kInconclusive;
+  journal_end(SessionVerdict::kInconclusive,
+              static_cast<std::uint32_t>(policy_.max_attempts));
   publish_session_report(report);
   return report;
 }
+
+namespace {
+
+/// A session whose journal already holds a conclusive outcome never
+/// re-contacts the server: the carried report IS the session result.
+std::optional<SessionReport> concluded_result(const RecoveredSession& recovered) {
+  if (!recovered.concluded) return std::nullopt;
+  SessionReport report = recovered.carried;
+  report.verdict = recovered.verdict;
+  obs::trace_instant("resume_concluded");
+  publish_session_report(report);
+  return report;
+}
+
+}  // namespace
 
 SessionReport AuditSession::run_computation_audit(
     AuditTransport& link, const Point& q_user, const Point& q_server,
     const ComputationTask& task, const Commitment& commitment, const Warrant& warrant,
     std::size_t sample_size, const IdentityKey& da_key, SignatureCheckMode mode,
-    num::RandomSource& rng) {
+    num::RandomSource& rng, SessionJournal* journal) {
   AuditChallenge current;
   return drive(
-      link, MessageType::kAuditChallenge, MessageType::kAuditResponse, rng,
-      [&]() {
+      link, MessageType::kAuditChallenge, MessageType::kAuditResponse,
+      fresh_origin(rng), journal,
+      [&](num::RandomSource& attempt_rng) {
         // Idempotent re-issue: a fresh sample (fresh nonce), the same warrant.
-        current = make_challenge(task.requests.size(), sample_size, warrant, rng);
+        current = make_challenge(task.requests.size(), sample_size, warrant, attempt_rng);
+        return encode_challenge(*group_, current);
+      },
+      [&](const Bytes& payload, SessionReport& report) -> std::optional<SessionVerdict> {
+        const auto response = decode_response(*group_, payload);
+        if (!response) return std::nullopt;
+        report.computation = verify_computation_audit(*group_, q_user, q_server, task,
+                                                      commitment, current, *response,
+                                                      da_key, mode);
+        return report.computation.accepted ? SessionVerdict::kAccepted
+                                           : SessionVerdict::kRejected;
+      });
+}
+
+SessionReport AuditSession::resume_computation_audit(
+    AuditTransport& link, const RecoveredSession& recovered, const Point& q_user,
+    const Point& q_server, const ComputationTask& task, const Commitment& commitment,
+    const Warrant& warrant, std::size_t sample_size, const IdentityKey& da_key,
+    SignatureCheckMode mode, SessionJournal* journal) {
+  if (auto done = concluded_result(recovered)) return *std::move(done);
+  AuditChallenge current;
+  return drive(
+      link, MessageType::kAuditChallenge, MessageType::kAuditResponse,
+      resumed_origin(recovered), journal,
+      [&](num::RandomSource& attempt_rng) {
+        current = make_challenge(task.requests.size(), sample_size, warrant, attempt_rng);
         return encode_challenge(*group_, current);
       },
       [&](const Bytes& payload, SessionReport& report) -> std::optional<SessionVerdict> {
@@ -282,12 +393,14 @@ SessionReport AuditSession::run_storage_audit(AuditTransport& link, const Point&
                                               std::size_t sample_size,
                                               const IdentityKey& da_key,
                                               SignatureCheckMode mode,
-                                              num::RandomSource& rng) {
+                                              num::RandomSource& rng,
+                                              SessionJournal* journal) {
   std::vector<std::uint64_t> indices;
   return drive(
-      link, MessageType::kStorageChallenge, MessageType::kStorageResponse, rng,
-      [&]() {
-        indices = sample_indices(universe, sample_size, rng);
+      link, MessageType::kStorageChallenge, MessageType::kStorageResponse,
+      fresh_origin(rng), journal,
+      [&](num::RandomSource& attempt_rng) {
+        indices = sample_indices(universe, sample_size, attempt_rng);
         AuditChallenge probe;  // Protocol II needs only the positions
         probe.sample_indices = indices;
         return encode_challenge(*group_, probe);
@@ -298,6 +411,39 @@ SessionReport AuditSession::run_storage_audit(AuditTransport& link, const Point&
         // The checksum proved the server produced this reply, so a wrong
         // shape (count or claimed positions) is attributable misbehaviour,
         // not channel noise.
+        bool shape_ok = blocks->size() == indices.size();
+        for (std::size_t i = 0; shape_ok && i < indices.size(); ++i) {
+          shape_ok = (*blocks)[i].block.index == indices[i];
+        }
+        report.storage = verify_storage_audit(*group_, q_user, *blocks, da_key,
+                                              VerifierRole::kDesignatedAgency, mode);
+        return shape_ok && report.storage.accepted ? SessionVerdict::kAccepted
+                                                   : SessionVerdict::kRejected;
+      });
+}
+
+SessionReport AuditSession::resume_storage_audit(AuditTransport& link,
+                                                 const RecoveredSession& recovered,
+                                                 const Point& q_user,
+                                                 std::uint64_t universe,
+                                                 std::size_t sample_size,
+                                                 const IdentityKey& da_key,
+                                                 SignatureCheckMode mode,
+                                                 SessionJournal* journal) {
+  if (auto done = concluded_result(recovered)) return *std::move(done);
+  std::vector<std::uint64_t> indices;
+  return drive(
+      link, MessageType::kStorageChallenge, MessageType::kStorageResponse,
+      resumed_origin(recovered), journal,
+      [&](num::RandomSource& attempt_rng) {
+        indices = sample_indices(universe, sample_size, attempt_rng);
+        AuditChallenge probe;
+        probe.sample_indices = indices;
+        return encode_challenge(*group_, probe);
+      },
+      [&](const Bytes& payload, SessionReport& report) -> std::optional<SessionVerdict> {
+        const auto blocks = decode_block_list(*group_, payload);
+        if (!blocks) return std::nullopt;
         bool shape_ok = blocks->size() == indices.size();
         for (std::size_t i = 0; shape_ok && i < indices.size(); ++i) {
           shape_ok = (*blocks)[i].block.index == indices[i];

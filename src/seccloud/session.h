@@ -25,6 +25,9 @@
 
 namespace seccloud::core {
 
+class SessionJournal;      // journal.h — durable write-ahead session log
+struct RecoveredSession;   // journal.h — state replayed from a journal
+
 // --- framing -------------------------------------------------------------
 
 /// Protocol messages that cross the DA↔CS channel during an audit session.
@@ -92,6 +95,31 @@ struct RetryPolicy {
   std::uint64_t backoff_for(std::size_t failed_attempts) const noexcept;
 };
 
+// --- simulated clock -------------------------------------------------------
+
+/// Source of session wall-clock time (unit-less, same scale as the retry
+/// policy's timeout/backoff units). Injectable so tests and the crash
+/// harness control time; the session advances it by every wait it charges.
+class SessionClock {
+ public:
+  virtual ~SessionClock() = default;
+  virtual std::uint64_t now_units() = 0;
+  virtual void advance(std::uint64_t units) = 0;
+};
+
+/// Default clock: starts at `origin` and moves only when the session waits.
+/// A resumed session seeds the origin from the journaled cumulative waits,
+/// so replayed timestamps match the uninterrupted run exactly.
+class SimulatedClock final : public SessionClock {
+ public:
+  explicit SimulatedClock(std::uint64_t origin = 0) noexcept : now_(origin) {}
+  std::uint64_t now_units() override { return now_; }
+  void advance(std::uint64_t units) override { now_ += units; }
+
+ private:
+  std::uint64_t now_;
+};
+
 // --- session report --------------------------------------------------------
 
 enum class SessionVerdict : std::uint8_t {
@@ -115,6 +143,10 @@ struct SessionReport {
   std::uint64_t waited_units = 0;     ///< simulated timeout + backoff time
   std::uint64_t bytes_sent = 0;       ///< frames offered to the channel
   std::uint64_t bytes_received = 0;   ///< frames delivered back (incl. corrupt)
+  /// Clock reading (see SessionClock) when each attempt issued its
+  /// challenge, in attempt order — lets a journal replay be diffed against
+  /// the live run it recovered.
+  std::vector<std::uint64_t> attempt_started_units;
 
   /// Detail of the concluding verification. `computation` is meaningful for
   /// computation sessions, `storage` for storage sessions, and only when the
@@ -142,14 +174,25 @@ class AuditSession {
 
   const RetryPolicy& policy() const noexcept { return policy_; }
 
+  /// Injects the session clock used to stamp attempt starts. nullptr (the
+  /// default) means an internal SimulatedClock whose origin is 0 for fresh
+  /// sessions and the journaled cumulative waits for resumed ones.
+  void set_clock(SessionClock* clock) noexcept { clock_ = clock; }
+
   /// Algorithm 1 with retries: each attempt re-issues a fresh challenge
   /// (new sample, same warrant) with seq = attempt number, then verifies the
-  /// first intact, current-attempt response.
+  /// first intact, current-attempt response. The caller's rng seeds only the
+  /// session identity and the per-attempt challenge seed; each attempt then
+  /// samples from a stream derived from (master seed, attempt), so a
+  /// resumed session re-issues bit-identical challenges. When `journal` is
+  /// given, every phase transition is appended to it (write-ahead) before
+  /// the transition's side effect.
   SessionReport run_computation_audit(AuditTransport& link, const Point& q_user,
                                       const Point& q_server, const ComputationTask& task,
                                       const Commitment& commitment, const Warrant& warrant,
                                       std::size_t sample_size, const IdentityKey& da_key,
-                                      SignatureCheckMode mode, num::RandomSource& rng);
+                                      SignatureCheckMode mode, num::RandomSource& rng,
+                                      SessionJournal* journal = nullptr);
 
   /// Protocol II with retries: samples `sample_size` positions from
   /// [0, universe) afresh per attempt and verifies the returned blocks'
@@ -157,18 +200,54 @@ class AuditSession {
   SessionReport run_storage_audit(AuditTransport& link, const Point& q_user,
                                   std::uint64_t universe, std::size_t sample_size,
                                   const IdentityKey& da_key, SignatureCheckMode mode,
-                                  num::RandomSource& rng);
+                                  num::RandomSource& rng, SessionJournal* journal = nullptr);
+
+  /// Crash recovery: continues a session replayed from a journal
+  /// (journal.h's recover_session). Already-concluded sessions return the
+  /// carried report without touching the channel; otherwise the loop
+  /// re-enters at recovered.next_attempt with the journaled tallies,
+  /// timestamps, and clock carried over — a recovered run is bit-identical
+  /// to the same session never having crashed. `recovered.valid` must hold.
+  SessionReport resume_computation_audit(AuditTransport& link,
+                                         const RecoveredSession& recovered,
+                                         const Point& q_user, const Point& q_server,
+                                         const ComputationTask& task,
+                                         const Commitment& commitment,
+                                         const Warrant& warrant, std::size_t sample_size,
+                                         const IdentityKey& da_key, SignatureCheckMode mode,
+                                         SessionJournal* journal = nullptr);
+
+  SessionReport resume_storage_audit(AuditTransport& link, const RecoveredSession& recovered,
+                                     const Point& q_user, std::uint64_t universe,
+                                     std::size_t sample_size, const IdentityKey& da_key,
+                                     SignatureCheckMode mode,
+                                     SessionJournal* journal = nullptr);
 
  private:
-  /// Shared attempt loop: `issue` builds the attempt's request payload,
-  /// `conclude` verifies a decoded reply payload and fills the report.
+  /// Where a drive() starts: fresh sessions draw identity + master seed from
+  /// the caller's rng; resumed ones carry journaled state forward.
+  struct Origin {
+    std::uint32_t session_id = 0;
+    std::uint64_t master_seed = 0;
+    std::size_t first_attempt = 1;
+    SessionReport carried;
+    bool resumed = false;
+  };
+
+  static Origin fresh_origin(num::RandomSource& rng);
+  static Origin resumed_origin(const RecoveredSession& recovered);
+
+  /// Shared attempt loop: `issue(rng)` builds the attempt's request payload
+  /// from the attempt-scoped random stream, `conclude` verifies a decoded
+  /// reply payload and fills the report.
   template <typename Issue, typename Conclude>
   SessionReport drive(AuditTransport& link, MessageType request_type,
-                      MessageType reply_type, num::RandomSource& rng, Issue&& issue,
-                      Conclude&& conclude);
+                      MessageType reply_type, const Origin& origin,
+                      SessionJournal* journal, Issue&& issue, Conclude&& conclude);
 
   const PairingGroup* group_;
   RetryPolicy policy_;
+  SessionClock* clock_ = nullptr;
 };
 
 }  // namespace seccloud::core

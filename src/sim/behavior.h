@@ -8,7 +8,9 @@
 // corruption) and the privacy-cheating resale attempt.
 #pragma once
 
+#include <cstdint>
 #include <limits>
+#include <vector>
 
 namespace seccloud::sim {
 
@@ -34,11 +36,28 @@ struct ServerBehavior {
   /// The server tries to resell stored data + proofs to a third party.
   bool attempts_resale = false;
 
+  // --- Byzantine Model ---------------------------------------------------
+  // Targeted misbehaviours (as opposed to the probabilistic knobs above):
+  // the server picks exactly *where* to cheat, which is what the bisection
+  // fallback must attribute per entry.
+  /// Block positions whose payload is tampered at retrieval time — the
+  /// signatures for exactly these positions become invalid while the rest
+  /// of the batch stays clean.
+  std::vector<std::uint64_t> bad_signature_indices;
+  /// Equivocating Merkle proofs: audit-path sibling digests are perturbed,
+  /// so the reconstructed root contradicts the committed one.
+  bool equivocate_merkle = false;
+  /// Stale-commit replay: audit responses are answered from the *earliest*
+  /// recorded task instead of the challenged one (an old execution the
+  /// server hopes still passes).
+  bool replay_stale_commit = false;
+
   static ServerBehavior honest() { return {}; }
 
   bool is_honest() const noexcept {
     return retain_fraction >= 1.0 && corrupt_fraction <= 0.0 &&
-           honest_compute_fraction >= 1.0 && honest_position_fraction >= 1.0;
+           honest_compute_fraction >= 1.0 && honest_position_fraction >= 1.0 &&
+           bad_signature_indices.empty() && !equivocate_merkle && !replay_stale_commit;
   }
 };
 

@@ -1,0 +1,106 @@
+// Auditor crash injection and the crash-recovery Monte-Carlo harness.
+//
+// A CrashPlan kills the auditor "process" at a seeded journal append — the
+// only state that survives is the journal prefix that physically landed
+// (possibly with a torn final record). The harness then resurrects the
+// auditor via journal recovery (seccloud/journal.h) and asserts the resumed
+// session is indistinguishable from one that never crashed: same verdict,
+// same channel tallies, same attempt timestamps, bit for bit.
+//
+// Crash points are phrased in *records*, not wall time, because the session
+// driver journals write-ahead: a crash between an attempt-start record and
+// its transmit re-runs an attempt the channel never observed, so the fault
+// stream of a lossy channel stays aligned with the uninterrupted run. The
+// one misaligned class — a crash after the exchange but before the outcome
+// record lands — re-runs an attempt the channel DID observe; those points
+// are only exercised over fault-free channels (aligned_crash_points_only).
+#pragma once
+
+#include <stdexcept>
+
+#include "seccloud/journal.h"
+#include "sim/session_link.h"
+
+namespace seccloud::sim {
+
+/// Where the auditor dies: on the append of intact record number
+/// `crash_after_records + 1` (1-based), with the first `tear_bytes` bytes of
+/// that dying append landing anyway (a torn write).
+struct CrashPlan {
+  std::size_t crash_after_records = 0;
+  std::size_t tear_bytes = 0;
+};
+
+/// Thrown by CrashingJournal at the planned point — stands in for the
+/// auditor process dying mid-append.
+class CrashError : public std::runtime_error {
+ public:
+  CrashError() : std::runtime_error("injected auditor crash") {}
+};
+
+/// A SessionJournal that persists like BufferJournal until the planned
+/// append, then tears that write and throws CrashError. Dead afterwards:
+/// any further append throws again.
+class CrashingJournal final : public core::SessionJournal {
+ public:
+  explicit CrashingJournal(CrashPlan plan) noexcept : plan_(plan) {}
+
+  void append(const core::JournalRecord& record) override;
+
+  /// Everything that physically landed — what recovery gets to read.
+  const core::Bytes& bytes() const noexcept { return bytes_; }
+  std::size_t records() const noexcept { return records_; }
+  bool crashed() const noexcept { return crashed_; }
+
+ private:
+  CrashPlan plan_;
+  core::Bytes bytes_;
+  std::size_t records_ = 0;
+  bool crashed_ = false;
+};
+
+// --- crash-recovery Monte-Carlo --------------------------------------------
+
+/// One crash-recovery experiment: the faulty-channel trial setup (same seed
+/// protocol as run_faulty_audit_trials — trial i derives everything from
+/// (seed, i)), with a seeded fraction of trials killed mid-session and
+/// resumed from their journal.
+struct CrashTrialConfig {
+  FaultyTrialConfig base;
+  /// Fraction of trials whose auditor crashes (1.0 = every trial).
+  double crash_probability = 1.0;
+  /// Restrict crash points to record boundaries where a lossy channel's
+  /// fault stream stays aligned across the crash (attempt starts and the
+  /// session end). Disable only over fault-free channels.
+  bool aligned_crash_points_only = true;
+};
+
+struct CrashRecoveryStats {
+  std::size_t trials = 0;
+  std::size_t crashed = 0;          ///< trials whose injected crash fired
+  std::size_t recovered = 0;        ///< crashed trials resumed from the journal
+  std::size_t resumed_concluded = 0;  ///< recovery found a conclusive outcome
+  std::size_t torn_tails = 0;       ///< recoveries that saw a torn final record
+  std::size_t verdict_matches = 0;  ///< resumed verdict == crash-free verdict
+  std::size_t report_matches = 0;   ///< full tally + timestamp bit-match
+  std::size_t accepted = 0;
+  std::size_t rejected = 0;
+  std::size_t inconclusive = 0;
+};
+
+/// True iff the two reports agree on everything the journal persists:
+/// verdict, attempt/fault tallies, waits, byte totals, and per-attempt
+/// timestamps. (The nested audit detail is deliberately excluded — a
+/// post-conclusion recovery returns the journaled tallies, not the
+/// re-verified detail.)
+bool session_reports_match(const core::SessionReport& a, const core::SessionReport& b);
+
+/// Runs `trials` independent sessions; each first runs crash-free (the
+/// reference), then — with probability crash_probability — re-runs from
+/// identical seeds, crashes at a seeded record boundary, recovers, resumes,
+/// and compares against the reference.
+CrashRecoveryStats run_crash_recovery_trials(const PairingGroup& group,
+                                             const CrashTrialConfig& config,
+                                             std::size_t trials, std::uint64_t seed);
+
+}  // namespace seccloud::sim

@@ -1,11 +1,20 @@
 #include "sim/server.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
 #include "seccloud/client.h"
 
 namespace seccloud::sim {
+
+namespace {
+
+bool targets_index(const std::vector<std::uint64_t>& targets, std::uint64_t index) {
+  return std::find(targets.begin(), targets.end(), index) != targets.end();
+}
+
+}  // namespace
 
 SimCloudServer::SimCloudServer(const PairingGroup& group, IdentityKey key, std::string label,
                                ServerBehavior behavior, std::uint64_t seed)
@@ -51,6 +60,13 @@ std::vector<SignedBlock> SimCloudServer::retrieve_blocks(
   for (const auto index : indices) {
     if (const SignedBlock* stored = lookup(user_id, index); stored != nullptr) {
       out.push_back(*stored);
+      // Byzantine selective tampering: the payload at a targeted position is
+      // flipped at retrieval time, invalidating exactly that signature while
+      // the rest of the batch stays clean.
+      if (targets_index(behavior_.bad_signature_indices, index) &&
+          !out.back().block.payload.empty()) {
+        out.back().block.payload[0] ^= 0x3C;
+      }
     } else {
       out.push_back(fabricate_block(index));
     }
@@ -121,6 +137,17 @@ SimCloudServer::ComputeOutcome SimCloudServer::handle_compute(
     }
     outcome.positions_honest[i] = positions_honest;
 
+    // Byzantine selective tampering, computation side: flip the payload of
+    // targeted positions *before* the operands are read, so the computation
+    // stays self-consistent and only those signatures fail — exactly what
+    // the bisection fallback must attribute.
+    for (auto& input : inputs) {
+      if (targets_index(behavior_.bad_signature_indices, input.block.index) &&
+          !input.block.payload.empty()) {
+        input.block.payload[0] ^= 0x3C;
+      }
+    }
+
     std::vector<std::uint64_t> operands;
     operands.reserve(inputs.size());
     for (const auto& input : inputs) operands.push_back(input.block.value());
@@ -159,7 +186,17 @@ AuditResponse SimCloudServer::handle_audit(const Point& q_user, std::uint64_t ta
   if (it == tasks_.end()) {
     throw std::out_of_range("SimCloudServer::handle_audit: unknown task id");
   }
-  const TaskRecord& record = it->second;
+  const TaskRecord* record = &it->second;
+  if (behavior_.replay_stale_commit) {
+    // Byzantine stale-commit replay: answer from the earliest execution the
+    // server recorded — an old transcript it hopes still satisfies the
+    // auditor — instead of the challenged task.
+    auto earliest = it;
+    for (auto t = tasks_.begin(); t != tasks_.end(); ++t) {
+      if (t->first < earliest->first) earliest = t;
+    }
+    record = &earliest->second;
+  }
 
   AuditResponse response;
   response.warrant_accepted =
@@ -167,12 +204,17 @@ AuditResponse SimCloudServer::handle_audit(const Point& q_user, std::uint64_t ta
   if (!response.warrant_accepted) return response;
 
   for (const auto index : challenge.sample_indices) {
-    if (index >= record.execution.results().size()) continue;
+    if (index >= record->execution.results().size()) continue;
     core::AuditResponseItem item;
     item.request_index = index;
-    item.result = record.execution.results()[index];
-    item.path = record.execution.tree().prove(index);
-    item.inputs = record.presented_inputs[index];
+    item.result = record->execution.results()[index];
+    item.path = record->execution.tree().prove(index);
+    if (behavior_.equivocate_merkle && !item.path.empty()) {
+      // Byzantine equivocation: present a perturbed audit path, so the
+      // reconstructed root contradicts the committed Sig_CS(R).
+      item.path.front().sibling[0] ^= 0x5A;
+    }
+    item.inputs = record->presented_inputs[index];
     response.items.push_back(std::move(item));
   }
   return response;

@@ -1,0 +1,337 @@
+// Batch-verify fallback with bisection: when the one-pairing aggregate check
+// (Eq. 8/9) rejects, dv_batch_isolate must return the exact invalid entry
+// set at O(k·log n) pairing cost — measurably cheaper than re-verifying all
+// n individually — and the auditor layer must surface the per-entry verdict
+// in its reports, bit-identically between the serial and parallel paths.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "bigint/rng.h"
+#include "ibc/dvs.h"
+#include "ibc/ibs.h"
+#include "ibc/keys.h"
+#include "pairing/group.h"
+#include "pairing/parallel.h"
+#include "seccloud/auditor.h"
+#include "seccloud/client.h"
+#include "sim/server.h"
+
+namespace seccloud {
+namespace {
+
+using num::Xoshiro256;
+using pairing::tiny_group;
+
+// --- the pure divide-and-conquer kernel ------------------------------------
+
+TEST(BisectInvalidTest, IsolatesExactSetWithMonotoneOracle) {
+  const std::vector<std::vector<std::size_t>> cases = {
+      {}, {0}, {6}, {0, 6}, {2, 3}, {0, 1, 2, 3, 4, 5, 6}};
+  for (const auto& bad : cases) {
+    const std::size_t n = 7;
+    ibc::BisectionStats stats;
+    const auto oracle = [&](std::size_t lo, std::size_t hi) {
+      return std::none_of(bad.begin(), bad.end(),
+                          [&](std::size_t b) { return lo <= b && b < hi; });
+    };
+    EXPECT_EQ(ibc::bisect_invalid(n, oracle, &stats), bad);
+    EXPECT_GE(stats.oracle_calls, 1u);
+  }
+  // Empty input: no oracle calls at all.
+  ibc::BisectionStats stats;
+  EXPECT_TRUE(ibc::bisect_invalid(0, [](std::size_t, std::size_t) { return true; }, &stats)
+                  .empty());
+  EXPECT_EQ(stats.oracle_calls, 0u);
+}
+
+TEST(BisectInvalidTest, CostIsLogarithmicForFewBadMembers) {
+  // k bad of n must cost O(k·log n) oracle calls, far below n for small k.
+  const std::size_t n = 1024;
+  const std::vector<std::size_t> bad = {37, 512, 900};
+  ibc::BisectionStats stats;
+  const auto oracle = [&](std::size_t lo, std::size_t hi) {
+    return std::none_of(bad.begin(), bad.end(),
+                        [&](std::size_t b) { return lo <= b && b < hi; });
+  };
+  EXPECT_EQ(ibc::bisect_invalid(n, oracle, &stats), bad);
+  // Each bad member opens at most 2 calls per level plus shared prefixes:
+  // comfortably under k·2·(log2 n + 1) = 66, and far under n = 1024.
+  EXPECT_LE(stats.oracle_calls, bad.size() * 2 * 11);
+  EXPECT_LE(stats.max_depth, 10u);  // log2(1024)
+}
+
+// --- DVS batch isolation (the acceptance criterion) ------------------------
+
+struct DvBatch {
+  std::vector<core::Bytes> messages;
+  std::vector<ibc::DvSignature> sigs;
+  std::vector<ibc::BatchEntry> entries;
+};
+
+/// Builds n valid (message, Σ) pairs for one signer/verifier, then corrupts
+/// the signatures at `bad` by perturbing Σ.
+DvBatch make_batch(const pairing::PairingGroup& g, const ibc::IdentityKey& signer,
+                   const ibc::IdentityKey& verifier, std::size_t n,
+                   const std::vector<std::size_t>& bad, Xoshiro256& rng) {
+  DvBatch batch;
+  batch.messages.reserve(n);
+  batch.sigs.reserve(n);
+  batch.entries.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    batch.messages.push_back({static_cast<std::uint8_t>(i), 'm', 's', 'g',
+                              static_cast<std::uint8_t>(i >> 8)});
+    const ibc::IbsSignature ibs = ibc::ibs_sign(g, signer, batch.messages.back(), rng);
+    batch.sigs.push_back(ibc::dv_transform(g, ibs, verifier.q_id));
+  }
+  for (const std::size_t i : bad) {
+    batch.sigs[i].sigma = g.gt_mul(batch.sigs[i].sigma, batch.sigs[i].sigma);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    batch.entries.push_back({signer.q_id, batch.messages[i], &batch.sigs[i]});
+  }
+  return batch;
+}
+
+TEST(DvBatchIsolateTest, SixtyFourEntryBatchWithThreeCorrupted) {
+  Xoshiro256 rng{801};
+  const auto& g = tiny_group();
+  const ibc::Sio sio{g, rng};
+  const auto signer = sio.extract("user@bisect");
+  const auto verifier = sio.extract("da@bisect");
+  const std::vector<std::size_t> bad = {3, 17, 42};
+  const DvBatch batch = make_batch(g, signer, verifier, 64, bad, rng);
+
+  ASSERT_FALSE(ibc::dv_batch_verify(g, batch.entries, verifier));
+
+  // Exactly the 3 corrupted entries are isolated; the other 61 are valid.
+  g.reset_counters();
+  ibc::BisectionStats stats;
+  const auto invalid = ibc::dv_batch_isolate(g, batch.entries, verifier, &stats);
+  const auto bisect_ops = g.counters();
+  EXPECT_EQ(invalid, bad);
+  for (std::size_t i = 0; i < 64; ++i) {
+    const bool flagged = std::find(invalid.begin(), invalid.end(), i) != invalid.end();
+    EXPECT_EQ(ibc::dv_verify(g, signer.q_id, batch.messages[i], *batch.entries[i].sig,
+                             verifier),
+              !flagged);
+  }
+
+  // Pairing accounting: one pairing per oracle call, measurably fewer than
+  // the 64 pairings of individual re-verification.
+  g.reset_counters();
+  for (const auto& entry : batch.entries) {
+    (void)ibc::dv_verify(g, entry.signer_q_id, entry.message, *entry.sig, verifier);
+  }
+  const auto individual_ops = g.counters();
+  EXPECT_EQ(individual_ops.pairings, 64u);
+  EXPECT_EQ(bisect_ops.pairings, stats.oracle_calls);
+  EXPECT_LT(bisect_ops.pairings, individual_ops.pairings);
+  EXPECT_LE(stats.max_depth, 6u);  // log2(64)
+}
+
+TEST(DvBatchIsolateTest, SerialAndParallelAreBitIdentical) {
+  Xoshiro256 rng{802};
+  const auto& g = tiny_group();
+  const ibc::Sio sio{g, rng};
+  const auto signer = sio.extract("user@bisect-par");
+  const auto verifier = sio.extract("da@bisect-par");
+  const DvBatch batch = make_batch(g, signer, verifier, 24, {1, 9, 20, 21}, rng);
+
+  g.reset_counters();
+  ibc::BisectionStats serial_stats;
+  const auto serial = ibc::dv_batch_isolate(g, batch.entries, verifier, &serial_stats);
+  const auto serial_ops = g.counters();
+
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    const pairing::ParallelPairingEngine engine{g, threads};
+    g.reset_counters();
+    ibc::BisectionStats par_stats;
+    const auto par = ibc::dv_batch_isolate(engine, batch.entries, verifier, &par_stats);
+    const auto par_ops = g.counters();
+    EXPECT_EQ(par, serial);
+    EXPECT_EQ(par_stats, serial_stats);
+    EXPECT_EQ(par_ops.pairings, serial_ops.pairings);
+    EXPECT_EQ(par_ops.point_muls, serial_ops.point_muls);
+    EXPECT_EQ(par_ops.gt_exps, serial_ops.gt_exps);
+  }
+}
+
+TEST(DvBatchIsolateTest, CancellationForgeryEvadesTheAggregate) {
+  // The known batch-verification caveat: corruptions that cancel in the
+  // product Σ_A — swapping two sigmas is the simplest — pass the one-pairing
+  // check even though both entries fail individually, so the fallback never
+  // triggers. Isolation likewise reports nothing, because the full aggregate
+  // is its root oracle. This is exactly why batch mode is a screening tool
+  // and a clean isolation result does not certify each member.
+  Xoshiro256 rng{803};
+  const auto& g = tiny_group();
+  const ibc::Sio sio{g, rng};
+  const auto signer = sio.extract("user@forge");
+  const auto verifier = sio.extract("da@forge");
+  DvBatch batch = make_batch(g, signer, verifier, 8, {}, rng);
+  std::swap(batch.sigs[2].sigma, batch.sigs[5].sigma);
+
+  EXPECT_FALSE(ibc::dv_verify(g, signer.q_id, batch.messages[2], batch.sigs[2], verifier));
+  EXPECT_FALSE(ibc::dv_verify(g, signer.q_id, batch.messages[5], batch.sigs[5], verifier));
+  EXPECT_TRUE(ibc::dv_batch_verify(g, batch.entries, verifier));
+  EXPECT_TRUE(ibc::dv_batch_isolate(g, batch.entries, verifier, nullptr).empty());
+}
+
+// --- auditor integration ----------------------------------------------------
+
+TEST(AuditorBisectionTest, StorageAuditReportsPerEntryVerdicts) {
+  Xoshiro256 rng{804};
+  const auto& g = tiny_group();
+  const ibc::Sio sio{g, rng};
+  const auto user = sio.extract("user@audit-bisect");
+  const auto server = sio.extract("cs@audit-bisect");
+  const auto da = sio.extract("da@audit-bisect");
+  const core::UserClient client{g, sio.params(), user, server.q_id, da.q_id};
+
+  std::vector<core::DataBlock> raw;
+  for (std::uint64_t i = 0; i < 32; ++i) raw.push_back(core::DataBlock::from_value(i, i + 9));
+  std::vector<core::SignedBlock> blocks = client.sign_blocks(raw, rng);
+  const std::vector<std::size_t> bad = {4, 21};
+  for (const std::size_t i : bad) blocks[i].block.payload[0] ^= 0x3C;
+
+  const auto serial = core::verify_storage_audit(g, user.q_id, blocks, da,
+                                                 core::VerifierRole::kDesignatedAgency,
+                                                 core::SignatureCheckMode::kBatch);
+  EXPECT_FALSE(serial.accepted);
+  EXPECT_EQ(serial.invalid_signature_entries, bad);
+  EXPECT_EQ(serial.signature_failures, bad.size());
+  EXPECT_GE(serial.bisection.oracle_calls, 1u);
+  // Fewer pairings than the 16-strong individual sweep would cost (1 for
+  // the failed aggregate + the bisection oracle calls).
+  EXPECT_LT(serial.ops.pairings, blocks.size());
+
+  const pairing::ParallelPairingEngine engine{g, 3};
+  const auto parallel = core::verify_storage_audit(engine, user.q_id, blocks, da,
+                                                   core::VerifierRole::kDesignatedAgency,
+                                                   core::SignatureCheckMode::kBatch);
+  EXPECT_EQ(parallel.invalid_signature_entries, serial.invalid_signature_entries);
+  EXPECT_EQ(parallel.bisection, serial.bisection);
+  EXPECT_EQ(parallel.ops.pairings, serial.ops.pairings);
+  EXPECT_EQ(parallel.ops.point_muls, serial.ops.point_muls);
+}
+
+TEST(AuditorBisectionTest, ComputationAuditAttributesByzantineTampering) {
+  Xoshiro256 rng{805};
+  const auto& g = tiny_group();
+  const ibc::Sio sio{g, rng};
+  const auto user = sio.extract("user@byz");
+  const auto server_key = sio.extract("cs@byz");
+  const auto da = sio.extract("da@byz");
+  const core::UserClient client{g, sio.params(), user, server_key.q_id, da.q_id};
+
+  std::vector<core::DataBlock> raw;
+  for (std::uint64_t i = 0; i < 12; ++i) raw.push_back(core::DataBlock::from_value(i, 2 * i + 5));
+  const auto blocks = client.sign_blocks(raw, rng);
+
+  // Byzantine server: tampers exactly the blocks at positions 3 and 7.
+  sim::ServerBehavior behavior;
+  behavior.bad_signature_indices = {3, 7};
+  EXPECT_FALSE(behavior.is_honest());
+  sim::SimCloudServer srv{g, server_key, "cs-byz", behavior, 99};
+  srv.handle_store(user.id, blocks);
+
+  core::ComputationTask task;
+  for (std::size_t i = 0; i < 6; ++i) {
+    core::ComputeRequest req;
+    req.kind = core::FuncKind::kSum;
+    req.positions = {2 * i, 2 * i + 1};
+    task.requests.push_back(std::move(req));
+  }
+  const auto outcome = srv.handle_compute(user.id, user.q_id, da.q_id, task, rng);
+  const core::Warrant warrant = client.make_warrant(da.id, 100, rng);
+  const auto challenge = core::make_challenge(task.requests.size(), task.requests.size(),
+                                              warrant, rng);
+  const auto response = srv.handle_audit(user.q_id, outcome.task_id, challenge, 1);
+
+  const auto report = core::verify_computation_audit(g, user.q_id, server_key.q_id, task,
+                                                     outcome.commitment, challenge,
+                                                     response, da,
+                                                     core::SignatureCheckMode::kBatch);
+  // The tampered payloads stayed computation-consistent: only the signature
+  // check fails, and bisection attributes exactly the tampered entries.
+  EXPECT_FALSE(report.accepted);
+  EXPECT_EQ(report.computation_failures, 0u);
+  std::vector<std::size_t> expected;
+  std::size_t entry = 0;
+  for (const auto& item : response.items) {
+    for (const auto& input : item.inputs) {
+      if (input.block.index == 3 || input.block.index == 7) expected.push_back(entry);
+      ++entry;
+    }
+  }
+  EXPECT_EQ(report.invalid_signature_entries, expected);
+  EXPECT_EQ(report.signature_failures, expected.size());
+}
+
+TEST(AuditorBisectionTest, ByzantineMerkleEquivocationAndStaleReplayDetected) {
+  Xoshiro256 rng{806};
+  const auto& g = tiny_group();
+  const ibc::Sio sio{g, rng};
+  const auto user = sio.extract("user@equiv");
+  const auto server_key = sio.extract("cs@equiv");
+  const auto da = sio.extract("da@equiv");
+  const core::UserClient client{g, sio.params(), user, server_key.q_id, da.q_id};
+
+  std::vector<core::DataBlock> raw;
+  for (std::uint64_t i = 0; i < 8; ++i) raw.push_back(core::DataBlock::from_value(i, i + 1));
+  const auto blocks = client.sign_blocks(raw, rng);
+
+  core::ComputationTask task;
+  for (std::size_t i = 0; i < 4; ++i) {
+    core::ComputeRequest req;
+    req.kind = core::FuncKind::kSum;
+    req.positions = {2 * i, 2 * i + 1};
+    task.requests.push_back(std::move(req));
+  }
+
+  // Equivocating Merkle proofs → root failures.
+  {
+    sim::ServerBehavior behavior;
+    behavior.equivocate_merkle = true;
+    sim::SimCloudServer srv{g, server_key, "cs-equiv", behavior, 7};
+    srv.handle_store(user.id, blocks);
+    const auto outcome = srv.handle_compute(user.id, user.q_id, da.q_id, task, rng);
+    const core::Warrant warrant = client.make_warrant(da.id, 100, rng);
+    const auto challenge = core::make_challenge(task.requests.size(), 3, warrant, rng);
+    const auto response = srv.handle_audit(user.q_id, outcome.task_id, challenge, 1);
+    const auto report = core::verify_computation_audit(g, user.q_id, server_key.q_id,
+                                                       task, outcome.commitment, challenge,
+                                                       response, da,
+                                                       core::SignatureCheckMode::kBatch);
+    EXPECT_FALSE(report.accepted);
+    EXPECT_GE(report.root_failures, 1u);
+  }
+
+  // Stale-commit replay: a second task's audit is answered from the first
+  // task's record; the challenged commitment contradicts the replayed proofs.
+  {
+    sim::ServerBehavior behavior;
+    behavior.replay_stale_commit = true;
+    sim::SimCloudServer srv{g, server_key, "cs-stale", behavior, 8};
+    srv.handle_store(user.id, blocks);
+    const auto first = srv.handle_compute(user.id, user.q_id, da.q_id, task, rng);
+    core::ComputationTask other = task;
+    other.requests[0].positions = {5, 6};  // the second execution differs
+    const auto second = srv.handle_compute(user.id, user.q_id, da.q_id, other, rng);
+    ASSERT_NE(first.task_id, second.task_id);
+    const core::Warrant warrant = client.make_warrant(da.id, 100, rng);
+    const auto challenge =
+        core::make_challenge(other.requests.size(), other.requests.size(), warrant, rng);
+    const auto response = srv.handle_audit(user.q_id, second.task_id, challenge, 1);
+    const auto report = core::verify_computation_audit(g, user.q_id, server_key.q_id,
+                                                       other, second.commitment, challenge,
+                                                       response, da,
+                                                       core::SignatureCheckMode::kBatch);
+    EXPECT_FALSE(report.accepted);
+  }
+}
+
+}  // namespace
+}  // namespace seccloud

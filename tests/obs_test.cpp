@@ -229,6 +229,28 @@ TEST(Export, ParserIsTotal) {
   ASSERT_TRUE(json_parse("{\"a\": [1, true, \"x\", null]}").has_value());
 }
 
+TEST(Export, ParserBoundsRecursionDepth) {
+  // Regression: a 10k-deep nest must fail cleanly (depth limit) instead of
+  // overflowing the parser's call stack. Moderate nesting still parses.
+  const auto nested = [](std::size_t depth, char open, char close) {
+    std::string text(depth, open);
+    text.append(depth, close);
+    return text;
+  };
+  EXPECT_FALSE(json_parse(nested(10'000, '[', ']')).has_value());
+  EXPECT_FALSE(json_parse(nested(10'000, '{', '}')).has_value());  // also malformed
+  // A mixed 10k nest of objects and arrays dies at the depth check too.
+  {
+    std::string text;
+    for (std::size_t i = 0; i < 5'000; ++i) text += "{\"k\":[";
+    for (std::size_t i = 0; i < 5'000; ++i) text += "]}";
+    EXPECT_FALSE(json_parse(text).has_value());
+  }
+  EXPECT_TRUE(json_parse(nested(100, '[', ']')).has_value());
+  EXPECT_FALSE(json_parse(nested(129, '[', ']')).has_value());  // just past the limit
+  EXPECT_TRUE(json_parse(nested(128, '[', ']')).has_value());   // at the limit
+}
+
 TEST(Export, SummaryLineAggregatesPairingCounters) {
   MetricsRegistry registry;
   registry.counter("pairing.pairings").inc(4);

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "ibc/keys.h"
@@ -337,6 +338,57 @@ TEST_F(SessionTest, ExpiredWarrantIsConclusiveRejectionEvenOverFaultyChannel) {
                                   budget(16), /*warrant_expiry=*/0);
   EXPECT_EQ(run.report.verdict, core::SessionVerdict::kRejected);
   EXPECT_TRUE(run.report.computation.warrant_rejected);
+}
+
+// --- attempt timestamps ----------------------------------------------------
+
+TEST_F(SessionTest, AttemptTimestampsFollowTheSessionClock) {
+  // Find a seed whose storage session needs several attempts, then check the
+  // wall-clock stamps: one per attempt, spaced exactly by the waits the
+  // policy charged (timeout + backoff), starting at the clock origin.
+  const core::RetryPolicy policy = budget(16);
+  Run run;
+  std::uint64_t seed = 0;
+  for (std::uint64_t candidate = 1; candidate <= 64; ++candidate) {
+    run = run_storage(sim::ServerBehavior::honest(), harsh_plan(), candidate, policy);
+    if (run.report.attempts >= 3 && run.report.conclusive()) {
+      seed = candidate;
+      break;
+    }
+  }
+  ASSERT_NE(seed, 0u) << "no seed produced a multi-attempt session";
+
+  const auto& stamps = run.report.attempt_started_units;
+  ASSERT_EQ(stamps.size(), run.report.attempts);
+  EXPECT_EQ(stamps.front(), 0u);  // default clock origin
+  for (std::size_t k = 1; k < stamps.size(); ++k) {
+    // Attempt k failed, charging its timeout plus the backoff before k+1.
+    EXPECT_EQ(stamps[k] - stamps[k - 1], policy.timeout_units + policy.backoff_for(k))
+        << "attempt " << k + 1;
+  }
+  EXPECT_LE(stamps.back(), run.report.waited_units);  // stamps never outrun the waits
+
+  // An injected clock shifts every stamp by its origin and nothing else.
+  sim::SimCloudServer server{g, server_key, "cs", sim::ServerBehavior::honest(),
+                             seed ^ 0xC0FFEE};
+  server.handle_store(user_key.id, blocks);
+  sim::FaultyAuditLink link{g, server, harsh_plan(), seed + 2};
+  link.bind_storage(user_key.q_id, user_key.id);
+  core::AuditSession session{g, policy};
+  core::SimulatedClock clock{500};
+  session.set_clock(&clock);
+  Xoshiro256 session_rng{seed};
+  const auto shifted = session.run_storage_audit(link, user_key.q_id, 32, 8, da_key,
+                                                 core::SignatureCheckMode::kBatch,
+                                                 session_rng);
+  ASSERT_EQ(shifted.attempt_started_units.size(), stamps.size());
+  for (std::size_t k = 0; k < stamps.size(); ++k) {
+    EXPECT_EQ(shifted.attempt_started_units[k], stamps[k] + 500) << "attempt " << k + 1;
+  }
+
+  // The stamps are part of the machine-readable report.
+  const std::string json = run.report.to_json();
+  EXPECT_NE(json.find("\"attempt_started_units\""), std::string::npos);
 }
 
 // --- Monte-Carlo wiring ----------------------------------------------------

@@ -7,6 +7,7 @@
 // matrix exercises the cryptographic binding, not input parsing.
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -135,6 +136,153 @@ TEST(TamperMatrixTest, DesignatedVerifierSignature) {
   EXPECT_FALSE(ibc::dv_verify(g, other_signer.q_id, kMessage, sig, verifier));
   // designation: Σ targeted at CS convinces nobody else (the privacy core)
   EXPECT_FALSE(ibc::dv_verify(g, signer.q_id, kMessage, sig, other_verifier));
+}
+
+// --- batch-bisection rows ----------------------------------------------------
+// For every scheme: a batch of 32 signatures with 1, 2, and 5 corrupted
+// members, isolated through ibc::bisect_invalid — the oracle being the
+// scheme's natural range check (the true sub-aggregate for BGLS and DVS, a
+// member sweep elsewhere). The isolated set must match the corruption set
+// exactly; corrupted entries are well-formed values of the right type, so
+// the binding, not parsing, is what fails.
+
+const std::vector<std::vector<std::size_t>> kCorruptionRows = {
+    {17}, {4, 26}, {0, 7, 15, 22, 31}};
+constexpr std::size_t kBatchSize = 32;
+
+std::vector<std::vector<std::uint8_t>> batch_messages() {
+  std::vector<std::vector<std::uint8_t>> messages;
+  for (std::size_t i = 0; i < kBatchSize; ++i) {
+    messages.push_back({'b', 'a', 't', 'c', 'h', static_cast<std::uint8_t>(i)});
+  }
+  return messages;
+}
+
+/// Runs every corruption row: `corrupted(bad)` returns the per-index
+/// validity oracle for a batch whose members at `bad` were corrupted.
+void expect_rows_isolated(
+    const std::function<std::function<bool(std::size_t, std::size_t)>(
+        const std::vector<std::size_t>&)>& corrupted) {
+  for (const auto& bad : kCorruptionRows) {
+    ibc::BisectionStats stats;
+    const auto range_valid = corrupted(bad);
+    EXPECT_EQ(ibc::bisect_invalid(kBatchSize, range_valid, &stats), bad)
+        << bad.size() << " corruptions";
+    EXPECT_LE(stats.max_depth, 5u);  // log2(32)
+  }
+}
+
+TEST(TamperMatrixTest, RsaFdhBatchBisection) {
+  Xoshiro256 rng{711};
+  const auto key = baselines::rsa_generate(256, rng);
+  const auto messages = batch_messages();
+  std::vector<BigUint> sigs;
+  for (const auto& m : messages) sigs.push_back(baselines::rsa_sign(key, m));
+
+  expect_rows_isolated([&](const std::vector<std::size_t>& bad) {
+    auto tampered = sigs;
+    for (const std::size_t i : bad) tampered[i] = tampered[i] + BigUint{1};
+    return [&key, &messages, tampered](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        if (!baselines::rsa_verify(key.n, key.e, messages[i], tampered[i])) return false;
+      }
+      return true;
+    };
+  });
+}
+
+TEST(TamperMatrixTest, EcdsaP256BatchBisection) {
+  Xoshiro256 rng{712};
+  const ec::P256 p256;
+  const auto key = baselines::ecdsa_generate(p256, rng);
+  const auto messages = batch_messages();
+  std::vector<baselines::EcdsaSignature> sigs;
+  for (const auto& m : messages) sigs.push_back(baselines::ecdsa_sign(p256, key, m, rng));
+
+  expect_rows_isolated([&](const std::vector<std::size_t>& bad) {
+    auto tampered = sigs;
+    for (const std::size_t i : bad) tampered[i].s = tampered[i].s + BigUint{1};
+    return [&p256, &key, &messages, tampered](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        if (!baselines::ecdsa_verify(p256, key.q, messages[i], tampered[i])) return false;
+      }
+      return true;
+    };
+  });
+}
+
+TEST(TamperMatrixTest, BglsBatchBisection) {
+  Xoshiro256 rng{713};
+  const auto& g = tiny_group();
+  const auto key = baselines::bgls_generate(g, rng);
+  const auto messages = batch_messages();  // pairwise distinct, as BGLS requires
+  std::vector<pairing::Point> sigs;
+  for (const auto& m : messages) sigs.push_back(baselines::bgls_sign(g, key, m));
+
+  expect_rows_isolated([&](const std::vector<std::size_t>& bad) {
+    auto tampered = sigs;
+    for (const std::size_t i : bad) tampered[i] = g.mul(BigUint{2}, tampered[i]);
+    // The true sub-aggregate oracle: aggregate the range and verify it with
+    // one multi-pairing check, exactly how a BGLS verifier would bisect.
+    return [&g, &key, &messages, tampered](std::size_t lo, std::size_t hi) {
+      std::vector<baselines::BglsItem> items;
+      for (std::size_t i = lo; i < hi; ++i) items.push_back({key.v, messages[i]});
+      const std::span<const pairing::Point> range{tampered.data() + lo, hi - lo};
+      return baselines::bgls_aggregate_verify(g, items, baselines::bgls_aggregate(g, range));
+    };
+  });
+}
+
+TEST(TamperMatrixTest, IdentityBasedSignatureBatchBisection) {
+  Xoshiro256 rng{714};
+  const auto& g = tiny_group();
+  const ibc::Sio sio{g, rng};
+  const auto signer = sio.extract("signer@batch-tamper");
+  const auto messages = batch_messages();
+  std::vector<ibc::IbsSignature> sigs;
+  for (const auto& m : messages) sigs.push_back(ibc::ibs_sign(g, signer, m, rng));
+
+  expect_rows_isolated([&](const std::vector<std::size_t>& bad) {
+    auto tampered = sigs;
+    for (const std::size_t i : bad) tampered[i].v = g.mul(BigUint{2}, tampered[i].v);
+    return [&g, &sio, &signer, &messages, tampered](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        if (!ibc::ibs_verify(g, sio.params(), signer.id, messages[i], tampered[i])) {
+          return false;
+        }
+      }
+      return true;
+    };
+  });
+}
+
+TEST(TamperMatrixTest, DesignatedVerifierBatchBisection) {
+  Xoshiro256 rng{715};
+  const auto& g = tiny_group();
+  const ibc::Sio sio{g, rng};
+  const auto signer = sio.extract("user@batch-tamper");
+  const auto verifier = sio.extract("cs@batch-tamper");
+  const auto messages = batch_messages();
+  std::vector<ibc::DvSignature> sigs;
+  for (const auto& m : messages) {
+    sigs.push_back(ibc::dv_transform(g, ibc::ibs_sign(g, signer, m, rng), verifier.q_id));
+  }
+
+  for (const auto& bad : kCorruptionRows) {
+    auto tampered = sigs;
+    for (const std::size_t i : bad) {
+      tampered[i].sigma = g.gt_mul(tampered[i].sigma, tampered[i].sigma);
+    }
+    std::vector<ibc::BatchEntry> entries;
+    for (std::size_t i = 0; i < kBatchSize; ++i) {
+      entries.push_back({signer.q_id, messages[i], &tampered[i]});
+    }
+    EXPECT_FALSE(ibc::dv_batch_verify(g, entries, verifier));
+    ibc::BisectionStats stats;
+    EXPECT_EQ(ibc::dv_batch_isolate(g, entries, verifier, &stats), bad)
+        << bad.size() << " corruptions";
+    EXPECT_LE(stats.max_depth, 5u);
+  }
 }
 
 }  // namespace
