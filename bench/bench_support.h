@@ -23,9 +23,22 @@
 
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/openmetrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "pairing/group.h"
 #include "pairing/parallel.h"
+
+// Build provenance stamped into every BENCH_<name>.json header so committed
+// baselines stay traceable to the commit and toolchain that produced them.
+// The CMake bench target definitions supply real values; the fallbacks keep
+// out-of-tree compiles working.
+#ifndef SECCLOUD_GIT_SHA
+#define SECCLOUD_GIT_SHA "unknown"
+#endif
+#ifndef SECCLOUD_SANITIZE_FLAGS
+#define SECCLOUD_SANITIZE_FLAGS "none"
+#endif
 
 namespace seccloud::bench {
 
@@ -120,6 +133,8 @@ class Bench {
 #else
     w.key("build_type").value("debug");
 #endif
+    w.key("git_sha").value(std::string_view{SECCLOUD_GIT_SHA});
+    w.key("sanitizers").value(std::string_view{SECCLOUD_SANITIZE_FLAGS});
     w.key("cpp_standard").value(static_cast<std::int64_t>(__cplusplus));
     w.key("pointer_bits").value(static_cast<std::uint64_t>(8 * sizeof(void*)));
     w.end_object();
@@ -156,11 +171,27 @@ class Bench {
     std::printf("[bench] wrote %s | %s\n", path.c_str(),
                 obs::summary_line(snap).c_str());
 
+    // OpenMetrics exposition of the same snapshot, for scrape-style tooling.
+    const std::string prom_path = "METRICS_" + name_ + ".prom";
+    std::ofstream(prom_path) << obs::metrics_to_openmetrics(snap);
+
     if (tracer_) {
       scope_.reset();  // stop capturing before export
       const std::string trace_path = "TRACE_" + name_ + ".json";
       std::ofstream(trace_path) << tracer_->to_chrome_json() << '\n';
       std::printf("[bench] wrote %s (%zu events)\n", trace_path.c_str(), tracer_->size());
+
+      // Cost-attribution views of the trace: a collapsed-stack file any
+      // flamegraph renderer accepts, and the aggregated call-path profile
+      // with the paper's Table I cost model applied per phase.
+      const obs::Profile profile = obs::Profile::from_events(tracer_->events());
+      const std::string flame_path = "FLAME_" + name_ + ".txt";
+      std::ofstream(flame_path) << profile.to_collapsed();
+      const obs::CostTable costs = obs::CostTable::paper_table1();
+      const std::string profile_path = "PROFILE_" + name_ + ".json";
+      std::ofstream(profile_path) << profile.to_json(&costs) << '\n';
+      std::printf("[bench] wrote %s, %s (%zu paths)\n", flame_path.c_str(),
+                  profile_path.c_str(), profile.paths().size());
     }
     return 0;
   }

@@ -1,0 +1,136 @@
+#include "obs/openmetrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+namespace seccloud::obs {
+
+namespace {
+
+/// Shortest %g form that parses back to the same double — "0.001" instead of
+/// the 17-digit tail %.17g would print for values that need fewer digits.
+std::string format_double(double v) {
+  if (!std::isfinite(v)) {
+    if (std::isnan(v)) return "NaN";
+    return v > 0 ? "+Inf" : "-Inf";
+  }
+  char buf[40];
+  for (const int precision : {15, 16, 17}) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+bool name_char_ok(char c, bool first) {
+  const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':';
+  return first ? alpha : alpha || (c >= '0' && c <= '9');
+}
+
+/// Prefixes, sanitizes, and deduplicates: "pairing.pairings" under ns
+/// "seccloud" becomes "seccloud_pairing_pairings"; two raw names that
+/// collapse to the same sanitized form get "_2", "_3", ... suffixes so no
+/// sample is silently merged or dropped.
+class NameTable {
+ public:
+  explicit NameTable(std::string_view ns) : ns_(ns) {}
+
+  std::string resolve(std::string_view raw) {
+    std::string name{ns_};
+    if (!name.empty()) name.push_back('_');
+    name += openmetrics_sanitize_name(raw);
+    auto [it, inserted] = used_.try_emplace(name, 1);
+    if (!inserted) {
+      ++it->second;
+      name.push_back('_');
+      name += std::to_string(it->second);
+    }
+    return name;
+  }
+
+ private:
+  std::string ns_;
+  std::map<std::string, int> used_;
+};
+
+void emit_header(std::string& out, const std::string& name, std::string_view raw,
+                 std::string_view type) {
+  out += "# HELP ";
+  out += name;
+  out += " seccloud metric '";
+  out += openmetrics_escape(raw);
+  out += "'\n# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string openmetrics_sanitize_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    out.push_back(name_char_ok(c, /*first=*/i == 0) ? c : '_');
+  }
+  if (out.empty()) out.push_back('_');
+  return out;
+}
+
+std::string openmetrics_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string metrics_to_openmetrics(const MetricsSnapshot& snapshot, std::string_view ns) {
+  NameTable names{ns};
+  std::string out;
+
+  for (const auto& [raw, value] : snapshot.counters) {
+    const std::string name = names.resolve(raw);
+    emit_header(out, name, raw, "counter");
+    out += name + "_total " + std::to_string(value) + "\n";
+  }
+
+  for (const auto& [raw, gauge] : snapshot.gauges) {
+    const std::string name = names.resolve(raw);
+    emit_header(out, name, raw, "gauge");
+    out += name + " " + std::to_string(gauge.value) + "\n";
+    const std::string max_name = names.resolve(std::string{raw} + ".max");
+    emit_header(out, max_name, std::string{raw} + ".max", "gauge");
+    out += max_name + " " + std::to_string(gauge.max) + "\n";
+  }
+
+  for (const auto& [raw, hist] : snapshot.histograms) {
+    const std::string name = names.resolve(raw);
+    emit_header(out, name, raw, "histogram");
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < hist.edges.size(); ++i) {
+      cumulative += i < hist.counts.size() ? hist.counts[i] : 0;
+      out += name + "_bucket{le=\"" + format_double(hist.edges[i]) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += name + "_bucket{le=\"+Inf\"} " + std::to_string(hist.count) + "\n";
+    out += name + "_sum " + format_double(hist.sum) + "\n";
+    out += name + "_count " + std::to_string(hist.count) + "\n";
+  }
+
+  out += "# EOF\n";
+  return out;
+}
+
+}  // namespace seccloud::obs

@@ -1,0 +1,34 @@
+// OpenMetrics / Prometheus text exposition for MetricsSnapshot, alongside
+// the JSON codec in export.h:
+//   * counters  → "<ns>_<name>_total"            (# TYPE counter)
+//   * gauges    → "<ns>_<name>" and "<ns>_<name>_max" (# TYPE gauge)
+//   * histograms→ "<ns>_<name>_bucket{le="..."}" cumulative buckets ending in
+//                 le="+Inf", plus "_sum" and "_count" (# TYPE histogram)
+// Metric names are sanitized to [a-zA-Z_:][a-zA-Z0-9_:]* (every other byte
+// becomes '_'; collisions get a numeric suffix); the original dotted name is
+// preserved in the # HELP line with OpenMetrics escaping, so a scrape target
+// stays reversible to the registry's own naming. Output is byte-stable for a
+// given snapshot (maps are ordered) and ends with "# EOF".
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace seccloud::obs {
+
+/// Sanitizes one metric name to the Prometheus charset (no namespace
+/// prefixing, no collision handling — the exporter layers those on top).
+std::string openmetrics_sanitize_name(std::string_view name);
+
+/// Escapes a HELP text / label value: backslash, double quote and newline
+/// become \\ , \" and \n.
+std::string openmetrics_escape(std::string_view text);
+
+/// Renders the whole snapshot in OpenMetrics text exposition format under
+/// the given namespace prefix (default "seccloud").
+std::string metrics_to_openmetrics(const MetricsSnapshot& snapshot,
+                                   std::string_view ns = "seccloud");
+
+}  // namespace seccloud::obs

@@ -26,6 +26,7 @@ Point PairingGroup::hash_to_g1(std::string_view tag, std::string_view data) cons
 
 Point PairingGroup::hash_to_g1(std::string_view tag, std::span<const std::uint8_t> data) const {
   counters_.hash_to_points.fetch_add(1, std::memory_order_relaxed);
+  ++tls_op_counters().hash_to_points;
   // Try-and-increment: x_ctr = H(tag ‖ data ‖ ctr) until x lies on the
   // curve, then clear the cofactor. Expected two attempts.
   std::vector<std::uint8_t> buf(data.begin(), data.end());
@@ -152,6 +153,10 @@ Gt PairingGroup::pair(const Point& p, const Point& q) const {
   counters_.pairings.fetch_add(1, std::memory_order_relaxed);
   counters_.miller_loops.fetch_add(1, std::memory_order_relaxed);
   counters_.final_exps.fetch_add(1, std::memory_order_relaxed);
+  OpCounters& tls = tls_op_counters();
+  ++tls.pairings;
+  ++tls.miller_loops;
+  ++tls.final_exps;
   if (p.infinity || q.infinity) return fp2_->one();
   return final_exponentiation(miller_loop(p, q));
 }
@@ -167,11 +172,13 @@ Gt PairingGroup::pair_product(std::span<const std::pair<Point, Point>> pairs) co
 
 Fp2 PairingGroup::miller(const Point& p, const Point& q) const {
   counters_.miller_loops.fetch_add(1, std::memory_order_relaxed);
+  ++tls_op_counters().miller_loops;
   return miller_loop(p, q);
 }
 
 Gt PairingGroup::finalize(const Fp2& f) const {
   counters_.final_exps.fetch_add(1, std::memory_order_relaxed);
+  ++tls_op_counters().final_exps;
   return final_exponentiation(f);
 }
 
@@ -192,6 +199,10 @@ OpCounters PairingGroup::lifetime_counters() const noexcept {
 
 void PairingGroup::add_ops(const OpCounters& delta) const noexcept {
   accumulate(counters_, delta);
+  // add_ops is always called on the thread that performed the work (fixed-
+  // argument replays, engine bookkeeping), so the per-thread mirror stays an
+  // exact attribution of the caller's own ops.
+  tls_op_counters() += delta;
 }
 
 void PairingGroup::publish_to(obs::MetricsRegistry& registry, std::string prefix) const {

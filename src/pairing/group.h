@@ -50,6 +50,7 @@ class PairingGroup {
   Point neg(const Point& a) const { return curve_->neg(a); }
   Point mul(const BigUint& k, const Point& a) const {
     counters_.point_muls.fetch_add(1, std::memory_order_relaxed);
+    ++tls_op_counters().point_muls;
     return curve_->mul(k, a);
   }
   /// Uniform scalar in [1, q).
@@ -90,6 +91,7 @@ class PairingGroup {
   Gt gt_inv(const Gt& x) const { return fp2_->conj(x); }
   Gt gt_pow(const Gt& x, const BigUint& e) const {
     counters_.gt_exps.fetch_add(1, std::memory_order_relaxed);
+    ++tls_op_counters().gt_exps;
     return fp2_->pow(x, e);
   }
   /// Fixed-width serialization (2 field elements, big-endian).

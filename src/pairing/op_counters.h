@@ -62,13 +62,18 @@ inline void store(AtomicOpCounters& a, const OpCounters& v) noexcept {
   a.hash_to_points.store(v.hash_to_points, std::memory_order_relaxed);
 }
 
-inline OpCounters operator+(OpCounters a, const OpCounters& b) noexcept {
+inline OpCounters& operator+=(OpCounters& a, const OpCounters& b) noexcept {
   a.pairings += b.pairings;
   a.miller_loops += b.miller_loops;
   a.final_exps += b.final_exps;
   a.point_muls += b.point_muls;
   a.gt_exps += b.gt_exps;
   a.hash_to_points += b.hash_to_points;
+  return a;
+}
+
+inline OpCounters operator+(OpCounters a, const OpCounters& b) noexcept {
+  a += b;
   return a;
 }
 
@@ -80,6 +85,18 @@ inline OpCounters operator-(OpCounters a, const OpCounters& b) noexcept {
   a.gt_exps -= b.gt_exps;
   a.hash_to_points -= b.hash_to_points;
   return a;
+}
+
+/// Per-thread mirror of every counter bump, cumulative for the thread's
+/// lifetime and never reset. Unlike the group's shared atomic accumulator, a
+/// begin/end delta of this mirror attributes exactly the ops the *calling*
+/// thread performed in between — concurrent workers cannot pollute it — which
+/// is what the obs profiler uses to tag each trace span with the crypto work
+/// it spent (see obs/profiler.h). A plain uint64 increment per op keeps the
+/// hot path as cheap as the relaxed fetch_add next to it.
+inline OpCounters& tls_op_counters() noexcept {
+  thread_local OpCounters mirror;
+  return mirror;
 }
 
 }  // namespace seccloud::pairing

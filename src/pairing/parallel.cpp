@@ -4,13 +4,14 @@
 #include <string>
 
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace seccloud::pairing {
 
 Gt ParallelPairingEngine::pair_product(
     std::span<const std::pair<Point, Point>> pairs) const {
-  obs::Span span = obs::trace_span("pair_product");
+  obs::ProfileSpan span = obs::profile_span("pair_product");
   if (span) span.arg("pairs", std::to_string(pairs.size()));
   obs::Histogram* latency = pair_product_ms_.load(std::memory_order_relaxed);
   const auto begin_time = latency != nullptr ? std::chrono::steady_clock::now()
@@ -33,7 +34,7 @@ Gt ParallelPairingEngine::pair_product(
   const auto& f2 = group_->fp2();
   std::vector<Fp2> values(pairs.size(), f2.one());
   pool_->parallel_for(pairs.size(), [&](std::size_t begin, std::size_t end) {
-    obs::Span chunk = obs::trace_span("miller_chunk");
+    obs::ProfileSpan chunk = obs::profile_span("miller_chunk");
     if (chunk) {
       chunk.arg("begin", std::to_string(begin));
       chunk.arg("end", std::to_string(end));
@@ -54,13 +55,28 @@ Gt ParallelPairingEngine::pair_product(
 void ParallelPairingEngine::for_each(
     std::size_t n, const std::function<void(std::size_t)>& body) const {
   pool_->parallel_for(n, [&body](std::size_t begin, std::size_t end) {
+    // Profiled per chunk, not per item: one span per worker slice keeps the
+    // trace small while still attributing every crypto op the slice spends
+    // to the thread that spent it (the profiler's per-thread mirror).
+    obs::ProfileSpan chunk = obs::profile_span("pool_chunk");
+    if (chunk) {
+      chunk.arg("begin", std::to_string(begin));
+      chunk.arg("end", std::to_string(end));
+    }
     for (std::size_t i = begin; i < end; ++i) body(i);
   });
 }
 
 void ParallelPairingEngine::for_chunks(
     std::size_t n, const std::function<void(std::size_t, std::size_t)>& body) const {
-  pool_->parallel_for(n, body);
+  pool_->parallel_for(n, [&body](std::size_t begin, std::size_t end) {
+    obs::ProfileSpan chunk = obs::profile_span("pool_chunk");
+    if (chunk) {
+      chunk.arg("begin", std::to_string(begin));
+      chunk.arg("end", std::to_string(end));
+    }
+    body(begin, end);
+  });
 }
 
 void ParallelPairingEngine::bind_metrics(obs::MetricsRegistry& registry,

@@ -7,6 +7,7 @@
 
 #include "ibc/ibs.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "seccloud/client.h"
 
@@ -74,7 +75,7 @@ AuditReport verify_computation_audit_impl(
     const AuditChallenge& challenge, const AuditResponse& response,
     const IdentityKey& da_key, SignatureCheckMode mode) {
   group.reset_counters();
-  obs::Span span = obs::trace_span("computation_audit");
+  obs::ProfileSpan span = obs::profile_span("computation_audit");
   if (span) {
     span.arg("samples", std::to_string(challenge.sample_indices.size()));
     span.arg("mode", mode == SignatureCheckMode::kBatch ? "batch" : "individual");
@@ -107,6 +108,10 @@ AuditReport verify_computation_audit_impl(
   // so the pairing-heavy work can run as one parallel sweep after the
   // bookkeeping loop; with no engine they are flushed inline below.
   std::vector<Bytes> batched_messages;
+  // Merkle-root reconstructions are likewise deferred into one profiled
+  // sweep, so the per-phase profile attributes their (hash-only) cost to a
+  // "merkle_check" scope instead of smearing it across the bookkeeping loop.
+  std::vector<std::pair<const ComputeRequest*, const AuditResponseItem*>> merkle_pending;
 
   for (const auto& item : response.items) {
     if (challenged.erase(item.request_index) == 0 ||
@@ -158,11 +163,21 @@ AuditReport verify_computation_audit_impl(
       }
     }
 
-    // (c) IsRootWrong: reconstruct R from H(y ‖ p) and the sibling set.
-    const merkle::Digest leaf =
-        merkle::MerkleTree::leaf_hash(result_leaf_bytes(request, item.result));
-    if (!merkle::MerkleTree::verify(commitment.root, leaf, item.path)) {
-      ++report.root_failures;
+    // (c) IsRootWrong: deferred to the profiled merkle_check sweep below.
+    merkle_pending.emplace_back(&request, &item);
+  }
+
+  {
+    // Reconstruct R from H(y ‖ p) and the sibling set for every retained
+    // sample (one profile scope: the Merkle phase of the cost model).
+    obs::ProfileSpan merkle_span = obs::profile_span("merkle_check");
+    if (merkle_span) merkle_span.arg("leaves", std::to_string(merkle_pending.size()));
+    for (const auto& [request, item] : merkle_pending) {
+      const merkle::Digest leaf =
+          merkle::MerkleTree::leaf_hash(result_leaf_bytes(*request, item->result));
+      if (!merkle::MerkleTree::verify(commitment.root, leaf, item->path)) {
+        ++report.root_failures;
+      }
     }
   }
 
@@ -170,7 +185,7 @@ AuditReport verify_computation_audit_impl(
   report.root_failures += challenged.size();
 
   if (mode == SignatureCheckMode::kIndividual && par != nullptr) {
-    obs::Span verify_span = obs::trace_span("individual_verify");
+    obs::ProfileSpan verify_span = obs::profile_span("individual_verify");
     if (verify_span) verify_span.arg("blocks", std::to_string(batched_blocks.size()));
     report.signature_failures += count_signature_failures(
         *par, q_user, batched_blocks, VerifierRole::kDesignatedAgency);
@@ -190,7 +205,7 @@ AuditReport verify_computation_audit_impl(
 
   bool batch_ok = true;
   if (mode == SignatureCheckMode::kBatch && batch.size() > 0) {
-    obs::Span batch_span = obs::trace_span("batch_verify");
+    obs::ProfileSpan batch_span = obs::profile_span("batch_verify");
     if (batch_span) batch_span.arg("entries", std::to_string(batch.size()));
     batch_ok = batch.verify(da_key);
   }
@@ -198,7 +213,7 @@ AuditReport verify_computation_audit_impl(
     // Batch rejected: bisect over range aggregates to isolate the exact
     // invalid entries — O(k·log n) pairings for k bad of n, versus n for
     // re-verifying every member individually.
-    obs::Span isolate_span = obs::trace_span("bisection_isolate");
+    obs::ProfileSpan isolate_span = obs::profile_span("bisection_isolate");
     std::vector<ibc::DvSignature> sigs;  // for_da() returns by value; keep alive
     std::vector<ibc::BatchEntry> entries;
     sigs.reserve(batched_blocks.size());
@@ -234,7 +249,7 @@ StorageAuditReport verify_storage_audit_impl(const PairingGroup& group,
                                              const IdentityKey& verifier_key,
                                              VerifierRole role, SignatureCheckMode mode) {
   group.reset_counters();
-  obs::Span span = obs::trace_span("storage_audit");
+  obs::ProfileSpan span = obs::profile_span("storage_audit");
   if (span) {
     span.arg("blocks", std::to_string(blocks.size()));
     span.arg("mode", mode == SignatureCheckMode::kBatch ? "batch" : "individual");
@@ -243,7 +258,7 @@ StorageAuditReport verify_storage_audit_impl(const PairingGroup& group,
   report.blocks_checked = blocks.size();
 
   if (mode == SignatureCheckMode::kBatch) {
-    obs::Span batch_span = obs::trace_span("batch_verify");
+    obs::ProfileSpan batch_span = obs::profile_span("batch_verify");
     if (batch_span) batch_span.arg("entries", std::to_string(blocks.size()));
     ibc::BatchAccumulator batch{group};
     std::vector<Bytes> messages(blocks.size());
@@ -280,7 +295,7 @@ StorageAuditReport verify_storage_audit_impl(const PairingGroup& group,
     // Batch rejected: isolate the invalid members by bisection instead of
     // re-verifying all n individually (O(k·log n) pairings for k bad of n).
     batch_span.end();
-    obs::Span isolate_span = obs::trace_span("bisection_isolate");
+    obs::ProfileSpan isolate_span = obs::profile_span("bisection_isolate");
     report.invalid_signature_entries =
         par != nullptr
             ? ibc::dv_batch_isolate(*par->engine, entries, verifier_key,
@@ -299,7 +314,7 @@ StorageAuditReport verify_storage_audit_impl(const PairingGroup& group,
     return report;
   }
 
-  obs::Span verify_span = obs::trace_span("individual_verify");
+  obs::ProfileSpan verify_span = obs::profile_span("individual_verify");
   if (verify_span) verify_span.arg("blocks", std::to_string(blocks.size()));
   if (par != nullptr) {
     std::vector<const SignedBlock*> ptrs;

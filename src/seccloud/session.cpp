@@ -7,6 +7,7 @@
 #include "hash/sha256.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "seccloud/codec.h"
 #include "seccloud/journal.h"
@@ -260,31 +261,42 @@ SessionReport AuditSession::drive(AuditTransport& link, MessageType request_type
     obs::Span attempt_span = obs::trace_span("attempt");
     if (attempt_span) attempt_span.arg("seq", std::to_string(attempt));
     num::Xoshiro256 attempt_rng{origin.master_seed + kAttemptSeedStride * attempt};
-    const Bytes request = issue(attempt_rng);
+    Bytes request;
+    {
+      // The challenge phase of the cost model: sampling plus encoding.
+      obs::ProfileSpan challenge_span = obs::profile_span("challenge");
+      request = issue(attempt_rng);
+      if (challenge_span) challenge_span.arg("bytes", std::to_string(request.size()));
+    }
     const Bytes frame = encode_frame(request_type, session_id, seq, request);
     report.bytes_sent += frame.size();
 
     std::optional<Bytes> reply;
-    for (const Bytes& raw : link.exchange(request_type, frame)) {
-      report.bytes_received += raw.size();
-      auto decoded = decode_frame(raw);
-      if (!decoded) {
-        ++report.corrupt_frames;  // in-flight damage — a channel fault
-        obs::trace_instant("corrupt_frame");
-        continue;
+    {
+      // The transmit phase: channel exchange plus frame integrity checks.
+      obs::ProfileSpan transmit_span = obs::profile_span("transmit");
+      if (transmit_span) transmit_span.arg("bytes_sent", std::to_string(frame.size()));
+      for (const Bytes& raw : link.exchange(request_type, frame)) {
+        report.bytes_received += raw.size();
+        auto decoded = decode_frame(raw);
+        if (!decoded) {
+          ++report.corrupt_frames;  // in-flight damage — a channel fault
+          obs::trace_instant("corrupt_frame");
+          continue;
+        }
+        if (decoded->type != reply_type || decoded->session_id != session_id ||
+            decoded->seq != seq) {
+          ++report.stale_replies;  // delayed/duplicated reply to an older attempt
+          obs::trace_instant("stale_reply");
+          continue;
+        }
+        if (reply) {
+          ++report.duplicate_replies;
+          obs::trace_instant("duplicate_reply");
+          continue;
+        }
+        reply = std::move(decoded->payload);
       }
-      if (decoded->type != reply_type || decoded->session_id != session_id ||
-          decoded->seq != seq) {
-        ++report.stale_replies;  // delayed/duplicated reply to an older attempt
-        obs::trace_instant("stale_reply");
-        continue;
-      }
-      if (reply) {
-        ++report.duplicate_replies;
-        obs::trace_instant("duplicate_reply");
-        continue;
-      }
-      reply = std::move(decoded->payload);
     }
 
     if (reply) {

@@ -1,0 +1,160 @@
+// OpenMetrics exposition tests: name sanitization and collision dedup, HELP
+// escaping, counter/gauge/histogram sample layout (cumulative buckets, +Inf,
+// _sum/_count, trailing # EOF), and value fidelity against the JSON snapshot
+// of the same registry.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/openmetrics.h"
+
+namespace seccloud::obs {
+namespace {
+
+TEST(OpenMetricsName, SanitizesIllegalCharacters) {
+  EXPECT_EQ(openmetrics_sanitize_name("pairing.pairings"), "pairing_pairings");
+  EXPECT_EQ(openmetrics_sanitize_name("engine.pool.task_ms"), "engine_pool_task_ms");
+  EXPECT_EQ(openmetrics_sanitize_name("a-b c/d"), "a_b_c_d");
+  EXPECT_EQ(openmetrics_sanitize_name("ns:sub"), "ns:sub");  // colons are legal
+}
+
+TEST(OpenMetricsName, FirstCharacterMayNotBeADigit) {
+  EXPECT_EQ(openmetrics_sanitize_name("9lives"), "_lives");
+  EXPECT_EQ(openmetrics_sanitize_name("x9"), "x9");
+  EXPECT_EQ(openmetrics_sanitize_name(""), "_");
+}
+
+TEST(OpenMetricsEscape, EscapesHelpText) {
+  EXPECT_EQ(openmetrics_escape("plain"), "plain");
+  EXPECT_EQ(openmetrics_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(openmetrics_escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(openmetrics_escape("line1\nline2"), "line1\\nline2");
+}
+
+TEST(OpenMetrics, CounterLayout) {
+  MetricsRegistry registry;
+  registry.counter("audit.rounds").inc(7);
+  const std::string text = metrics_to_openmetrics(registry.snapshot());
+  EXPECT_NE(text.find("# HELP seccloud_audit_rounds "), std::string::npos);
+  EXPECT_NE(text.find("# TYPE seccloud_audit_rounds counter\n"), std::string::npos);
+  EXPECT_NE(text.find("seccloud_audit_rounds_total 7\n"), std::string::npos);
+  // The exposition must end with the OpenMetrics terminator.
+  ASSERT_GE(text.size(), 6u);
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+}
+
+TEST(OpenMetrics, CustomNamespace) {
+  MetricsRegistry registry;
+  registry.counter("x").inc();
+  const std::string text = metrics_to_openmetrics(registry.snapshot(), "myapp");
+  EXPECT_NE(text.find("myapp_x_total 1\n"), std::string::npos);
+  // No sample may carry the default namespace (the HELP boilerplate still
+  // says "seccloud metric", which is fine — it names the producer).
+  EXPECT_EQ(text.find("seccloud_"), std::string::npos);
+}
+
+TEST(OpenMetrics, GaugeEmitsValueAndHighWaterMark) {
+  MetricsRegistry registry;
+  Gauge& gauge = registry.gauge("pool.queue_depth");
+  gauge.set(9);
+  gauge.set(4);
+  const std::string text = metrics_to_openmetrics(registry.snapshot());
+  EXPECT_NE(text.find("# TYPE seccloud_pool_queue_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("seccloud_pool_queue_depth 4\n"), std::string::npos);
+  EXPECT_NE(text.find("seccloud_pool_queue_depth_max 9\n"), std::string::npos);
+}
+
+TEST(OpenMetrics, HistogramBucketsAreCumulative) {
+  MetricsRegistry registry;
+  const double edges[] = {1.0, 10.0, 100.0};
+  Histogram& hist = registry.histogram("latency_ms", edges);
+  hist.observe(0.5);   // bucket le=1
+  hist.observe(0.7);   // bucket le=1
+  hist.observe(5.0);   // bucket le=10
+  hist.observe(500.0); // overflow: only +Inf
+  const std::string text = metrics_to_openmetrics(registry.snapshot());
+  EXPECT_NE(text.find("# TYPE seccloud_latency_ms histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("seccloud_latency_ms_bucket{le=\"1\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("seccloud_latency_ms_bucket{le=\"10\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("seccloud_latency_ms_bucket{le=\"100\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("seccloud_latency_ms_bucket{le=\"+Inf\"} 4\n"), std::string::npos);
+  EXPECT_NE(text.find("seccloud_latency_ms_count 4\n"), std::string::npos);
+  // _sum: 0.5 + 0.7 + 5 + 500 = 506.2
+  EXPECT_NE(text.find("seccloud_latency_ms_sum 506.2\n"), std::string::npos);
+}
+
+TEST(OpenMetrics, CollidingSanitizedNamesAreDeduplicated) {
+  MetricsRegistry registry;
+  registry.counter("a.b").inc(1);
+  registry.counter("a_b").inc(2);
+  const std::string text = metrics_to_openmetrics(registry.snapshot());
+  // Map iteration order: "a.b" < "a_b", so the dotted name keeps the plain
+  // sanitized form and the underscore one gets the suffix.
+  EXPECT_NE(text.find("seccloud_a_b_total 1\n"), std::string::npos);
+  EXPECT_NE(text.find("seccloud_a_b_2_total 2\n"), std::string::npos);
+}
+
+/// Parses every "<name> <value>" sample line (ignoring # comments and
+/// labeled bucket lines) into a map for fidelity checks.
+std::map<std::string, double> parse_samples(const std::string& text) {
+  std::map<std::string, double> out;
+  std::istringstream in{text};
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string::npos) continue;
+    std::string name = line.substr(0, space);
+    if (name.find('{') != std::string::npos) continue;  // bucket lines
+    out[name] = std::strtod(line.c_str() + space + 1, nullptr);
+  }
+  return out;
+}
+
+TEST(OpenMetrics, ValuesMatchTheJsonSnapshotOfTheSameRegistry) {
+  MetricsRegistry registry;
+  registry.counter("pairing.pairings").inc(1234);
+  registry.counter("pool.tasks").inc(17);
+  registry.gauge("pool.queue_depth").set(3);
+  const double edges[] = {10.0, 20.0};
+  registry.histogram("verify_ms", edges).observe(12.5);
+  const MetricsSnapshot snap = registry.snapshot();
+
+  // Same snapshot, both expositions: every counter/gauge value in the
+  // OpenMetrics text must equal the JSON's (metrics_to_json is the format
+  // BENCH_*.json embeds; the .prom file must never disagree with it).
+  const std::map<std::string, double> samples =
+      parse_samples(metrics_to_openmetrics(snap));
+  for (const auto& [name, value] : snap.counters) {
+    const std::string om = "seccloud_" + openmetrics_sanitize_name(name) + "_total";
+    ASSERT_TRUE(samples.count(om)) << om;
+    EXPECT_EQ(samples.at(om), static_cast<double>(value)) << om;
+  }
+  for (const auto& [name, gauge] : snap.gauges) {
+    const std::string om = "seccloud_" + openmetrics_sanitize_name(name);
+    ASSERT_TRUE(samples.count(om)) << om;
+    EXPECT_EQ(samples.at(om), static_cast<double>(gauge.value)) << om;
+  }
+  for (const auto& [name, hist] : snap.histograms) {
+    const std::string om = "seccloud_" + openmetrics_sanitize_name(name);
+    ASSERT_TRUE(samples.count(om + "_count")) << om;
+    EXPECT_EQ(samples.at(om + "_count"), static_cast<double>(hist.count));
+    EXPECT_EQ(samples.at(om + "_sum"), hist.sum);
+  }
+  // And the JSON side really contains what we compared against.
+  const std::string json = metrics_to_json(snap);
+  EXPECT_NE(json.find("\"pairing.pairings\":1234"), std::string::npos);
+}
+
+TEST(OpenMetrics, EmptySnapshotIsJustTheTerminator) {
+  EXPECT_EQ(metrics_to_openmetrics(MetricsSnapshot{}), "# EOF\n");
+}
+
+}  // namespace
+}  // namespace seccloud::obs

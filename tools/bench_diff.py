@@ -1,0 +1,307 @@
+#!/usr/bin/env python3
+"""Compare fresh BENCH_*.json telemetry against committed baselines.
+
+Usage:
+    bench_diff.py --baseline bench/baselines --current build/bench \\
+                  --thresholds bench/baselines/thresholds.json \\
+                  --report bench_diff_report.md
+    bench_diff.py --self-test
+
+For every BENCH_<name>.json in the baseline directory the current directory
+must hold a file of the same name (a missing file is a FAIL — a bench that
+stopped producing telemetry is a regression, not a skip). Each file is
+flattened to comparable numeric keys:
+
+    wall_ms                 total bench wall time
+    values.<k>              bench-specific named results
+    counters.<k>            every metrics counter (op counts, pool stats)
+
+and each (baseline, current) pair is checked against a relative-difference
+threshold from the thresholds file:
+
+    {
+      "default": 0.25,
+      "overrides": [{"pattern": "counters.*.pool.tasks", "rel": 0.5}, ...],
+      "warn_only": ["wall_ms", "values.*_ms", ...]
+    }
+
+Patterns are fnmatch globs matched against both "<key>" and "<bench>:<key>",
+so a rule can target one bench or all of them. The first matching override
+wins; keys matching a warn_only pattern are reported but never fail the run
+(used for timing-derived values and for op counters that scale with Google
+Benchmark's adaptive iteration counts). A key present in the baseline but
+absent from the current run is a FAIL; keys only in the current run are
+listed as informational (they become gated once the baseline is regenerated).
+
+Writes a markdown report and exits 1 if any hard-gated key regressed.
+"""
+
+import argparse
+import fnmatch
+import json
+import pathlib
+import sys
+
+
+def flatten(doc: dict) -> dict:
+    flat = {}
+    if isinstance(doc.get("wall_ms"), (int, float)):
+        flat["wall_ms"] = float(doc["wall_ms"])
+    for key, value in doc.get("values", {}).items():
+        if isinstance(value, (int, float)):
+            flat[f"values.{key}"] = float(value)
+    for key, value in doc.get("metrics", {}).get("counters", {}).items():
+        if isinstance(value, (int, float)):
+            flat[f"counters.{key}"] = float(value)
+    return flat
+
+
+class Thresholds:
+    def __init__(self, doc: dict):
+        self.default = float(doc.get("default", 0.25))
+        self.overrides = [
+            (str(o["pattern"]), float(o["rel"])) for o in doc.get("overrides", [])
+        ]
+        self.warn_only = [str(p) for p in doc.get("warn_only", [])]
+
+    @staticmethod
+    def _matches(pattern: str, bench: str, key: str) -> bool:
+        return fnmatch.fnmatch(key, pattern) or fnmatch.fnmatch(
+            f"{bench}:{key}", pattern
+        )
+
+    def rel_for(self, bench: str, key: str) -> float:
+        for pattern, rel in self.overrides:
+            if self._matches(pattern, bench, key):
+                return rel
+        return self.default
+
+    def is_warn_only(self, bench: str, key: str) -> bool:
+        return any(self._matches(p, bench, key) for p in self.warn_only)
+
+
+def rel_diff(base: float, cur: float) -> float:
+    if base == cur:
+        return 0.0
+    denom = max(abs(base), abs(cur))
+    return abs(cur - base) / denom
+
+
+def compare_bench(bench: str, base: dict, cur: dict, thresholds: Thresholds):
+    """Returns (failures, warnings, notes) — each a list of report rows."""
+    failures, warnings, notes = [], [], []
+    base_flat, cur_flat = flatten(base), flatten(cur)
+    for key in sorted(base_flat):
+        warn = thresholds.is_warn_only(bench, key)
+        if key not in cur_flat:
+            row = (bench, key, base_flat[key], None, None, None, "missing")
+            (warnings if warn else failures).append(row)
+            continue
+        limit = thresholds.rel_for(bench, key)
+        diff = rel_diff(base_flat[key], cur_flat[key])
+        row = (bench, key, base_flat[key], cur_flat[key], diff, limit,
+               "warn" if warn else ("FAIL" if diff > limit else "ok"))
+        if diff > limit:
+            (warnings if warn else failures).append(row)
+    for key in sorted(set(cur_flat) - set(base_flat)):
+        notes.append((bench, key, None, cur_flat[key], None, None, "new"))
+    return failures, warnings, notes
+
+
+def fmt(value) -> str:
+    if value is None:
+        return "—"
+    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def write_report(path, failures, warnings, notes, benches_compared, missing_files):
+    lines = ["# Bench regression report", ""]
+    verdict = "FAIL" if (failures or missing_files) else "PASS"
+    lines.append(
+        f"**{verdict}** — {benches_compared} bench file(s) compared, "
+        f"{len(failures)} hard regression(s), {len(warnings)} warning(s), "
+        f"{len(missing_files)} missing file(s)."
+    )
+    lines.append("")
+    if missing_files:
+        lines.append("## Missing telemetry files")
+        lines.append("")
+        lines.extend(f"- `{name}` has a baseline but no current run"
+                     for name in missing_files)
+        lines.append("")
+
+    def table(title, rows):
+        lines.append(f"## {title}")
+        lines.append("")
+        lines.append("| bench | key | baseline | current | rel diff | limit | status |")
+        lines.append("|---|---|---|---|---|---|---|")
+        for bench, key, base, cur, diff, limit, status in rows:
+            lines.append(
+                f"| {bench} | `{key}` | {fmt(base)} | {fmt(cur)} | "
+                f"{fmt(diff)} | {fmt(limit)} | {status} |"
+            )
+        lines.append("")
+
+    if failures:
+        table("Regressions (hard-gated)", failures)
+    if warnings:
+        table("Warnings (warn-only keys)", warnings)
+    if notes:
+        table("New keys (not in baseline)", notes)
+    if not (failures or warnings or notes or missing_files):
+        lines.append("All gated keys within thresholds; no new keys.")
+        lines.append("")
+    text = "\n".join(lines)
+    if path:
+        pathlib.Path(path).write_text(text + "\n")
+    return text
+
+
+def run_diff(baseline_dir, current_dir, thresholds_path, report_path) -> int:
+    baseline_dir = pathlib.Path(baseline_dir)
+    current_dir = pathlib.Path(current_dir)
+    try:
+        thresholds = Thresholds(json.loads(pathlib.Path(thresholds_path).read_text()))
+    except (OSError, json.JSONDecodeError, KeyError, ValueError) as exc:
+        print(f"error: cannot load thresholds from {thresholds_path}: {exc}",
+              file=sys.stderr)
+        return 1
+
+    baseline_files = sorted(baseline_dir.glob("BENCH_*.json"))
+    if not baseline_files:
+        print(f"error: no BENCH_*.json baselines under {baseline_dir}",
+              file=sys.stderr)
+        return 1
+
+    failures, warnings, notes, missing_files = [], [], [], []
+    compared = 0
+    for base_path in baseline_files:
+        cur_path = current_dir / base_path.name
+        bench = base_path.stem.removeprefix("BENCH_")
+        if not cur_path.is_file():
+            missing_files.append(base_path.name)
+            continue
+        try:
+            base = json.loads(base_path.read_text())
+            cur = json.loads(cur_path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            failures.append((bench, "<file>", None, None, None, None,
+                             f"unreadable: {exc}"))
+            continue
+        compared += 1
+        f, w, n = compare_bench(bench, base, cur, thresholds)
+        failures += f
+        warnings += w
+        notes += n
+
+    text = write_report(report_path, failures, warnings, notes, compared,
+                        missing_files)
+    print(text)
+    return 1 if (failures or missing_files) else 0
+
+
+def self_test() -> int:
+    """Exercises the comparator on synthetic fixtures without touching disk."""
+    thresholds = Thresholds({
+        "default": 0.25,
+        "overrides": [{"pattern": "counters.*.pool.tasks", "rel": 0.6}],
+        "warn_only": ["wall_ms", "values.*_ms", "fast_bench:counters.jitter"],
+    })
+    base = {
+        "wall_ms": 100.0,
+        "values": {"verify_ms": 5.0, "batch_size": 64},
+        "metrics": {"counters": {"pairing.pairings": 128, "engine.pool.tasks": 40,
+                                 "jitter": 10}},
+    }
+
+    def clone():
+        return json.loads(json.dumps(base))
+
+    checks = []
+
+    # Identical runs pass clean.
+    f, w, n = compare_bench("fast_bench", base, clone(), thresholds)
+    checks.append(("identical run has no failures", not f and not w and not n))
+
+    # A deterministic counter perturbed beyond the default threshold fails.
+    cur = clone()
+    cur["metrics"]["counters"]["pairing.pairings"] = 128 * 2
+    f, _, _ = compare_bench("fast_bench", base, cur, thresholds)
+    checks.append(("2x pairings counter is a hard failure",
+                   any(r[1] == "counters.pairing.pairings" for r in f)))
+
+    # The same drift under a looser override passes.
+    cur = clone()
+    cur["metrics"]["counters"]["engine.pool.tasks"] = 60  # +50% < 60% override
+    f, w, _ = compare_bench("fast_bench", base, cur, thresholds)
+    checks.append(("override loosens pool.tasks gate", not f and not w))
+
+    # Timing keys only warn, never fail, however far they drift.
+    cur = clone()
+    cur["wall_ms"] = 10000.0
+    cur["values"]["verify_ms"] = 500.0
+    f, w, _ = compare_bench("fast_bench", base, cur, thresholds)
+    checks.append(("timing drift is warn-only", not f and len(w) == 2))
+
+    # bench-qualified warn_only pattern applies to that bench only.
+    cur = clone()
+    cur["metrics"]["counters"]["jitter"] = 100
+    f, w, _ = compare_bench("fast_bench", base, cur, thresholds)
+    checks.append(("bench-qualified warn pattern matches its bench",
+                   not f and len(w) == 1))
+    f, w, _ = compare_bench("other_bench", base, cur, thresholds)
+    checks.append(("bench-qualified warn pattern skips other benches",
+                   len(f) == 1 and not w))
+
+    # A key that vanished from the current run is a hard failure.
+    cur = clone()
+    del cur["values"]["batch_size"]
+    f, _, _ = compare_bench("fast_bench", base, cur, thresholds)
+    checks.append(("missing gated key is a hard failure",
+                   any(r[1] == "values.batch_size" and r[6] == "missing"
+                       for r in f)))
+
+    # A brand-new key is informational only.
+    cur = clone()
+    cur["values"]["extra"] = 1
+    f, w, n = compare_bench("fast_bench", base, cur, thresholds)
+    checks.append(("new key is a note, not a failure",
+                   not f and not w and len(n) == 1))
+
+    # Sign flips and zero baselines never divide by zero.
+    checks.append(("rel_diff(0, 0) == 0", rel_diff(0.0, 0.0) == 0.0))
+    checks.append(("rel_diff(0, 5) is full-scale", rel_diff(0.0, 5.0) == 1.0))
+
+    failed = [name for name, ok in checks if not ok]
+    for name, ok in checks:
+        print(f"{'ok  ' if ok else 'FAIL'} {name}")
+    if failed:
+        print(f"\n{len(failed)}/{len(checks)} self-test checks failed",
+              file=sys.stderr)
+        return 1
+    print(f"\nall {len(checks)} self-test checks passed")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", help="directory with committed BENCH_*.json")
+    parser.add_argument("--current", help="directory with freshly produced BENCH_*.json")
+    parser.add_argument("--thresholds", help="thresholds JSON file")
+    parser.add_argument("--report", help="markdown report output path")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in comparator checks and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not (args.baseline and args.current and args.thresholds):
+        parser.error("--baseline, --current, and --thresholds are required "
+                     "(or use --self-test)")
+    return run_diff(args.baseline, args.current, args.thresholds, args.report)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,17 +1,25 @@
 #!/usr/bin/env python3
-"""Validate BENCH_*.json telemetry files written by bench/bench_support.h.
+"""Validate BENCH_*.json and TRACE_*.json telemetry files from bench_support.h.
 
 For every file matching BENCH_*.json under the given directory (default: the
 current directory) this asserts:
 
   * the file is parseable JSON with the expected top-level shape
     (name, smoke, uses_pairing_group, wall_ms, build, values, notes, metrics);
+  * the build block carries provenance: git_sha, build_type, and sanitizers
+    (stamped by CMake so committed baselines stay traceable);
   * the metrics block round-trips as counters / gauges / histograms with
     consistent histogram bucket shapes (len(counts) == len(edges) + 1,
     sum(counts) == count);
   * when uses_pairing_group is true, the cumulative pairing-operation count
     across all *.pairings counters is nonzero (the instrumented group really
     published through the registry).
+
+Every TRACE_*.json (Chrome trace-event format) in the same directory is also
+checked: the traceEvents array must exist, every event needs a name and
+non-negative ts (and non-negative dur for 'X' events), and per tid the 'X'
+spans must nest properly — a child span must lie entirely inside its parent,
+never straddling its parent's end.
 
 Exits nonzero, listing every failure, if anything is wrong — CI runs this
 after the bench smoke pass.
@@ -62,6 +70,15 @@ def check_file(path: pathlib.Path) -> list:
     if not isinstance(doc["wall_ms"], (int, float)) or doc["wall_ms"] < 0:
         errors.append(f"wall_ms {doc['wall_ms']!r} is not a non-negative number")
 
+    build = doc["build"]
+    if not isinstance(build, dict):
+        errors.append("build is not an object")
+    else:
+        for field in ("git_sha", "build_type", "sanitizers"):
+            value = build.get(field)
+            if not isinstance(value, str) or not value:
+                errors.append(f"build.{field} missing or not a non-empty string")
+
     metrics = doc["metrics"]
     if not isinstance(metrics, dict):
         return errors + ["metrics is not an object"]
@@ -82,16 +99,71 @@ def check_file(path: pathlib.Path) -> list:
     return errors
 
 
+def check_trace(path: pathlib.Path) -> list:
+    errors = []
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"unreadable or invalid JSON: {exc}"]
+
+    events = doc.get("traceEvents") if isinstance(doc, dict) else doc
+    if not isinstance(events, list):
+        return ["traceEvents is missing or not an array"]
+
+    spans_by_tid = {}
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            errors.append(f"event #{i}: not an object")
+            continue
+        name = event.get("name")
+        if not isinstance(name, str) or not name:
+            errors.append(f"event #{i}: missing name")
+            name = f"<event #{i}>"
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            errors.append(f"event '{name}': ts {ts!r} is not a non-negative number")
+            continue
+        ph = event.get("ph")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"event '{name}': dur {dur!r} is not a non-negative number")
+                continue
+            spans_by_tid.setdefault(event.get("tid", 0), []).append((ts, dur, name))
+
+    # Per-thread nesting: after sorting by (start, longest-first), every span
+    # must sit entirely inside whatever enclosing span is still open. A span
+    # that straddles its parent's end means the writer emitted a malformed
+    # (interleaved, not nested) tree.
+    for tid, spans in sorted(spans_by_tid.items()):
+        spans.sort(key=lambda s: (s[0], -s[1]))
+        stack = []
+        for ts, dur, name in spans:
+            while stack and ts >= stack[-1][0] + stack[-1][1]:
+                stack.pop()
+            if stack and ts + dur > stack[-1][0] + stack[-1][1]:
+                parent = stack[-1]
+                errors.append(
+                    f"tid {tid}: span '{name}' [{ts}, {ts + dur}) straddles "
+                    f"enclosing span '{parent[2]}' ending at {parent[0] + parent[1]}"
+                )
+            stack.append((ts, dur, name))
+    return errors
+
+
 def main() -> int:
     root = pathlib.Path(sys.argv[1]) if len(sys.argv) > 1 else pathlib.Path(".")
-    files = sorted(root.glob("BENCH_*.json"))
-    if not files:
+    bench_files = sorted(root.glob("BENCH_*.json"))
+    if not bench_files:
         print(f"error: no BENCH_*.json files found under {root}", file=sys.stderr)
         return 1
+    trace_files = sorted(root.glob("TRACE_*.json"))
 
     failed = 0
-    for path in files:
-        errors = check_file(path)
+    checks = [(path, check_file) for path in bench_files]
+    checks += [(path, check_trace) for path in trace_files]
+    for path, checker in checks:
+        errors = checker(path)
         if errors:
             failed += 1
             print(f"FAIL {path}")
@@ -99,11 +171,13 @@ def main() -> int:
                 print(f"  - {error}")
         else:
             print(f"ok   {path}")
+    total = len(checks)
     if failed:
-        print(f"\n{failed}/{len(files)} bench telemetry files failed validation",
+        print(f"\n{failed}/{total} telemetry files failed validation",
               file=sys.stderr)
         return 1
-    print(f"\nall {len(files)} bench telemetry files valid")
+    print(f"\nall {total} telemetry files valid "
+          f"({len(bench_files)} bench, {len(trace_files)} trace)")
     return 0
 
 
