@@ -105,7 +105,9 @@ std::string BigUint::to_dec() const {
 
 std::vector<std::uint8_t> BigUint::to_bytes(std::size_t width) const {
   const std::size_t need = (bit_length() + 7) / 8;
-  if (width == 0) width = need;
+  // Zero still occupies one byte at the default width: to_bytes/from_bytes
+  // must round-trip, and an empty buffer is indistinguishable from "absent".
+  if (width == 0) width = std::max<std::size_t>(need, 1);
   if (need > width) throw std::length_error("BigUint::to_bytes: value wider than requested width");
   std::vector<std::uint8_t> out(width, 0);
   for (std::size_t i = 0; i < need; ++i) {

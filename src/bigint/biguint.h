@@ -47,7 +47,8 @@ class BigUint {
   /// Decimal string.
   std::string to_dec() const;
 
-  /// Big-endian bytes, minimal length ("" for zero) unless `width` is given,
+  /// Big-endian bytes, minimal length ({0x00} for zero — never empty, so
+  /// to_bytes/from_bytes round-trips every value) unless `width` is given,
   /// in which case the result is left-padded with zeros to exactly `width`
   /// bytes. Throws std::length_error if the value does not fit in `width`.
   std::vector<std::uint8_t> to_bytes(std::size_t width = 0) const;

@@ -1,9 +1,142 @@
 #include "ec/curve.h"
 
 #include <algorithm>
+#include <array>
 #include <stdexcept>
 
 namespace seccloud::ec {
+namespace {
+
+using field::fixed::Fe;
+using field::fixed::MontCtx;
+
+// Montgomery-domain mirrors of the affine/Jacobian types. Coordinates are
+// fixed::Fe values in the Montgomery domain; all formulas below follow the
+// BigUint implementations term for term, so canonical results are
+// bit-identical between the two backends.
+struct FeAff {
+  Fe x;
+  Fe y;
+  bool inf = false;
+};
+
+struct FeJac {
+  Fe x;
+  Fe y;
+  Fe z;  // z == 0 ⇒ infinity
+};
+
+FeJac fe_jac_infinity(const MontCtx& m) { return {m.one_mont(), m.one_mont(), Fe{}}; }
+
+FeAff fe_import(const MontCtx& m, const Point& pt) {
+  if (pt.infinity) return {Fe{}, Fe{}, true};
+  return {m.to_mont(m.load(pt.x)), m.to_mont(m.load(pt.y)), false};
+}
+
+Point fe_export(const MontCtx& m, const FeAff& pt) {
+  if (pt.inf) return Point::at_infinity();
+  return Point::affine(m.to_biguint(m.from_mont(pt.x)), m.to_biguint(m.from_mont(pt.y)));
+}
+
+FeAff fe_neg(const MontCtx& m, const FeAff& pt) {
+  if (pt.inf) return pt;
+  return {pt.x, m.neg(pt.y), false};
+}
+
+FeJac fe_jac_dbl(const MontCtx& m, const Fe& a_mont, const FeJac& pt) {
+  if (m.is_zero(pt.z) || m.is_zero(pt.y)) return fe_jac_infinity(m);
+  const Fe y2 = m.mont_sqr(pt.y);
+  const Fe s = m.mul_word(m.mont_mul(pt.x, y2), 4);                // S = 4XY^2
+  const Fe z2 = m.mont_sqr(pt.z);
+  const Fe z4 = m.mont_sqr(z2);
+  // Both pinned curves are y^2 = x^3 + x, so a·Z^4 degenerates to Z^4;
+  // an eight-limb compare is free next to the 8×8 multiply it avoids.
+  const Fe az4 = (a_mont == m.one_mont()) ? z4 : m.mont_mul(a_mont, z4);
+  const Fe mm = m.add(m.mul_word(m.mont_sqr(pt.x), 3), az4);       // M = 3X^2 + aZ^4
+  const Fe x3 = m.sub(m.mont_sqr(mm), m.add(s, s));
+  const Fe y3 = m.sub(m.mont_mul(mm, m.sub(s, x3)), m.mul_word(m.mont_sqr(y2), 8));
+  const Fe z3 = m.mul_word(m.mont_mul(pt.y, pt.z), 2);
+  return {x3, y3, z3};
+}
+
+FeJac fe_jac_add_mixed(const MontCtx& m, const Fe& a_mont, const FeJac& lhs, const FeAff& rhs) {
+  if (rhs.inf) return lhs;
+  if (m.is_zero(lhs.z)) return {rhs.x, rhs.y, m.one_mont()};
+  const Fe z1_sq = m.mont_sqr(lhs.z);
+  const Fe u2 = m.mont_mul(rhs.x, z1_sq);
+  const Fe s2 = m.mont_mul(rhs.y, m.mont_mul(z1_sq, lhs.z));
+  const Fe h = m.sub(u2, lhs.x);
+  const Fe r = m.sub(s2, lhs.y);
+  if (m.is_zero(h)) {
+    if (m.is_zero(r)) return fe_jac_dbl(m, a_mont, lhs);
+    return fe_jac_infinity(m);  // P + (−P) = O
+  }
+  const Fe h2 = m.mont_sqr(h);
+  const Fe h3 = m.mont_mul(h2, h);
+  const Fe x1h2 = m.mont_mul(lhs.x, h2);
+  const Fe x3 = m.sub(m.sub(m.mont_sqr(r), h3), m.add(x1h2, x1h2));
+  const Fe y3 = m.sub(m.mont_mul(r, m.sub(x1h2, x3)), m.mont_mul(lhs.y, h3));
+  const Fe z3 = m.mont_mul(lhs.z, h);
+  return {x3, y3, z3};
+}
+
+FeAff fe_to_affine(const MontCtx& m, const FeJac& pt) {
+  if (m.is_zero(pt.z)) return {Fe{}, Fe{}, true};
+  const auto z_inv = m.inv_mont(pt.z);
+  if (!z_inv) throw std::domain_error("fe_to_affine: non-invertible z");
+  const Fe z2_inv = m.mont_sqr(*z_inv);
+  return {m.mont_mul(pt.x, z2_inv), m.mont_mul(pt.y, m.mont_mul(z2_inv, *z_inv)), false};
+}
+
+std::vector<FeAff> fe_to_affine_batch(const MontCtx& m, std::span<const FeJac> points) {
+  std::vector<Fe> zs;
+  zs.reserve(points.size());
+  for (const auto& pt : points) {
+    if (m.is_zero(pt.z)) throw std::domain_error("to_affine_batch: point at infinity");
+    zs.push_back(pt.z);
+  }
+  const std::vector<Fe> z_invs = m.inv_batch_mont(zs);
+  std::vector<FeAff> out;
+  out.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Fe z2_inv = m.mont_sqr(z_invs[i]);
+    out.push_back({m.mont_mul(points[i].x, z2_inv),
+                   m.mont_mul(points[i].y, m.mont_mul(z2_inv, z_invs[i])), false});
+  }
+  return out;
+}
+
+// Width-4 signed-window recoding, least-significant digit first. Shared by
+// both scalar-multiplication backends so they walk identical schedules.
+std::vector<int> wnaf4_digits(const BigUint& k) {
+  constexpr int kWidth = 4;
+  constexpr std::uint64_t kWindow = 1u << kWidth;     // 16
+  constexpr std::uint64_t kHalfWindow = kWindow / 2;  // 8
+
+  std::vector<int> digits;
+  digits.reserve(k.bit_length() + 1);
+  BigUint n = k;
+  while (!n.is_zero()) {
+    if (n.is_odd()) {
+      const std::uint64_t mod = n.limb(0) & (kWindow - 1);
+      int digit;
+      if (mod >= kHalfWindow) {
+        digit = static_cast<int>(mod) - static_cast<int>(kWindow);
+        n += static_cast<std::uint64_t>(-digit);
+      } else {
+        digit = static_cast<int>(mod);
+        n -= static_cast<std::uint64_t>(digit);
+      }
+      digits.push_back(digit);
+    } else {
+      digits.push_back(0);
+    }
+    n >>= 1;
+  }
+  return digits;
+}
+
+}  // namespace
 
 Curve::Curve(const PrimeField& fld, BigUint a, BigUint b, BigUint order, BigUint cofactor)
     : field_(&fld),
@@ -108,44 +241,33 @@ std::vector<Point> Curve::to_affine_batch(std::span<const Jacobian> points) cons
 }
 
 Curve::Jacobian Curve::mul_wnaf(const BigUint& k, const Point& pt) const {
-  constexpr int kWidth = 4;
-  constexpr std::uint64_t kWindow = 1u << kWidth;       // 16
-  constexpr std::uint64_t kHalfWindow = kWindow / 2;    // 8
-
   // Signed digits, least-significant first: each entry is odd in
   // (−2^{w−1}, 2^{w−1}) or zero.
-  std::vector<int> digits;
-  digits.reserve(k.bit_length() + 1);
-  BigUint n = k;
-  while (!n.is_zero()) {
-    if (n.is_odd()) {
-      const std::uint64_t mod = n.limb(0) & (kWindow - 1);
-      int digit;
-      if (mod >= kHalfWindow) {
-        digit = static_cast<int>(mod) - static_cast<int>(kWindow);
-        n += static_cast<std::uint64_t>(-digit);
-      } else {
-        digit = static_cast<int>(mod);
-        n -= static_cast<std::uint64_t>(digit);
-      }
-      digits.push_back(digit);
-    } else {
-      digits.push_back(0);
-    }
-    n >>= 1;
-  }
+  const std::vector<int> digits = wnaf4_digits(k);
 
-  // Precompute odd multiples P, 3P, ..., (2^{w−1}−1)P as affine points
-  // (mixed addition keeps the main loop cheap); one shared inversion.
+  // Precompute odd multiples 3P, 5P, 7P as 2kP + P — doublings and mixed
+  // adds only, so the affine 2P (a whole extra inversion) is never needed;
+  // one shared inversion converts the table for cheap mixed additions.
   const Jacobian p_jac{pt.x, pt.y, BigUint{1}};
-  const Point two_p = to_affine(jac_dbl(p_jac));
-  std::vector<Jacobian> table_jac;
-  table_jac.reserve(kHalfWindow / 2);
-  table_jac.push_back(p_jac);
-  for (std::size_t i = 1; i < kHalfWindow / 2; ++i) {
-    table_jac.push_back(jac_add_mixed(table_jac.back(), two_p));
+  const Jacobian t2 = jac_dbl(p_jac);
+  std::array<Jacobian, 3> odd_jac{
+      jac_add_mixed(t2, pt),                     // 3P
+      jac_add_mixed(jac_dbl(t2), pt),            // 5P = 4P + P
+      Jacobian{}};
+  odd_jac[2] = jac_add_mixed(jac_dbl(odd_jac[0]), pt);  // 7P = 6P + P
+  // A base point of order 3, 5 or 7 collapses an odd multiple to O, which
+  // the batch conversion cannot represent: fall back to plain
+  // double-and-add, correct for every order.
+  if (odd_jac[0].z.is_zero() || odd_jac[1].z.is_zero() || odd_jac[2].z.is_zero()) {
+    Jacobian acc{BigUint{1}, BigUint{1}, BigUint{}};
+    for (std::size_t i = k.bit_length(); i-- > 0;) {
+      acc = jac_dbl(acc);
+      if (k.bit(i)) acc = jac_add_mixed(acc, pt);
+    }
+    return acc;
   }
-  const std::vector<Point> table = to_affine_batch(table_jac);
+  const std::vector<Point> odd = to_affine_batch(odd_jac);
+  const std::array<Point, 4> table{pt, odd[0], odd[1], odd[2]};
 
   Jacobian acc{BigUint{1}, BigUint{1}, BigUint{}};
   for (std::size_t i = digits.size(); i-- > 0;) {
@@ -160,8 +282,84 @@ Curve::Jacobian Curve::mul_wnaf(const BigUint& k, const Point& pt) const {
   return acc;
 }
 
+Point Curve::mul_fixed(const BigUint& k, const Point& pt) const {
+  const MontCtx& m = *field_->fixed_core();
+  const Fe a_mont = m.to_mont(m.load(field_->reduce(a_)));
+  const FeAff p = fe_import(m, pt);
+  if (k.bit_length() <= 8) {
+    // Tiny scalars: plain double-and-add beats table setup.
+    FeJac acc = fe_jac_infinity(m);
+    for (std::size_t i = k.bit_length(); i-- > 0;) {
+      acc = fe_jac_dbl(m, a_mont, acc);
+      if (k.bit(i)) acc = fe_jac_add_mixed(m, a_mont, acc, p);
+    }
+    return fe_export(m, fe_to_affine(m, acc));
+  }
+
+  const std::vector<int> digits = wnaf4_digits(k);
+  // Odd multiples 3P, 5P, 7P as 2kP + P: doublings and mixed adds only, so
+  // the affine 2P (a whole extra inversion, ~30 µs at 8 limbs) is never
+  // needed; one shared inversion converts the table for mixed additions.
+  const FeJac p_jac{p.x, p.y, m.one_mont()};
+  const FeJac t2 = fe_jac_dbl(m, a_mont, p_jac);
+  std::array<FeJac, 3> odd_jac{
+      fe_jac_add_mixed(m, a_mont, t2, p),                     // 3P
+      fe_jac_add_mixed(m, a_mont, fe_jac_dbl(m, a_mont, t2), p),  // 5P = 4P + P
+      FeJac{}};
+  odd_jac[2] = fe_jac_add_mixed(m, a_mont, fe_jac_dbl(m, a_mont, odd_jac[0]), p);  // 7P
+  // A base point of order 3, 5 or 7 collapses an odd multiple to O, which
+  // the batch conversion cannot represent: fall back to plain
+  // double-and-add, correct for every order.
+  if (m.is_zero(odd_jac[0].z) || m.is_zero(odd_jac[1].z) || m.is_zero(odd_jac[2].z)) {
+    FeJac acc = fe_jac_infinity(m);
+    for (std::size_t i = k.bit_length(); i-- > 0;) {
+      acc = fe_jac_dbl(m, a_mont, acc);
+      if (k.bit(i)) acc = fe_jac_add_mixed(m, a_mont, acc, p);
+    }
+    return fe_export(m, fe_to_affine(m, acc));
+  }
+  const std::vector<FeAff> odd = fe_to_affine_batch(m, odd_jac);
+  const std::array<FeAff, 4> table{p, odd[0], odd[1], odd[2]};
+
+  FeJac acc = fe_jac_infinity(m);
+  for (std::size_t i = digits.size(); i-- > 0;) {
+    acc = fe_jac_dbl(m, a_mont, acc);
+    const int digit = digits[i];
+    if (digit > 0) {
+      acc = fe_jac_add_mixed(m, a_mont, acc, table[static_cast<std::size_t>(digit) / 2]);
+    } else if (digit < 0) {
+      acc = fe_jac_add_mixed(m, a_mont, acc,
+                             fe_neg(m, table[static_cast<std::size_t>(-digit) / 2]));
+    }
+  }
+  return fe_export(m, fe_to_affine(m, acc));
+}
+
+Point Curve::multi_mul_fixed(std::span<const BigUint> scalars,
+                             std::span<const Point> points) const {
+  const MontCtx& m = *field_->fixed_core();
+  const Fe a_mont = m.to_mont(m.load(field_->reduce(a_)));
+  std::vector<FeAff> pts;
+  pts.reserve(points.size());
+  for (const auto& pt : points) pts.push_back(fe_import(m, pt));
+
+  std::size_t max_bits = 0;
+  for (const auto& s : scalars) max_bits = std::max(max_bits, s.bit_length());
+  FeJac acc = fe_jac_infinity(m);
+  for (std::size_t i = max_bits; i-- > 0;) {
+    acc = fe_jac_dbl(m, a_mont, acc);
+    for (std::size_t j = 0; j < scalars.size(); ++j) {
+      if (scalars[j].bit(i)) acc = fe_jac_add_mixed(m, a_mont, acc, pts[j]);
+    }
+  }
+  return fe_export(m, fe_to_affine(m, acc));
+}
+
 Point Curve::mul(const BigUint& k, const Point& pt) const {
   if (pt.infinity || k.is_zero()) return Point::at_infinity();
+  if (field_->has_fixed_core() && pt.x < field_->modulus() && pt.y < field_->modulus()) {
+    return mul_fixed(k, pt);
+  }
   if (k.bit_length() <= 8) {
     // Tiny scalars: plain double-and-add beats table setup.
     Jacobian acc{BigUint{1}, BigUint{1}, BigUint{}};
@@ -177,6 +375,12 @@ Point Curve::mul(const BigUint& k, const Point& pt) const {
 Point Curve::multi_mul(std::span<const BigUint> scalars, std::span<const Point> points) const {
   if (scalars.size() != points.size()) {
     throw std::invalid_argument("Curve::multi_mul: size mismatch");
+  }
+  if (field_->has_fixed_core() &&
+      std::ranges::all_of(points, [this](const Point& p) {
+        return p.infinity || (p.x < field_->modulus() && p.y < field_->modulus());
+      })) {
+    return multi_mul_fixed(scalars, points);
   }
   // Interleaved double-and-add (shared doubling chain).
   std::size_t max_bits = 0;

@@ -92,6 +92,14 @@ class Curve {
   Jacobian jac_add_mixed(const Jacobian& lhs, const Point& rhs) const;
   Jacobian jac_add(const Jacobian& lhs, const Jacobian& rhs) const;
 
+  /// Fixed-limb Montgomery twins of mul()/multi_mul(): the whole Jacobian
+  /// ladder runs on stack limbs (field/fp_fixed.h) with BigUint conversions
+  /// only at entry/exit. Bit-identical results; used when the field has a
+  /// fixed core.
+  Point mul_fixed(const BigUint& k, const Point& pt) const;
+  Point multi_mul_fixed(std::span<const BigUint> scalars,
+                        std::span<const Point> points) const;
+
   const PrimeField* field_;
   BigUint a_;
   BigUint b_;

@@ -1,10 +1,26 @@
 #include "field/fp.h"
 
+#include <cstdlib>
+#include <cstring>
 #include <stdexcept>
 
 namespace seccloud::field {
 
-PrimeField::PrimeField(BigUint p) : p_(std::move(p)) {
+namespace {
+
+/// SECCLOUD_FIELD_BACKEND=bigint forces the general path; anything else (or
+/// unset) keeps automatic selection. Read once per process.
+bool env_forces_bigint() {
+  static const bool forced = [] {
+    const char* v = std::getenv("SECCLOUD_FIELD_BACKEND");
+    return v != nullptr && std::strcmp(v, "bigint") == 0;
+  }();
+  return forced;
+}
+
+}  // namespace
+
+PrimeField::PrimeField(BigUint p, FieldBackend backend) : p_(std::move(p)) {
   if (p_ < BigUint{3} || p_.is_even()) {
     throw std::invalid_argument("PrimeField: modulus must be an odd integer >= 3");
   }
@@ -13,6 +29,38 @@ PrimeField::PrimeField(BigUint p) : p_(std::move(p)) {
   p_three_mod_four_ = (p_.limb(0) & 3u) == 3u;
   if (p_three_mod_four_) {
     sqrt_exponent_ = (p_ + BigUint{1}) >> 2;
+  }
+
+  if (backend == FieldBackend::kAuto && env_forces_bigint()) {
+    backend = FieldBackend::kBigint;
+  }
+  if (backend != FieldBackend::kBigint && fixed::MontCtx::fits(p_)) {
+    mont_ = std::make_unique<fixed::MontCtx>(p_);
+  }
+  if (backend == FieldBackend::kFixed && !mont_) {
+    throw std::invalid_argument(
+        "PrimeField: fixed backend requested but modulus exceeds 8 limbs");
+  }
+
+  if (!p_three_mod_four_) {
+    // Tonelli–Shanks setup: p − 1 = q·2^s with q odd, plus a quadratic
+    // non-residue z found by Euler's criterion. For prime p half of all
+    // candidates are non-residues, so the bounded search only fails for
+    // non-prime moduli; sqrt() then reports the failure instead of looping.
+    ts_q_ = p_ - BigUint{1};
+    while (ts_q_.is_even()) {
+      ts_q_ >>= 1;
+      ++ts_s_;
+    }
+    const BigUint euler = (p_ - BigUint{1}) >> 1;
+    const BigUint minus_one = p_ - BigUint{1};
+    for (std::uint64_t z = 2; z < 1000; ++z) {
+      if (pow(BigUint{z}, euler) == minus_one) {
+        ts_z_ = BigUint{z};
+        ts_ready_ = true;
+        break;
+      }
+    }
   }
 }
 
@@ -45,18 +93,35 @@ BigUint PrimeField::neg(const BigUint& a) const {
 }
 
 BigUint PrimeField::mul(const BigUint& a, const BigUint& b) const {
+  if (mont_ && a < p_ && b < p_) {
+    return mont_->to_biguint(mont_->mul_canonical(mont_->load(a), mont_->load(b)));
+  }
   return reduce(a * b);
 }
 
-BigUint PrimeField::sqr(const BigUint& a) const { return reduce(a.squared()); }
+BigUint PrimeField::sqr(const BigUint& a) const {
+  if (mont_ && a < p_) {
+    return mont_->to_biguint(mont_->sqr_canonical(mont_->load(a)));
+  }
+  return reduce(a.squared());
+}
 
 BigUint PrimeField::mul_small(const BigUint& a, std::uint64_t k) const {
+  if (mont_ && a < p_) {
+    return mont_->to_biguint(mont_->mul_word(mont_->load(a), k));
+  }
   BigUint r = a;
   r *= k;
   return reduce(r);
 }
 
 BigUint PrimeField::pow(const BigUint& a, const BigUint& e) const {
+  if (mont_) {
+    // One conversion each way; the whole ladder runs in the Montgomery
+    // domain on stack-allocated limbs.
+    const fixed::Fe base = mont_->to_mont(mont_->load(reduce(a)));
+    return mont_->to_biguint(mont_->from_mont(mont_->pow_mont(base, e)));
+  }
   BigUint result{1};
   BigUint base = reduce(a);
   for (std::size_t i = e.bit_length(); i-- > 0;) {
@@ -67,6 +132,15 @@ BigUint PrimeField::pow(const BigUint& a, const BigUint& e) const {
 }
 
 std::optional<BigUint> PrimeField::inv(const BigUint& a) const {
+  if (mont_) {
+    const BigUint r = reduce(a);
+    if (r.is_zero()) return std::nullopt;
+    if (auto iv = mont_->inv_mont(mont_->to_mont(mont_->load(r)))) {
+      return mont_->to_biguint(mont_->from_mont(*iv));
+    }
+    // gcd(r, p) > 1 under a composite modulus: defer to the BigUint
+    // extended gcd so both backends report the same answer.
+  }
   return num::inv_mod(a, p_);
 }
 
@@ -92,13 +166,46 @@ std::vector<BigUint> PrimeField::inv_batch(std::span<const BigUint> values) cons
 }
 
 std::optional<BigUint> PrimeField::sqrt(const BigUint& a) const {
-  if (!p_three_mod_four_) {
-    throw std::logic_error("PrimeField::sqrt: only implemented for p ≡ 3 (mod 4)");
+  const BigUint r = reduce(a);
+  if (r.is_zero()) return BigUint{};
+
+  if (p_three_mod_four_) {
+    BigUint candidate = pow(r, sqrt_exponent_);
+    if (sqr(candidate) != r) return std::nullopt;
+    return candidate;
   }
-  if (a.is_zero()) return BigUint{};
-  BigUint candidate = pow(a, sqrt_exponent_);
-  if (sqr(candidate) != reduce(a)) return std::nullopt;
-  return candidate;
+
+  if (!ts_ready_) {
+    throw std::logic_error(
+        "PrimeField::sqrt: no quadratic non-residue found at construction "
+        "(modulus is not prime)");
+  }
+
+  // Tonelli–Shanks. Invariants: t = r^q · (products of even powers of z),
+  // res² = r·t, ord(t) divides 2^m.
+  BigUint c = pow(ts_z_, ts_q_);
+  BigUint t = pow(r, ts_q_);
+  BigUint res = pow(r, (ts_q_ + BigUint{1}) >> 1);
+  const BigUint one{1};
+  std::size_t m_now = ts_s_;
+  while (t != one) {
+    // Least i with t^(2^i) = 1; i = m_now means r is a non-residue.
+    std::size_t i = 0;
+    BigUint probe = t;
+    while (probe != one) {
+      probe = sqr(probe);
+      ++i;
+      if (i >= m_now) return std::nullopt;
+    }
+    BigUint b = c;
+    for (std::size_t j = 0; j + i + 1 < m_now; ++j) b = sqr(b);
+    m_now = i;
+    c = sqr(b);
+    t = mul(t, c);
+    res = mul(res, b);
+  }
+  if (sqr(res) != r) return std::nullopt;  // belt and braces for odd moduli
+  return res;
 }
 
 }  // namespace seccloud::field

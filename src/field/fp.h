@@ -1,31 +1,60 @@
 // Prime field F_p arithmetic.
 //
-// Context-object style: a PrimeField owns the modulus and Barrett constant;
-// elements are plain BigUint residues in [0, p). This keeps the hot path
-// (the Miller loop) free of per-element indirection.
+// Context-object style: a PrimeField owns the modulus and reduction
+// machinery; elements are plain BigUint residues in [0, p). This keeps the
+// hot path (the Miller loop) free of per-element indirection.
+//
+// Two backends share this interface and produce bit-identical residues:
+//   * kBigint — the original heap-allocating BigUint path with Barrett
+//     reduction; always available, authoritative for setup/keygen.
+//   * kFixed  — the stack-allocated fixed-limb Montgomery core
+//     (field/fp_fixed.h), selected automatically when the modulus fits in
+//     8×64 bits. mul/sqr/pow/inv/mul_small route through it; the really hot
+//     consumers (ec::Curve, the Miller loop, FixedPairing) additionally
+//     bypass BigUint entirely via fixed_core().
+// The environment variable SECCLOUD_FIELD_BACKEND=bigint forces the general
+// path even where the fixed core would fit (differential testing, A/B
+// benchmarking); any other value leaves automatic selection in place.
 #pragma once
 
+#include <memory>
 #include <optional>
 
 #include "bigint/biguint.h"
 #include "bigint/modular.h"
 #include "bigint/rng.h"
+#include "field/fp_fixed.h"
 
 namespace seccloud::field {
 
 using num::BigUint;
 
+/// Backend selection for PrimeField (see file comment).
+enum class FieldBackend {
+  kAuto,    ///< fixed core when the modulus fits, BigUint otherwise
+  kBigint,  ///< force the general BigUint/Barrett path
+  kFixed,   ///< require the fixed core; throws if the modulus does not fit
+};
+
 class PrimeField {
  public:
   /// `p` must be an odd prime (not verified here; callers pass verified or
-  /// pinned parameters). Throws std::invalid_argument if p < 3 or even.
-  explicit PrimeField(BigUint p);
+  /// pinned parameters). Throws std::invalid_argument if p < 3 or even, or
+  /// if `backend` is kFixed and p is wider than the fixed core supports.
+  explicit PrimeField(BigUint p, FieldBackend backend = FieldBackend::kAuto);
 
   const BigUint& modulus() const noexcept { return p_; }
   std::size_t limb_count() const noexcept { return k_; }
 
+  /// The fixed-limb Montgomery core, or nullptr when this field runs on the
+  /// BigUint backend. Hot loops (curve, pairing) branch on this once and
+  /// then stay on fixed-limb arithmetic end to end.
+  const fixed::MontCtx* fixed_core() const noexcept { return mont_.get(); }
+  bool has_fixed_core() const noexcept { return mont_ != nullptr; }
+
   /// Reduces an arbitrary non-negative integer into [0, p). Uses Barrett
-  /// reduction when x < p^2, a full division otherwise.
+  /// reduction when x < p^2, a full division otherwise. (Always the BigUint
+  /// path: inputs may be arbitrarily wide.)
   BigUint reduce(const BigUint& x) const;
 
   BigUint add(const BigUint& a, const BigUint& b) const;
@@ -41,8 +70,10 @@ class PrimeField {
   /// Multiplicative inverse; std::nullopt for 0.
   std::optional<BigUint> inv(const BigUint& a) const;
 
-  /// Square root for p ≡ 3 (mod 4): candidate = a^((p+1)/4); returns it only
-  /// if candidate^2 == a. (Also serves as the quadratic-residue test.)
+  /// Square root of a quadratic residue; std::nullopt for non-residues.
+  /// p ≡ 3 (mod 4) uses the a^((p+1)/4) shortcut; p ≡ 1 (mod 4) runs
+  /// Tonelli–Shanks. Throws std::logic_error only if no quadratic
+  /// non-residue could be found at construction (non-prime modulus).
   std::optional<BigUint> sqrt(const BigUint& a) const;
 
   /// Batch inversion (Montgomery's trick): inverts every element with ONE
@@ -61,6 +92,15 @@ class PrimeField {
   BigUint sqrt_exponent_;  ///< (p+1)/4 when p ≡ 3 (mod 4).
   std::size_t k_;          ///< Limb count of p.
   bool p_three_mod_four_;
+  std::unique_ptr<fixed::MontCtx> mont_;  ///< fixed backend; null on kBigint
+
+  // Tonelli–Shanks precomputation (p ≡ 1 (mod 4) only): p − 1 = q·2^s and a
+  // quadratic non-residue z. ts_ready_ is false when no non-residue was
+  // found (non-prime modulus); sqrt then throws.
+  BigUint ts_q_;
+  std::size_t ts_s_ = 0;
+  BigUint ts_z_;
+  bool ts_ready_ = false;
 };
 
 }  // namespace seccloud::field

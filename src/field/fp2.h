@@ -18,6 +18,16 @@ struct Fp2 {
   bool operator==(const Fp2&) const = default;
 };
 
+/// Fixed-limb F_{p^2} element for the Miller-loop hot path: both components
+/// are Montgomery-domain fixed::Fe values. Only meaningful alongside a
+/// Fp2Field whose base field has a fixed core.
+struct Fe2 {
+  fixed::Fe a;
+  fixed::Fe b;
+
+  bool operator==(const Fe2&) const = default;
+};
+
 class Fp2Field {
  public:
   /// `base` must outlive this object; requires p ≡ 3 (mod 4).
@@ -50,6 +60,20 @@ class Fp2Field {
 
   /// "a+b*i" textual form (for logging / golden tests).
   std::string to_string(const Fp2& x) const;
+
+  // --- fixed-limb fast path (valid iff base().has_fixed_core()) ---------
+  // Mirrors the exact mul/sqr formula sequences above on Montgomery-domain
+  // stack limbs, so canonical results are bit-identical to the BigUint path.
+  bool has_fixed_core() const noexcept { return fp_->has_fixed_core(); }
+  Fe2 fe2_import(const Fp2& x) const;   ///< canonical Fp2 → Montgomery Fe2
+  Fp2 fe2_export(const Fe2& x) const;   ///< Montgomery Fe2 → canonical Fp2
+  Fe2 fe2_one() const;
+  bool fe2_is_zero(const Fe2& x) const noexcept;
+  Fe2 fe2_add(const Fe2& x, const Fe2& y) const;
+  Fe2 fe2_sub(const Fe2& x, const Fe2& y) const;
+  Fe2 fe2_mul(const Fe2& x, const Fe2& y) const;  ///< Karatsuba, 3 mont_muls
+  Fe2 fe2_sqr(const Fe2& x) const;                ///< 2 mont_muls
+  Fe2 fe2_conj(const Fe2& x) const;
 
  private:
   const PrimeField* fp_;

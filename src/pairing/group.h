@@ -34,7 +34,11 @@ using Gt = Fp2;
 
 class PairingGroup {
  public:
-  explicit PairingGroup(const TypeAParams& params);
+  /// `backend` selects the base-field implementation (kAuto picks the
+  /// fixed-limb Montgomery core when the modulus fits; kBigint forces the
+  /// Barrett path — useful for differential tests and A/B runs).
+  explicit PairingGroup(const TypeAParams& params,
+                        field::FieldBackend backend = field::FieldBackend::kAuto);
 
   const TypeAParams& params() const noexcept { return params_; }
   const field::PrimeField& fp() const noexcept { return *fp_; }
@@ -120,6 +124,9 @@ class PairingGroup {
 
  private:
   Fp2 miller_loop(const Point& p, const Point& q) const;
+  /// Fixed-limb twin of miller_loop: the whole loop runs on Montgomery-domain
+  /// stack limbs. Bit-identical canonical results (same formula schedule).
+  Fp2 miller_loop_fixed(const Point& p, const Point& q) const;
   Fp2 final_exponentiation(const Fp2& f) const;
 
   TypeAParams params_;

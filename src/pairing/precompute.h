@@ -47,10 +47,21 @@ class FixedPairing {
     num::BigUint w;
   };
 
+  /// Montgomery-domain mirror of Line, recorded when the base field has a
+  /// fixed-limb core so replays run without BigUint conversions.
+  struct FeLine {
+    field::fixed::Fe u;
+    field::fixed::Fe v;
+    field::fixed::Fe w;
+  };
+
+  Fp2 miller_with_fixed(const Point& q) const;
+
   const PairingGroup* group_;
   Point fixed_;
   std::vector<std::uint8_t> lines_per_step_;  ///< 0..2 lines per loop iteration
   std::vector<Line> lines_;                   ///< flat, in evaluation order
+  std::vector<FeLine> fe_lines_;              ///< Montgomery twins of lines_
 };
 
 }  // namespace seccloud::pairing

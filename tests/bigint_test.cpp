@@ -91,6 +91,64 @@ TEST(BigUint, DivisionKnownValues) {
   EXPECT_EQ(r.to_dec(), "1");
 }
 
+TEST(BigUint, DivmodAddBackBranch) {
+  // Crafted TAOCP 4.3.1-D vectors where the two-limb q̂ estimate survives the
+  // v_next pre-correction but still overshoots by one, forcing the add-back
+  // branch (step D6) — a path random operands essentially never reach (it
+  // needs a ≥3-limb divisor whose low limbs conspire against q̂). Expected
+  // quotients/remainders verified against an independent implementation.
+  struct Vector {
+    std::vector<std::uint64_t> u, v;  // little-endian limbs
+    const char* q_hex;
+    const char* r_hex;
+  };
+  const Vector vectors[] = {
+      {{0xffffffffffffffffull, 0x8000000000000001ull, 0x8000000000000001ull,
+        0x7fffffffffffffffull},
+       {0xfffffffffffffffeull, 0x1ull, 0x8000000000000000ull},
+       "fffffffffffffffe",
+       "7fffffffffffffff8000000000000007fffffffffffffffb"},
+      {{0x2ull, 0x0ull, 0xffffffffffffffffull, 0x8000000000000000ull},
+       {0xfffffffffffffffeull, 0xfffffffffffffffeull, 0xffffffffffffffffull},
+       "8000000000000000",
+       "ffffffffffffffff80000000000000010000000000000002"},
+      {{0x7fffffffffffffffull, 0x1ull, 0xfffffffffffffffeull},
+       {0xfffffffffffffffeull, 0x0ull, 0x7fffffffffffffffull},
+       "1",
+       "7fffffffffffffff00000000000000008000000000000001"},
+      {{0x8000000000000001ull, 0x2ull, 0x0ull, 0x8000000000000000ull},
+       {0xffffffffffffffffull, 0x2ull, 0x8000000000000001ull},
+       "fffffffffffffffd",
+       "8000000000000000000000000000000c7ffffffffffffffe"},
+  };
+  for (const Vector& vec : vectors) {
+    const BigUint u = BigUint::from_limbs(std::vector<std::uint64_t>(vec.u));
+    const BigUint v = BigUint::from_limbs(std::vector<std::uint64_t>(vec.v));
+    const auto [q, r] = BigUint::divmod(u, v);
+    EXPECT_EQ(q, BigUint::from_hex(vec.q_hex));
+    EXPECT_EQ(r, BigUint::from_hex(vec.r_hex));
+    EXPECT_EQ(q * v + r, u);  // reconstruction closes the loop
+    EXPECT_LT(r, v);
+  }
+}
+
+TEST(BigUint, DivmodKaratsubaThresholdBoundary) {
+  // Quotient reconstruction with operands straddling the Karatsuba threshold
+  // (24 limbs): q*b+r uses the multiply path whose implementation switches
+  // right at these widths, so a mismatch in either divmod or Karatsuba
+  // stitching shows up as a failed reconstruction.
+  Xoshiro256 rng{4242};
+  for (const std::size_t limbs : {23u, 24u, 25u}) {
+    for (int i = 0; i < 10; ++i) {
+      const BigUint a = rng.next_bits(limbs * 64);
+      const BigUint b = rng.next_bits(limbs * 32 + 5);
+      const auto [q, r] = BigUint::divmod(a, b);
+      EXPECT_EQ(q * b + r, a) << limbs;
+      EXPECT_LT(r, b) << limbs;
+    }
+  }
+}
+
 TEST(BigUint, DivisionByZeroThrows) {
   EXPECT_THROW(BigUint{1} / BigUint{}, std::domain_error);
   EXPECT_THROW(BigUint{1} % BigUint{}, std::domain_error);

@@ -280,5 +280,47 @@ TEST(CodecPropertyTest, FrameRoundTripAndMutation) {
   }
 }
 
+// Every codec above bottoms out in BigUint::to_bytes/from_bytes; the zero
+// and fixed-width corners must round-trip (zero once serialized as an empty
+// buffer at the default width, indistinguishable from "absent" on the wire).
+TEST(CodecPropertyTest, BigUintByteRoundTripCorners) {
+  using num::BigUint;
+
+  // Width-0 zero serializes as exactly one zero byte and round-trips.
+  const BigUint zero;
+  const auto zero_bytes = zero.to_bytes();
+  ASSERT_EQ(zero_bytes.size(), 1u);
+  EXPECT_EQ(zero_bytes[0], 0x00);
+  EXPECT_EQ(BigUint::from_bytes(zero_bytes), zero);
+
+  // from_bytes of an empty buffer is still zero (leading zeros allowed).
+  EXPECT_EQ(BigUint::from_bytes({}), zero);
+
+  // Fixed widths: zero and boundary values pad to exactly `width` bytes and
+  // round-trip through from_bytes.
+  for (const std::size_t width : {1u, 7u, 8u, 9u, 64u}) {
+    const BigUint max = (BigUint{1} << (8 * width)) - BigUint{1};
+    for (const BigUint& v : {zero, BigUint{1}, BigUint{0xFF}, max}) {
+      const auto bytes = v.to_bytes(width);
+      EXPECT_EQ(bytes.size(), width);
+      EXPECT_EQ(BigUint::from_bytes(bytes), v);
+    }
+    // One past the width must be rejected, not truncated.
+    EXPECT_THROW((max + BigUint{1}).to_bytes(width), std::length_error);
+  }
+
+  // Random values: minimal-width serialization never emits a leading zero
+  // byte (except the canonical zero encoding) and always round-trips.
+  Xoshiro256 rng{0xB17E5};
+  const std::size_t iters = property_iters(64);
+  for (std::size_t i = 0; i < iters; ++i) {
+    const BigUint v = rng.next_bits(1 + (rng.next_u64() % 520));
+    const auto bytes = v.to_bytes();
+    ASSERT_FALSE(bytes.empty());
+    if (!v.is_zero()) EXPECT_NE(bytes[0], 0x00);
+    EXPECT_EQ(BigUint::from_bytes(bytes), v);
+  }
+}
+
 }  // namespace
 }  // namespace seccloud::core

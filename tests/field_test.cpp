@@ -136,11 +136,54 @@ INSTANTIATE_TEST_SUITE_P(
         "fffffffb",                          // 32-bit prime ≡ 3 (mod 4)
         "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff",  // P-256
         "b7310e862efdfa3df84ca43f1e167c67802b80efc019a0f6ee55a30059ccffb4"
-        "4e02bfe78b9182024ef8b78563010f4d6eaa581df379f1e9fcd912a61fa26b6f"));  // SS512
+        "4e02bfe78b9182024ef8b78563010f4d6eaa581df379f1e9fcd912a61fa26b6f",   // SS512
+        // p ≡ 1 (mod 4): sqrt runs Tonelli–Shanks instead of the
+        // a^((p+1)/4) shortcut.
+        "d",                                 // 13
+        "ffffffffffffffc5",                  // 2^64 − 59
+        "7fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffed"));  // 2^255 − 19
 
 TEST(PrimeField, RejectsBadModulus) {
   EXPECT_THROW(PrimeField{BigUint{1}}, std::invalid_argument);
   EXPECT_THROW(PrimeField{BigUint{8}}, std::invalid_argument);
+}
+
+TEST(PrimeFieldSqrt, TonelliShanksKnownRoots) {
+  // p = 13 ≡ 1 (mod 4): QRs are {1, 3, 4, 9, 10, 12}.
+  const PrimeField f13{BigUint{13}};
+  EXPECT_EQ(f13.sqrt(BigUint{}), BigUint{});  // sqrt(0) = 0
+  for (const std::uint64_t qr : {1ull, 3ull, 4ull, 9ull, 10ull, 12ull}) {
+    const auto root = f13.sqrt(BigUint{qr});
+    ASSERT_TRUE(root.has_value()) << qr;
+    EXPECT_EQ(f13.sqr(*root), BigUint{qr});
+  }
+  for (const std::uint64_t nqr : {2ull, 5ull, 6ull, 7ull, 8ull, 11ull}) {
+    EXPECT_FALSE(f13.sqrt(BigUint{nqr}).has_value()) << nqr;
+  }
+
+  // Large p ≡ 1 (mod 4) with a deep 2-adic tower: 2^64 − 59 has
+  // p − 1 = q·2^s with s > 1, exercising the order-reduction loop.
+  const PrimeField f64{BigUint::from_hex("ffffffffffffffc5")};
+  num::Xoshiro256 rng{11};
+  int residues = 0;
+  for (int i = 0; i < 40; ++i) {
+    const BigUint a = f64.random(rng);
+    const BigUint sq = f64.sqr(a);
+    const auto root = f64.sqrt(sq);
+    ASSERT_TRUE(root.has_value());
+    EXPECT_EQ(f64.sqr(*root), sq);
+    if (f64.sqrt(a).has_value()) ++residues;
+  }
+  EXPECT_GT(residues, 5);   // non-residues → nullopt, not a wrong root
+  EXPECT_LT(residues, 35);
+}
+
+TEST(PrimeFieldSqrt, CompositeModulusWithoutNonResidueThrows) {
+  // 9 ≡ 1 (mod 4) but (Z/9)* has no element of order 2 under Euler's
+  // criterion (z^4 mod 9 never equals 8), so construction finds no
+  // non-residue and sqrt must report that instead of looping forever.
+  const PrimeField f9{BigUint{9}};
+  EXPECT_THROW(f9.sqrt(BigUint{7}), std::logic_error);
 }
 
 class Fp2Test : public ::testing::Test {

@@ -1,0 +1,419 @@
+// Differential harness for the fixed-limb Montgomery core (ctest label
+// `differential`).
+//
+// Every fixed-core operation is checked against the authoritative
+// BigUint/Barrett path on random and adversarial inputs: 0, 1, p−1, p−2,
+// the Montgomery constants R mod p and R² mod p (the values that straddle
+// the R/p boundary), and full Montgomery-domain round-trips. The layers
+// above get the same treatment — PrimeField under both backends, the curve
+// scalar ladder, the Miller loop, and FixedPairing line replay must all be
+// bit-identical, including on the degenerate points (2-torsion, order-3
+// points that force the T = P addition step, negated Q, infinity) that the
+// random suites essentially never hit.
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "ec/curve.h"
+#include "field/fp.h"
+#include "field/fp2.h"
+#include "field/fp_fixed.h"
+#include "pairing/group.h"
+#include "pairing/precompute.h"
+#include "property_support.h"
+
+namespace seccloud {
+namespace {
+
+using field::FieldBackend;
+using field::PrimeField;
+using field::fixed::Fe;
+using field::fixed::MontCtx;
+using num::BigUint;
+using num::Xoshiro256;
+using pairing::PairingGroup;
+using pairing::Point;
+using testsupport::property_iters;
+
+// ---------------------------------------------------------------------------
+// MontCtx vs BigUint reference arithmetic
+// ---------------------------------------------------------------------------
+
+class MontCtxDifferential : public ::testing::TestWithParam<const char*> {
+ protected:
+  MontCtxDifferential() : p(BigUint::from_hex(GetParam())), ctx(p), rng(2024) {}
+
+  /// Adversarial residues plus seeded random ones.
+  std::vector<BigUint> interesting_values() {
+    std::vector<BigUint> vals{
+        BigUint{},                                 // 0
+        BigUint{1},                                // 1
+        BigUint{2},                                //
+        p - BigUint{1},                            // p − 1
+        p - BigUint{2},                            // p − 2
+        (p + BigUint{1}) >> 1,                     // (p+1)/2
+        (BigUint{1} << (64 * p.limb_count())) % p, // R mod p
+        (BigUint{1} << (128 * p.limb_count())) % p // R² mod p
+    };
+    const std::size_t iters = property_iters(24);
+    for (std::size_t i = 0; i < iters; ++i) vals.push_back(rng.next_below(p));
+    return vals;
+  }
+
+  BigUint p;
+  MontCtx ctx;
+  Xoshiro256 rng;
+};
+
+TEST_P(MontCtxDifferential, RoundTripsAndDomainConversions) {
+  for (const BigUint& a : interesting_values()) {
+    const Fe fe = ctx.from_biguint(a);
+    EXPECT_EQ(ctx.to_biguint(fe), a);
+    // to_mont/from_mont must be mutually inverse on every residue.
+    EXPECT_EQ(ctx.to_biguint(ctx.from_mont(ctx.to_mont(fe))), a);
+    // And the Montgomery representative must equal a·R mod p.
+    const BigUint r = (BigUint{1} << (64 * p.limb_count())) % p;
+    EXPECT_EQ(ctx.to_biguint(ctx.to_mont(fe)), (a * r) % p);
+  }
+}
+
+TEST_P(MontCtxDifferential, AddSubNegMatchReference) {
+  const auto vals = interesting_values();
+  for (const BigUint& a : vals) {
+    const Fe fa = ctx.load(a);
+    EXPECT_EQ(ctx.to_biguint(ctx.neg(fa)), a.is_zero() ? BigUint{} : p - a);
+    for (const BigUint& b : vals) {
+      const Fe fb = ctx.load(b);
+      EXPECT_EQ(ctx.to_biguint(ctx.add(fa, fb)), (a + b) % p);
+      const BigUint expect_sub = a >= b ? a - b : a + p - b;
+      EXPECT_EQ(ctx.to_biguint(ctx.sub(fa, fb)), expect_sub);
+    }
+  }
+}
+
+TEST_P(MontCtxDifferential, MulAndSqrMatchReference) {
+  const auto vals = interesting_values();
+  for (const BigUint& a : vals) {
+    const Fe fa = ctx.load(a);
+    EXPECT_EQ(ctx.to_biguint(ctx.sqr_canonical(fa)), a.squared() % p);
+    // Montgomery-domain closure: mont_mul(ã, b̃) = (a·b)~.
+    const Fe ma = ctx.to_mont(fa);
+    EXPECT_EQ(ctx.to_biguint(ctx.from_mont(ctx.mont_sqr(ma))), a.squared() % p);
+    for (const BigUint& b : vals) {
+      const Fe fb = ctx.load(b);
+      EXPECT_EQ(ctx.to_biguint(ctx.mul_canonical(fa, fb)), (a * b) % p);
+      const Fe mb = ctx.to_mont(fb);
+      EXPECT_EQ(ctx.to_biguint(ctx.from_mont(ctx.mont_mul(ma, mb))), (a * b) % p);
+    }
+  }
+}
+
+TEST_P(MontCtxDifferential, MulWordMatchesReference) {
+  const std::uint64_t words[] = {0, 1, 2, 3, 4, 8, 0xFFFFFFFFFFFFFFFFull};
+  for (const BigUint& a : interesting_values()) {
+    const Fe fa = ctx.load(a);
+    for (const std::uint64_t k : words) {
+      BigUint expect = a;
+      expect *= k;
+      EXPECT_EQ(ctx.to_biguint(ctx.mul_word(fa, k)), expect % p);
+    }
+  }
+}
+
+TEST_P(MontCtxDifferential, PowMatchesReference) {
+  const PrimeField reference(p, FieldBackend::kBigint);
+  const std::vector<BigUint> exponents{BigUint{},          BigUint{1},
+                                       BigUint{2},         BigUint{16},
+                                       p - BigUint{1},     p - BigUint{2},
+                                       rng.next_below(p)};
+  for (const BigUint& a : interesting_values()) {
+    const Fe ma = ctx.to_mont(ctx.load(a));
+    for (const BigUint& e : exponents) {
+      EXPECT_EQ(ctx.to_biguint(ctx.from_mont(ctx.pow_mont(ma, e))),
+                reference.pow(a, e));
+    }
+  }
+}
+
+TEST_P(MontCtxDifferential, InverseMatchesReferenceAndVerifies) {
+  const PrimeField reference(p, FieldBackend::kBigint);
+  EXPECT_FALSE(ctx.inv_mont(Fe{}).has_value());
+  for (const BigUint& a : interesting_values()) {
+    if (a.is_zero()) continue;
+    const Fe ma = ctx.to_mont(ctx.load(a));
+    const auto iv = ctx.inv_mont(ma);
+    ASSERT_TRUE(iv.has_value()) << a.to_hex();
+    EXPECT_EQ(ctx.to_biguint(ctx.from_mont(*iv)), *reference.inv(a));
+    // a·a⁻¹ = 1 in-domain.
+    EXPECT_EQ(ctx.to_biguint(ctx.from_mont(ctx.mont_mul(ma, *iv))), BigUint{1});
+  }
+}
+
+TEST_P(MontCtxDifferential, BatchInversionMatchesSingles) {
+  std::vector<Fe> xs;
+  std::vector<BigUint> raw;
+  for (const BigUint& a : interesting_values()) {
+    if (a.is_zero()) continue;
+    raw.push_back(a);
+    xs.push_back(ctx.to_mont(ctx.load(a)));
+  }
+  const std::vector<Fe> inv = ctx.inv_batch_mont(xs);
+  ASSERT_EQ(inv.size(), xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_EQ(ctx.to_biguint(ctx.from_mont(inv[i])),
+              ctx.to_biguint(ctx.from_mont(*ctx.inv_mont(xs[i]))));
+  }
+  EXPECT_THROW(ctx.inv_batch_mont(std::vector<Fe>{Fe{}}), std::domain_error);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Moduli, MontCtxDifferential,
+    ::testing::Values(
+        // The pinned 512-bit SS512 prime (8 limbs — the production width).
+        "b7310e862efdfa3df84ca43f1e167c67802b80efc019a0f6ee55a30059ccffb44e02bfe"
+        "78b9182024ef8b78563010f4d6eaa581df379f1e9fcd912a61fa26b6f",
+        // The tiny 96-bit test prime (2 limbs).
+        "a1d1466b6a6152952b0112f3",
+        // One-limb primes: 2^64 − 59 and a small one (Tonelli–Shanks class).
+        "ffffffffffffffc5", "d"));
+
+// MontCtx must refuse what it cannot represent; PrimeField must refuse a
+// forced-fixed backend for the same moduli.
+TEST(MontCtxGuards, RejectsUnsupportedModuli) {
+  EXPECT_FALSE(MontCtx::fits(BigUint{4}));          // even
+  EXPECT_FALSE(MontCtx::fits(BigUint{1}));          // < 3
+  EXPECT_FALSE(MontCtx::fits(BigUint{1} << 520));   // > 8 limbs (and even)
+  const BigUint wide = (BigUint{1} << 520) + BigUint{21};
+  EXPECT_FALSE(MontCtx::fits(wide));                // > 8 limbs, odd
+  EXPECT_THROW(MontCtx{wide}, std::invalid_argument);
+  EXPECT_THROW(PrimeField(wide, FieldBackend::kFixed), std::invalid_argument);
+  EXPECT_FALSE(PrimeField(wide).has_fixed_core());  // kAuto falls back
+}
+
+// ---------------------------------------------------------------------------
+// PrimeField: fixed backend vs forced BigUint backend
+// ---------------------------------------------------------------------------
+
+class PrimeFieldBackendDifferential : public ::testing::TestWithParam<const char*> {
+ protected:
+  PrimeFieldBackendDifferential()
+      : p(BigUint::from_hex(GetParam())),
+        fixed(p, FieldBackend::kFixed),
+        bigint(p, FieldBackend::kBigint),
+        rng(77) {}
+
+  BigUint p;
+  PrimeField fixed;
+  PrimeField bigint;
+  Xoshiro256 rng;
+};
+
+TEST_P(PrimeFieldBackendDifferential, AllOperationsBitIdentical) {
+  ASSERT_TRUE(fixed.has_fixed_core());
+  ASSERT_FALSE(bigint.has_fixed_core());
+  std::vector<BigUint> vals{BigUint{}, BigUint{1}, p - BigUint{1}, p - BigUint{2}};
+  const std::size_t iters = property_iters(16);
+  for (std::size_t i = 0; i < iters; ++i) vals.push_back(rng.next_below(p));
+
+  std::vector<BigUint> nonzero;
+  for (const BigUint& a : vals) {
+    if (!a.is_zero()) nonzero.push_back(a);
+    EXPECT_EQ(fixed.sqr(a), bigint.sqr(a));
+    EXPECT_EQ(fixed.mul_small(a, 8), bigint.mul_small(a, 8));
+    EXPECT_EQ(fixed.pow(a, p - BigUint{2}), bigint.pow(a, p - BigUint{2}));
+    EXPECT_EQ(fixed.inv(a), bigint.inv(a));
+    EXPECT_EQ(fixed.sqrt(a), bigint.sqrt(a));
+    for (const BigUint& b : vals) {
+      EXPECT_EQ(fixed.mul(a, b), bigint.mul(a, b));
+    }
+  }
+  EXPECT_EQ(fixed.inv_batch(nonzero), bigint.inv_batch(nonzero));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Moduli, PrimeFieldBackendDifferential,
+    ::testing::Values(
+        "b7310e862efdfa3df84ca43f1e167c67802b80efc019a0f6ee55a30059ccffb44e02bfe"
+        "78b9182024ef8b78563010f4d6eaa581df379f1e9fcd912a61fa26b6f",
+        "a1d1466b6a6152952b0112f3",
+        // p ≡ 1 (mod 4): exercises the Tonelli–Shanks sqrt under both
+        // backends.
+        "ffffffffffffffc5"));
+
+// ---------------------------------------------------------------------------
+// Curve scalar multiplication and pairing: kAuto vs kBigint groups
+// ---------------------------------------------------------------------------
+
+struct GroupPair {
+  GroupPair(const pairing::TypeAParams& params)
+      : fast(params), slow(params, FieldBackend::kBigint) {}
+  PairingGroup fast;
+  PairingGroup slow;
+};
+
+GroupPair& default_pairs() {
+  static GroupPair pairs{pairing::default_params()};
+  return pairs;
+}
+
+GroupPair& tiny_pairs() {
+  static GroupPair pairs{pairing::tiny_params()};
+  return pairs;
+}
+
+TEST(CurveBackendDifferential, ScalarMultiplicationBitIdentical) {
+  for (GroupPair* gp : {&tiny_pairs(), &default_pairs()}) {
+    ASSERT_TRUE(gp->fast.fp().has_fixed_core());
+    ASSERT_FALSE(gp->slow.fp().has_fixed_core());
+    ASSERT_EQ(gp->fast.generator(), gp->slow.generator());
+
+    Xoshiro256 rng(5150);
+    const Point& g = gp->fast.generator();
+    const BigUint& q = gp->fast.order();
+    std::vector<BigUint> scalars{BigUint{1}, BigUint{2},  BigUint{3},
+                                 BigUint{7}, BigUint{255}, BigUint{256},
+                                 q - BigUint{1}, q};
+    const std::size_t iters = property_iters(8);
+    for (std::size_t i = 0; i < iters; ++i) scalars.push_back(gp->fast.random_scalar(rng));
+
+    for (const BigUint& k : scalars) {
+      EXPECT_EQ(gp->fast.curve().mul(k, g), gp->slow.curve().mul(k, g))
+          << "k=" << k.to_hex();
+    }
+    // multi_mul walks a different (interleaved) ladder — compare it too.
+    const Point g2 = gp->fast.curve().mul(BigUint{2}, g);
+    const std::vector<Point> pts{g, g2, gp->fast.curve().neg(g)};
+    const std::vector<BigUint> ks{scalars[0], scalars.back(), q - BigUint{1}};
+    EXPECT_EQ(gp->fast.curve().multi_mul(ks, pts), gp->slow.curve().multi_mul(ks, pts));
+  }
+}
+
+Point small_order_point(const PairingGroup& g, std::uint64_t d, Xoshiro256& rng);
+
+TEST(CurveBackendDifferential, SmallOrderBasePointsSurviveWnafTable) {
+  // Regression: the wNAF precompute table holds the odd multiples 3P, 5P,
+  // 7P, and a base point of order 3 collapses 3P to O mid-table — both
+  // backends used to throw domain_error out of the batch affine conversion
+  // for any scalar wide enough to leave the tiny double-and-add path.
+  for (GroupPair* gp : {&tiny_pairs(), &default_pairs()}) {
+    Xoshiro256 rng(271828);
+    const BigUint& q = gp->fast.order();
+    for (const std::uint64_t d : {2ull, 3ull, 4ull}) {
+      const Point pt = small_order_point(gp->fast, d, rng);
+      for (const BigUint& k :
+           {BigUint{256}, BigUint{1000}, q, q + BigUint{12345}}) {
+        const Point fast = gp->fast.curve().mul(k, pt);
+        const Point slow = gp->slow.curve().mul(k, pt);
+        EXPECT_EQ(fast, slow) << "d=" << d << " k=" << k.to_hex();
+        // k·P depends only on k mod ord(P), and ord(P) | d, so reducing the
+        // scalar mod d (which stays on the tiny double-and-add path) must
+        // land on the same point.
+        EXPECT_EQ(fast, gp->fast.curve().mul(k % BigUint{d}, pt))
+            << "d=" << d << " k=" << k.to_hex();
+      }
+    }
+  }
+}
+
+TEST(PairingBackendDifferential, PairingsBitIdentical) {
+  for (GroupPair* gp : {&tiny_pairs(), &default_pairs()}) {
+    Xoshiro256 rng(31337);
+    const Point& g = gp->fast.generator();
+    for (std::size_t i = 0; i < property_iters(4); ++i) {
+      const Point a = gp->fast.mul(gp->fast.random_scalar(rng), g);
+      const Point b = gp->fast.mul(gp->fast.random_scalar(rng), g);
+      EXPECT_EQ(gp->fast.pair(a, b), gp->slow.pair(a, b));
+      EXPECT_EQ(gp->fast.miller(a, b), gp->slow.miller(a, b));
+    }
+    // Bilinearity still holds through the fixed path.
+    const Point a = gp->fast.mul(BigUint{5}, g);
+    EXPECT_EQ(gp->fast.pair(a, g), gp->fast.gt_pow(gp->fast.pair(g, g), BigUint{5}));
+  }
+}
+
+TEST(PairingBackendDifferential, FixedPairingMatchesDirectPairing) {
+  for (GroupPair* gp : {&tiny_pairs(), &default_pairs()}) {
+    Xoshiro256 rng(404);
+    const Point& g = gp->fast.generator();
+    const Point fixed_arg = gp->fast.mul(gp->fast.random_scalar(rng), g);
+    const pairing::FixedPairing fast_fp(gp->fast, fixed_arg);
+    const pairing::FixedPairing slow_fp(gp->slow, fixed_arg);
+    for (std::size_t i = 0; i < property_iters(4); ++i) {
+      const Point q = gp->fast.mul(gp->fast.random_scalar(rng), g);
+      const auto direct = gp->fast.pair(fixed_arg, q);
+      EXPECT_EQ(fast_fp.pair_with(q), direct);
+      EXPECT_EQ(slow_fp.pair_with(q), direct);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate-point differential: small-torsion points drive the Miller loop
+// through the T = P tangent step, the y = 0 doubling, and T = −P vertical
+// line — paths random subgroup points never reach. All three implementations
+// (generic loop under both backends, FixedPairing replay) must agree
+// bit-identically.
+// ---------------------------------------------------------------------------
+
+/// Points of order dividing d on the full curve (order p + 1), via the
+/// cofactor map ((p+1)/d)·R for random R. Requires d | p + 1.
+Point small_order_point(const PairingGroup& g, std::uint64_t d, Xoshiro256& rng) {
+  const BigUint full_order = g.params().p + BigUint{1};
+  EXPECT_TRUE((full_order % BigUint{d}).is_zero());
+  const BigUint cof = full_order / BigUint{d};
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const Point r = g.curve().random_point(rng);
+    const Point s = g.curve().mul(cof, r);
+    if (!s.infinity) return s;
+  }
+  ADD_FAILURE() << "no point of order dividing " << d << " found";
+  return Point::at_infinity();
+}
+
+TEST(PairingEdgePointDifferential, DegeneratePathsBitIdentical) {
+  for (GroupPair* gp : {&tiny_pairs(), &default_pairs()}) {
+    Xoshiro256 rng(8086);
+    const Point& g = gp->fast.generator();
+    const Point q1 = gp->fast.mul(gp->fast.random_scalar(rng), g);
+
+    // (0, 0) is the canonical 2-torsion point of y² = x³ + x; order-3 and
+    // order-4 points come from cofactor maps (3 | p+1 and 4 | p+1 on both
+    // pinned curves).
+    const Point two_torsion = Point::affine(BigUint{}, BigUint{});
+    ASSERT_TRUE(gp->fast.curve().is_on_curve(two_torsion));
+    ASSERT_TRUE(gp->fast.curve().mul(BigUint{2}, two_torsion).infinity);
+    const Point order3 = small_order_point(gp->fast, 3, rng);
+    const Point order4 = small_order_point(gp->fast, 4, rng);
+
+    const std::vector<std::pair<Point, Point>> cases{
+        {two_torsion, q1},                    // y = 0 doubling → infinity
+        {two_torsion, two_torsion},           //
+        {order3, q1},                         // forces T = P addition steps
+        {order3, order3},                     //
+        {order4, q1},                         // hits 2-torsion mid-ladder
+        {q1, two_torsion},                    // degenerate evaluation side
+        {q1, gp->fast.neg(q1)},               // negated Q
+        {g, q1},                              // sanity: generic pair
+    };
+    for (const auto& [a, b] : cases) {
+      const auto expect = gp->slow.pair(a, b);
+      EXPECT_EQ(gp->fast.pair(a, b), expect)
+          << a.x.to_hex() << "," << a.y.to_hex();
+      const pairing::FixedPairing fp_fast(gp->fast, a);
+      const pairing::FixedPairing fp_slow(gp->slow, a);
+      EXPECT_EQ(fp_fast.pair_with(b), expect);
+      EXPECT_EQ(fp_slow.pair_with(b), expect);
+    }
+
+    // Infinity on either side short-circuits to 1 everywhere.
+    const Point inf = Point::at_infinity();
+    EXPECT_EQ(gp->fast.pair(inf, q1), gp->fast.gt_one());
+    EXPECT_EQ(gp->slow.pair(inf, q1), gp->slow.gt_one());
+    EXPECT_EQ(pairing::FixedPairing(gp->fast, inf).pair_with(q1), gp->fast.gt_one());
+    EXPECT_EQ(pairing::FixedPairing(gp->fast, q1).pair_with(inf), gp->fast.gt_one());
+  }
+}
+
+}  // namespace
+}  // namespace seccloud
