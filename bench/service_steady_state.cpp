@@ -1,0 +1,177 @@
+// Steady-state audit service at fleet scale: sweeps the registry across
+// 1e5–1e6 users (1e7 behind SECCLOUD_BENCH_XL=1), drives honest epoch
+// traffic from the active working set through the bounded admission queue,
+// and measures audits/sec, p99 epoch latency, and registry memory while
+// asserting the paper's headline invariant — every clean cross-user shared
+// batch costs exactly 2 pairings, however many users' signatures it packs.
+// The emitted values.cross_user_pairings_per_batch is pinned to 2 in
+// bench/baselines/thresholds.json: a regression to per-user verification
+// (pairings scaling with entries instead of batches) fails the CI gate.
+//
+// Usage: service_steady_state
+//   SECCLOUD_BENCH_SMOKE=1  shrink the sweep for CI (baseline mode)
+//   SECCLOUD_BENCH_XL=1     add the 1e7-user point (needs ~1 GiB + minutes)
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_support.h"
+#include "bigint/rng.h"
+#include "ibc/keys.h"
+#include "obs/metrics.h"
+#include "seccloud/service/service.h"
+#include "sim/fleet.h"
+
+using namespace seccloud;
+
+namespace {
+
+bool xl_mode() {
+  const char* env = std::getenv("SECCLOUD_BENCH_XL");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+struct SweepPoint {
+  std::size_t users = 0;
+  double audits_per_sec = 0.0;
+  double epoch_p99_ms = 0.0;
+  double registry_bytes = 0.0;
+  std::size_t batches = 0;
+  std::size_t entries = 0;
+  std::uint64_t verify_pairings = 0;
+  std::size_t backpressure_rejected = 0;
+};
+
+/// p99 over a small sample = worst observation (8 epochs: index 7.92 -> max).
+double p99(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  const std::size_t idx =
+      static_cast<std::size_t>(0.99 * static_cast<double>(samples.size() - 1) + 0.5);
+  return samples[std::min(idx, samples.size() - 1)];
+}
+
+SweepPoint run_scale(const pairing::PairingGroup& g, const ibc::Sio& sio,
+                     const ibc::IdentityKey& da, const ibc::IdentityKey& cs,
+                     std::size_t users, std::size_t active, std::size_t blocks,
+                     std::size_t epochs, bool bind_service_metrics) {
+  service::ServiceConfig config;
+  config.epoch.queue_capacity = active;  // exactly one epoch's traffic fits
+  config.epoch.batch_capacity = 64;
+  service::AuditService svc{g, da, cs, config};
+  if (bind_service_metrics) svc.bind_metrics(obs::default_registry(), "service");
+
+  sim::FleetWorkload fleet{sio,
+                           {.users = users,
+                            .active_users = active,
+                            .blocks_per_request = blocks,
+                            .seed = 20260808}};
+  fleet.populate(svc);
+
+  SweepPoint point;
+  point.users = users;
+  std::vector<double> epoch_ms;
+  double verify_window_ms = 0.0;
+  std::size_t verified_total = 0;
+  for (std::size_t e = 0; e < epochs; ++e) {
+    std::vector<service::AuditRequest> requests = fleet.make_requests(svc);
+    // Backpressure probe on the first epoch: the queue holds exactly one
+    // epoch's traffic, so a duplicate submission wave must be rejected with
+    // a retry-after hint instead of growing memory.
+    std::vector<service::AuditRequest> duplicates;
+    if (e == 0) duplicates = requests;
+    for (auto& r : requests) {
+      if (!svc.submit(std::move(r)).accepted) std::abort();
+    }
+    for (auto& r : duplicates) {
+      const service::Admission a = svc.submit(std::move(r));
+      if (!a.accepted) ++point.backpressure_rejected;
+      if (!a.accepted && a.retry_after_epochs == 0) std::abort();
+    }
+
+    const service::EpochReport report = svc.run_epoch();
+    epoch_ms.push_back(report.epoch_ms);
+    verify_window_ms += report.epoch_ms;
+    verified_total += report.verified_requests;
+    point.batches += report.batches;
+    point.entries += report.entries;
+    point.verify_pairings += report.verify_ops.pairings;
+    if (report.failed_requests != 0 || !report.byzantine_users.empty()) std::abort();
+  }
+
+  point.audits_per_sec =
+      verify_window_ms > 0.0 ? 1000.0 * static_cast<double>(verified_total) / verify_window_ms
+                             : 0.0;
+  point.epoch_p99_ms = p99(std::move(epoch_ms));
+  point.registry_bytes = static_cast<double>(svc.registry().stats().total_bytes());
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  bench::Bench bench{"service_steady_state"};
+  const pairing::PairingGroup& g = pairing::default_group();
+  num::Xoshiro256 rng{20260808};
+  const ibc::Sio sio{g, rng};
+  const ibc::IdentityKey da = sio.extract("agency@steady-state");
+  const ibc::IdentityKey cs = sio.extract("cloud-server@steady-state");
+  bench.use_group(g);
+
+  std::vector<std::size_t> scales =
+      bench::smoke_mode() ? std::vector<std::size_t>{2'000, 10'000}
+                          : std::vector<std::size_t>{100'000, 1'000'000};
+  if (!bench::smoke_mode() && xl_mode()) scales.push_back(10'000'000);
+  const std::size_t active = bench::scaled<std::size_t>(256, 64);
+  const std::size_t blocks = bench::scaled<std::size_t>(4, 2);
+  const std::size_t epochs = bench::scaled<std::size_t>(8, 3);
+
+  std::printf("=== service steady state: sharded registry + epoch scheduler ===\n");
+  std::printf("%zu active users/epoch, %zu blocks/request, %zu epochs/scale\n\n",
+              active, blocks, epochs);
+  std::printf("%12s %14s %12s %14s %10s %10s\n", "users", "audits/sec", "p99 ms",
+              "registry MiB", "batches", "pair/bat");
+
+  std::uint64_t total_pairings = 0;
+  std::size_t total_batches = 0;
+  for (const std::size_t users : scales) {
+    // The largest (sustained) scale publishes the service.* metrics tree.
+    const bool bind = users == scales.back();
+    const SweepPoint p =
+        run_scale(g, sio, da, cs, users, active, blocks, epochs, bind);
+    total_pairings += p.verify_pairings;
+    total_batches += p.batches;
+    const double per_batch =
+        static_cast<double>(p.verify_pairings) / static_cast<double>(p.batches);
+    std::printf("%12zu %14.1f %12.2f %14.2f %10zu %10.2f\n", users, p.audits_per_sec,
+                p.epoch_p99_ms, p.registry_bytes / (1024.0 * 1024.0), p.batches,
+                per_batch);
+
+    const std::string tag = "u" + std::to_string(users) + "_";
+    bench.value(tag + "audits_per_sec", p.audits_per_sec);
+    bench.value(tag + "epoch_p99_ms", p.epoch_p99_ms);
+    bench.value(tag + "registry_bytes", p.registry_bytes);
+    bench.value(tag + "batches", static_cast<double>(p.batches));
+    bench.value(tag + "entries", static_cast<double>(p.entries));
+    bench.value(tag + "backpressure_rejected",
+                static_cast<double>(p.backpressure_rejected));
+  }
+
+  // The pinned invariant: clean cross-user batches verify at exactly
+  // 2 pairings each (epoch attestation + mixed-signer aggregate), at every
+  // registry scale. Refuse to emit telemetry claiming otherwise.
+  const double pairings_per_batch =
+      static_cast<double>(total_pairings) / static_cast<double>(total_batches);
+  if (pairings_per_batch != 2.0) {
+    std::printf("FAIL: %.4f pairings per clean batch (expected exactly 2)\n",
+                pairings_per_batch);
+    return 1;
+  }
+  std::printf("\nevery clean shared batch verified at exactly 2 pairings.\n");
+  bench.value("cross_user_pairings_per_batch", pairings_per_batch);
+  bench.value("users_peak", static_cast<double>(scales.back()));
+  bench.note("sweep", bench::smoke_mode() ? "smoke" : (xl_mode() ? "full+xl" : "full"));
+  bench.note("invariant", "verify pairings == 2 x batches on honest traffic");
+  return bench.finish();
+}

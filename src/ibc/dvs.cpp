@@ -128,6 +128,48 @@ std::vector<std::size_t> dv_batch_isolate(const ParallelPairingEngine& engine,
   return isolate_with_terms(group, batch, terms, verifier, stats);
 }
 
+// --- cross-user shared batches ---------------------------------------------
+
+CrossUserVerdict dv_cross_user_verify(const PairingGroup& group,
+                                      std::span<const BatchEntry> entries,
+                                      const IdentityKey& verifier,
+                                      const Point& attestor_q_id,
+                                      std::span<const std::uint8_t> attestation_message,
+                                      const DvSignature& attestation,
+                                      bool isolate_on_reject) {
+  CrossUserVerdict verdict;
+  // Pairing 1: the cloud server's epoch attestation over the batch digest.
+  verdict.attestation_valid =
+      dv_verify(group, attestor_q_id, attestation_message, attestation, verifier);
+  // Pairing 2: the mixed-signer aggregate (Eq. 8/9), any batch size.
+  verdict.aggregate_valid = dv_batch_verify(group, entries, verifier);
+  verdict.accepted = verdict.attestation_valid && verdict.aggregate_valid;
+  if (!verdict.aggregate_valid && isolate_on_reject) {
+    verdict.invalid_entries =
+        dv_batch_isolate(group, entries, verifier, &verdict.bisection);
+  }
+  return verdict;
+}
+
+CrossUserVerdict dv_cross_user_verify(const ParallelPairingEngine& engine,
+                                      std::span<const BatchEntry> entries,
+                                      const IdentityKey& verifier,
+                                      const Point& attestor_q_id,
+                                      std::span<const std::uint8_t> attestation_message,
+                                      const DvSignature& attestation,
+                                      bool isolate_on_reject) {
+  CrossUserVerdict verdict;
+  verdict.attestation_valid = dv_verify(engine.group(), attestor_q_id,
+                                        attestation_message, attestation, verifier);
+  verdict.aggregate_valid = dv_batch_verify(engine, entries, verifier);
+  verdict.accepted = verdict.attestation_valid && verdict.aggregate_valid;
+  if (!verdict.aggregate_valid && isolate_on_reject) {
+    verdict.invalid_entries =
+        dv_batch_isolate(engine, entries, verifier, &verdict.bisection);
+  }
+  return verdict;
+}
+
 DesignatedVerifier::DesignatedVerifier(const PairingGroup& group,
                                        const IdentityKey& verifier)
     : group_(&group), key_(verifier), fixed_(group, verifier.secret) {}

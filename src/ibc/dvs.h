@@ -109,6 +109,45 @@ std::vector<std::size_t> dv_batch_isolate(const ParallelPairingEngine& engine,
 bool dv_batch_verify(const ParallelPairingEngine& engine,
                      std::span<const BatchEntry> batch, const IdentityKey& verifier);
 
+// --- cross-user shared batches ---------------------------------------------
+
+/// Verdict for one shared (multi-user) batch checked by the service layer.
+struct CrossUserVerdict {
+  bool accepted = false;           ///< attestation_valid && aggregate_valid
+  bool attestation_valid = false;  ///< CS epoch attestation over the batch digest
+  bool aggregate_valid = false;    ///< Eq. (8)/(9) mixed-signer aggregate
+  /// Entries isolated by bisection when the aggregate rejects (ascending).
+  std::vector<std::size_t> invalid_entries;
+  BisectionStats bisection;
+};
+
+/// Verifies a shared batch packed from MANY users' designated-verifier
+/// signatures with the paper's 2-pairing shape: one pairing checks the cloud
+/// server's epoch attestation Sig_CS(batch digest) — the analogue of
+/// Sig_CS(R) in the paper's audit protocol — and one pairing checks the
+/// mixed-signer aggregate (Eq. 8/9) over every entry regardless of how many
+/// users contributed. On an aggregate reject (and `isolate_on_reject`), the
+/// PR-4 bisection isolates the bad entries across user boundaries in
+/// 1+O(k·log n) extra pairings so one Byzantine user cannot poison the epoch.
+CrossUserVerdict dv_cross_user_verify(const PairingGroup& group,
+                                      std::span<const BatchEntry> entries,
+                                      const IdentityKey& verifier,
+                                      const Point& attestor_q_id,
+                                      std::span<const std::uint8_t> attestation_message,
+                                      const DvSignature& attestation,
+                                      bool isolate_on_reject = true);
+
+/// Parallel variant: per-entry terms run across the engine's pool; verdict,
+/// isolated set, and op-counter totals are bit-identical to the serial
+/// overload for any thread count.
+CrossUserVerdict dv_cross_user_verify(const ParallelPairingEngine& engine,
+                                      std::span<const BatchEntry> entries,
+                                      const IdentityKey& verifier,
+                                      const Point& attestor_q_id,
+                                      std::span<const std::uint8_t> attestation_message,
+                                      const DvSignature& attestation,
+                                      bool isolate_on_reject = true);
+
 /// A verifier with the fixed-argument Miller precomputation for its secret
 /// key sk_B — the same second argument in every Eq. 5/7/8/9 check — so each
 /// verification replays recorded line functions instead of recomputing the

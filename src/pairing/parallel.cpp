@@ -13,7 +13,7 @@ Gt ParallelPairingEngine::pair_product(
     std::span<const std::pair<Point, Point>> pairs) const {
   obs::ProfileSpan span = obs::profile_span("pair_product");
   if (span) span.arg("pairs", std::to_string(pairs.size()));
-  obs::Histogram* latency = pair_product_ms_.load(std::memory_order_relaxed);
+  obs::Histogram* latency = pair_product_ms_.load(std::memory_order_acquire);
   const auto begin_time = latency != nullptr ? std::chrono::steady_clock::now()
                                              : std::chrono::steady_clock::time_point{};
   const auto observe = [&] {
@@ -84,8 +84,10 @@ void ParallelPairingEngine::bind_metrics(obs::MetricsRegistry& registry,
   const std::string p{prefix};
   group_->publish_to(registry, p + ".ops");
   pool_->bind_metrics(registry, p + ".pool");
+  // Release-published: pair_product() on another thread may race this bind
+  // and must never see the handle before the histogram is constructed.
   pair_product_ms_.store(&registry.histogram(p + ".pair_product_ms"),
-                         std::memory_order_relaxed);
+                         std::memory_order_release);
 }
 
 }  // namespace seccloud::pairing

@@ -1,0 +1,73 @@
+#include "seccloud/service/epoch.h"
+
+#include "obs/metrics.h"
+
+namespace seccloud::service {
+
+AdmissionQueue::AdmissionQueue(EpochConfig config) : config_(config) {
+  if (config_.queue_capacity == 0) config_.queue_capacity = 1;
+  if (config_.batch_capacity == 0) config_.batch_capacity = 1;
+  pending_.reserve(config_.queue_capacity);
+}
+
+Admission AdmissionQueue::submit(AuditRequest request) {
+  Admission admission;
+  std::size_t new_depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    if (pending_.size() >= config_.queue_capacity) {
+      admission.accepted = false;
+      admission.epoch = epoch_;
+      admission.retry_after_epochs = config_.retry_after_epochs;
+    } else {
+      pending_.push_back(std::move(request));
+      admission.accepted = true;
+      admission.epoch = epoch_;
+      new_depth = pending_.size();
+      depth_.store(new_depth, std::memory_order_relaxed);
+    }
+  }
+  if (admission.accepted) {
+    if (auto* c = m_admitted_.load(std::memory_order_acquire)) c->inc();
+    if (auto* g = m_depth_gauge_.load(std::memory_order_acquire)) {
+      g->set(static_cast<std::int64_t>(new_depth));
+    }
+  } else {
+    if (auto* c = m_rejected_.load(std::memory_order_acquire)) c->inc();
+  }
+  return admission;
+}
+
+std::vector<AuditRequest> AdmissionQueue::drain() {
+  std::vector<AuditRequest> drained;
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    drained.swap(pending_);
+    pending_.reserve(config_.queue_capacity);
+    ++epoch_;
+    depth_.store(0, std::memory_order_relaxed);
+  }
+  if (auto* g = m_depth_gauge_.load(std::memory_order_acquire)) g->set(0);
+  return drained;
+}
+
+std::uint64_t AdmissionQueue::epoch() const noexcept {
+  std::lock_guard<std::mutex> lock(m_);
+  return epoch_;
+}
+
+std::size_t AdmissionQueue::depth() const noexcept {
+  return depth_.load(std::memory_order_relaxed);
+}
+
+void AdmissionQueue::bind_metrics(obs::MetricsRegistry& registry,
+                                  std::string_view prefix) {
+  const std::string p{prefix};
+  // Release: the metric objects must be fully constructed before a racing
+  // submit() can observe the handle.
+  m_admitted_.store(&registry.counter(p + ".admitted"), std::memory_order_release);
+  m_rejected_.store(&registry.counter(p + ".rejected"), std::memory_order_release);
+  m_depth_gauge_.store(&registry.gauge(p + ".queue_depth"), std::memory_order_release);
+}
+
+}  // namespace seccloud::service

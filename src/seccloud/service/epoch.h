@@ -1,0 +1,95 @@
+// Async epoch scheduler: bounded admission with backpressure.
+//
+// The service verifies audits in fixed epochs. Between epochs, clients
+// submit() audit requests into a bounded admission queue; when the queue is
+// full the request is rejected with a retry-after hint (epochs to wait)
+// instead of growing memory without bound — the backpressure contract the
+// north-star traffic-serving system needs. drain_epoch() atomically takes
+// the whole pending queue in admission order and advances the epoch number,
+// so every drained request carries the epoch it was verified in.
+//
+// Telemetry (bind_metrics): "<prefix>.admitted" / "<prefix>.rejected"
+// counters and a "<prefix>.queue_depth" gauge (current / high-water) so the
+// obs pipeline sees admission pressure between snapshots. The late-bound
+// handles are published with release stores and read with acquire loads:
+// submit() may race bind_metrics(), and the handle must not be dereferenced
+// before the registry finished constructing the metric (the TSan contract).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "seccloud/service/registry.h"
+#include "seccloud/types.h"
+
+namespace seccloud::obs {
+class Counter;
+class Gauge;
+class MetricsRegistry;
+}  // namespace seccloud::obs
+
+namespace seccloud::service {
+
+struct EpochConfig {
+  /// Maximum requests queued between epochs; submits beyond it are rejected.
+  std::size_t queue_capacity = 1024;
+  /// Maximum flattened signature entries per shared cross-user batch.
+  std::size_t batch_capacity = 64;
+  /// Backpressure hint attached to rejected admissions.
+  std::uint64_t retry_after_epochs = 1;
+};
+
+/// One user's audit request: the signed blocks to verify and the freshness
+/// counter of the commit being audited (must be strictly newer than the
+/// user's audited-version high-water mark, else it is filtered as a stale
+/// replay before costing any pairing).
+struct AuditRequest {
+  UserHandle user = kInvalidUser;
+  std::uint64_t version = 0;
+  std::vector<core::SignedBlock> blocks;
+};
+
+/// Outcome of submit(): admitted into `epoch`, or rejected with a hint.
+struct Admission {
+  bool accepted = false;
+  std::uint64_t epoch = 0;               ///< epoch the request will verify in
+  std::uint64_t retry_after_epochs = 0;  ///< nonzero iff rejected
+};
+
+/// Thread-safe bounded queue of audit requests between epoch boundaries.
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(EpochConfig config = {});
+
+  const EpochConfig& config() const noexcept { return config_; }
+
+  /// Admits or rejects (queue full) one request. Thread-safe.
+  Admission submit(AuditRequest request);
+
+  /// Takes every pending request (admission order) and advances the epoch.
+  std::vector<AuditRequest> drain();
+
+  /// The epoch currently admitting (drained requests verified under it).
+  std::uint64_t epoch() const noexcept;
+  std::size_t depth() const noexcept;
+
+  /// Counters "<prefix>.admitted"/"<prefix>.rejected", gauge
+  /// "<prefix>.queue_depth". Handles are late-bound (release/acquire).
+  void bind_metrics(obs::MetricsRegistry& registry, std::string_view prefix);
+
+ private:
+  EpochConfig config_;
+  mutable std::mutex m_;
+  std::vector<AuditRequest> pending_;
+  std::uint64_t epoch_ = 0;
+  std::atomic<std::size_t> depth_{0};
+
+  std::atomic<obs::Counter*> m_admitted_{nullptr};
+  std::atomic<obs::Counter*> m_rejected_{nullptr};
+  std::atomic<obs::Gauge*> m_depth_gauge_{nullptr};
+};
+
+}  // namespace seccloud::service

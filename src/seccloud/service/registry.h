@@ -1,0 +1,138 @@
+// Sharded user/key registry for the fleet-scale audit service.
+//
+// The service layer must hold millions of registered identities without
+// per-user heap churn or a global lock. The registry shards users across a
+// power-of-two number of independently locked shards (striped locking:
+// register/find/record accesses only ever take one shard's mutex). Each
+// shard owns
+//   * a chunked arena of fixed-size user records (chunks never move, so a
+//     UserHandle resolves to a stable record in O(1) without rehashing);
+//   * a byte arena for identity strings (append-only, so id storage costs
+//     one bump-pointer copy instead of a std::string per user);
+//   * a fixed-width key arena for bound identity-point material (serialized
+//     Q_ID blobs, written once at activation and then readable without the
+//     shard lock because arena memory is stable and publication happens
+//     under the lock);
+//   * an open-addressing hash table (id hash, linear probing, ×2 growth)
+//     mapping identity → record in amortized O(1).
+//
+// The audited-version field per record is the stale-replay guard: the epoch
+// scheduler rejects any audit request whose freshness counter is not
+// strictly newer than the last audited one, so a Byzantine user replaying an
+// old (validly signed) commit is filtered before it can enter a shared
+// batch — costing zero pairings.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace seccloud::service {
+
+/// Opaque user handle: shard index in the high bits, per-shard record index
+/// in the low 40 bits. Resolves in O(1) with no hashing.
+using UserHandle = std::uint64_t;
+
+inline constexpr UserHandle kInvalidUser = ~UserHandle{0};
+
+struct RegistryConfig {
+  /// Number of lock stripes / hash shards; rounded up to a power of two,
+  /// clamped to [1, 65536].
+  std::size_t shards = 64;
+  /// Records per arena chunk (allocation granularity; records never move).
+  std::size_t records_per_chunk = 4096;
+  /// Byte size of one identity-string arena chunk.
+  std::size_t id_arena_chunk_bytes = 1 << 16;
+  /// Fixed width of one bound key blob (serialized Q_ID). 0 disables the
+  /// key arena — bind_key then rejects everything.
+  std::size_t key_width = 0;
+};
+
+/// Read-only view of one registered user.
+struct UserView {
+  std::string_view id;
+  std::uint64_t audited_version = 0;  ///< freshness high-water mark
+  std::uint32_t audits_served = 0;
+  bool has_key = false;
+};
+
+/// Aggregated footprint/statistics (sums shard-local tallies; exact once
+/// writers are quiescent).
+struct RegistryStats {
+  std::size_t users = 0;
+  std::size_t keyed_users = 0;
+  std::size_t shards = 0;
+  std::size_t record_bytes = 0;  ///< arena-reserved record storage
+  std::size_t id_bytes = 0;      ///< arena-reserved identity bytes
+  std::size_t key_bytes = 0;     ///< arena-reserved key-blob storage
+  std::size_t table_bytes = 0;   ///< open-addressing tables
+
+  std::size_t total_bytes() const noexcept {
+    return record_bytes + id_bytes + key_bytes + table_bytes;
+  }
+};
+
+class ShardedRegistry {
+ public:
+  explicit ShardedRegistry(RegistryConfig config = {});
+  ShardedRegistry(const ShardedRegistry&) = delete;
+  ShardedRegistry& operator=(const ShardedRegistry&) = delete;
+  ~ShardedRegistry();
+
+  /// Registers `id`, returning its handle; idempotent (re-registering an
+  /// existing identity returns the original handle). Throws
+  /// std::invalid_argument on an empty id and std::length_error on an id
+  /// longer than the id-arena chunk size.
+  UserHandle register_user(std::string_view id);
+
+  /// O(1) expected lookup; nullopt if the identity was never registered.
+  std::optional<UserHandle> find(std::string_view id) const;
+
+  /// Total registered users (relaxed read; exact once writers quiesce).
+  std::size_t size() const noexcept;
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+  std::size_t key_width() const noexcept { return config_.key_width; }
+
+  /// Read-only snapshot of one record. Throws std::out_of_range on a handle
+  /// that was never issued.
+  UserView view(UserHandle handle) const;
+
+  /// Binds fixed-width key material (a serialized identity point) to the
+  /// user. Write-once: returns false if the user is already keyed. Throws
+  /// std::invalid_argument if blob.size() != key_width() or keys are
+  /// disabled.
+  bool bind_key(UserHandle handle, std::span<const std::uint8_t> blob);
+
+  /// The bound key blob (empty span if none). The returned memory is stable
+  /// for the registry's lifetime; publication happened under the shard lock
+  /// taken by this call, so the bytes are safe to read afterwards.
+  std::span<const std::uint8_t> key(UserHandle handle) const;
+
+  /// Freshness counter of the last *verified* audit (0 = never audited).
+  std::uint64_t audited_version(UserHandle handle) const;
+
+  /// Records a verified audit at freshness counter `version`: bumps
+  /// audits_served and advances the high-water mark if `version` is newer.
+  /// Returns false (still counting the audit) if `version` was stale.
+  bool record_audit(UserHandle handle, std::uint64_t version);
+
+  RegistryStats stats() const;
+
+ private:
+  struct Shard;
+
+  static std::uint64_t hash_id(std::string_view id) noexcept;
+  Shard& shard_for(std::uint64_t hash) const noexcept;
+  /// Decodes a handle; throws std::out_of_range if out of bounds.
+  std::pair<Shard*, std::size_t> resolve(UserHandle handle) const;
+
+  RegistryConfig config_;
+  std::size_t shard_bits_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace seccloud::service

@@ -1,0 +1,159 @@
+// Fleet-scale audit service: registry + epoch scheduler + cross-user batches.
+//
+// The AuditService plays the verifying party (the DA by default — the
+// paper's third-party auditor shape, or the CS checking incoming uploads)
+// operating at fleet scale:
+//   * users live in the ShardedRegistry; active users bind their serialized
+//     Q_ID once and are afterwards resolved in O(1) per request;
+//   * audit requests are admitted into fixed epochs through the bounded
+//     AdmissionQueue (backpressure instead of unbounded memory);
+//   * run_epoch() drains the queue, filters stale replays against each
+//     user's audited-version high-water mark (zero pairings), flattens the
+//     surviving requests' block signatures into shared cross-user batches,
+//     and verifies every batch with the paper's 2-pairing shape — one
+//     pairing for the cloud server's epoch attestation over the batch
+//     digest (the analogue of Sig_CS(R)) and one for the mixed-signer
+//     aggregate (Eq. 8/9) — falling back to bisection to isolate Byzantine
+//     entries across user boundaries without rejecting honest users.
+//
+// Determinism contract: batches verify in parallel across the engine's pool
+// but each batch's verification is the serial group path writing to a
+// disjoint verdict slot, attestations are signed with a per-(seed, epoch,
+// batch) HMAC-DRBG, and op counters accumulate atomically — verdicts,
+// isolated sets, and op totals are bit-identical for any thread count.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ibc/dvs.h"
+#include "pairing/parallel.h"
+#include "seccloud/service/epoch.h"
+#include "seccloud/service/registry.h"
+#include "seccloud/types.h"
+
+namespace seccloud::obs {
+class Counter;
+class Histogram;
+class MetricsRegistry;
+}  // namespace seccloud::obs
+
+namespace seccloud::service {
+
+using ibc::IdentityKey;
+using pairing::PairingGroup;
+using pairing::ParallelPairingEngine;
+using pairing::Point;
+
+/// Which designated-verifier signature each block carries into the batch:
+/// Σ (cloud server) or Σ' (designated agency). Must match the role whose
+/// secret key the service holds.
+enum class VerifierRole : std::uint8_t { kCloudServer, kAgency };
+
+struct ServiceConfig {
+  RegistryConfig registry;  ///< key_width is filled in from the group
+  EpochConfig epoch;
+  std::size_t threads = 0;  ///< engine pool size (0 = hardware concurrency)
+  VerifierRole role = VerifierRole::kAgency;
+  /// Domain seed for the deterministic per-(epoch, batch) attestation DRBG.
+  std::string attestor_seed = "seccloud.service.attest.v1";
+};
+
+/// One flattened signature entry isolated as invalid, mapped back to its
+/// origin: the owning user, the drained-request index, and the block index
+/// inside that request.
+struct InvalidEntryRef {
+  UserHandle user = kInvalidUser;
+  std::size_t request_index = 0;
+  std::size_t block_index = 0;
+
+  bool operator==(const InvalidEntryRef&) const = default;
+};
+
+/// Per-batch outcome (kept so tests can audit the 2-pairing accounting).
+struct BatchResult {
+  std::size_t first_entry = 0;  ///< flat index of the batch's first entry
+  std::size_t entries = 0;
+  ibc::CrossUserVerdict verdict;
+};
+
+struct EpochReport {
+  std::uint64_t epoch = 0;
+  std::size_t requests = 0;          ///< drained this epoch
+  std::size_t stale_rejected = 0;    ///< replay-filtered before batching
+  std::size_t unkeyed_rejected = 0;  ///< user had no bound Q_ID
+  std::size_t entries = 0;           ///< flattened signatures verified
+  std::size_t batches = 0;
+  std::size_t verified_requests = 0;
+  std::size_t failed_requests = 0;
+  std::vector<BatchResult> results;
+  std::vector<InvalidEntryRef> invalid_entries;  ///< flat-entry ascending
+  std::vector<UserHandle> byzantine_users;       ///< unique, ascending
+  pairing::OpCounters assembly_ops;  ///< digesting + attestation signing
+  pairing::OpCounters verify_ops;    ///< the 2-pairing checks + any bisection
+  ibc::BisectionStats bisection;     ///< summed over rejecting batches
+  double epoch_ms = 0.0;
+};
+
+class AuditService {
+ public:
+  /// `verifier` is the service's own identity key (it holds sk_B for the
+  /// Eq. 5/7/8/9 checks); `attestor` is the cloud server identity whose
+  /// epoch attestations accompany every batch.
+  AuditService(const PairingGroup& group, IdentityKey verifier, IdentityKey attestor,
+               ServiceConfig config = {});
+
+  const PairingGroup& group() const noexcept { return *group_; }
+  const ServiceConfig& config() const noexcept { return config_; }
+  ShardedRegistry& registry() noexcept { return registry_; }
+  const ShardedRegistry& registry() const noexcept { return registry_; }
+  AdmissionQueue& queue() noexcept { return queue_; }
+  const ParallelPairingEngine& engine() const noexcept { return engine_; }
+  std::uint64_t epoch() const noexcept { return queue_.epoch(); }
+  /// Identity points clients designate their signatures to: the service's
+  /// own verifying identity and the attesting cloud server.
+  const Point& verifier_q_id() const noexcept { return verifier_.q_id; }
+  const Point& attestor_q_id() const noexcept { return attestor_.q_id; }
+
+  /// Registers an identity record only (cheap; no key material).
+  UserHandle register_user(std::string_view id);
+  /// Registers and immediately binds the serialized Q_ID (an "active" user).
+  UserHandle register_user(std::string_view id, const Point& q_id);
+  /// Late activation: binds Q_ID to an already-registered user. Write-once.
+  bool activate(UserHandle user, const Point& q_id);
+  /// The bound identity point, deserialized; nullopt for unkeyed users.
+  std::optional<Point> user_q_id(UserHandle user) const;
+
+  /// Admits one request into the current epoch (bounded; thread-safe).
+  Admission submit(AuditRequest request);
+
+  /// Drains the admission queue and verifies the epoch. Single-driver:
+  /// concurrent submit() is fine, concurrent run_epoch() is not.
+  EpochReport run_epoch();
+
+  /// Service metrics under "<prefix>.*": request outcome counters, epoch
+  /// latency histogram, plus queue and engine telemetry.
+  void bind_metrics(obs::MetricsRegistry& registry, std::string_view prefix);
+
+ private:
+  const PairingGroup* group_;
+  ServiceConfig config_;
+  IdentityKey verifier_;
+  IdentityKey attestor_;
+  ShardedRegistry registry_;
+  AdmissionQueue queue_;
+  ParallelPairingEngine engine_;
+
+  std::atomic<obs::Counter*> m_verified_{nullptr};
+  std::atomic<obs::Counter*> m_failed_{nullptr};
+  std::atomic<obs::Counter*> m_stale_{nullptr};
+  std::atomic<obs::Counter*> m_byzantine_{nullptr};
+  std::atomic<obs::Counter*> m_epochs_{nullptr};
+  std::atomic<obs::Histogram*> m_epoch_ms_{nullptr};
+};
+
+}  // namespace seccloud::service

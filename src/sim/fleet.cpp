@@ -1,0 +1,122 @@
+#include "sim/fleet.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "hash/hmac_drbg.h"
+#include "ibc/dvs.h"
+#include "ibc/ibs.h"
+#include "seccloud/client.h"
+
+namespace seccloud::sim {
+
+namespace {
+
+void append_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+/// Signs one block for both designated verifiers; which Σ slot the service
+/// checks depends on its configured role.
+core::SignedBlock sign_block(const pairing::PairingGroup& group,
+                             const ibc::IdentityKey& signer, core::DataBlock block,
+                             const pairing::Point& q_cs, const pairing::Point& q_da,
+                             num::RandomSource& rng) {
+  const core::Bytes msg = core::block_message_bytes(block);
+  const ibc::IbsSignature ibs = ibc::ibs_sign(group, signer, msg, rng);
+  core::SignedBlock out;
+  out.block = std::move(block);
+  out.sig.u = ibs.u;
+  out.sig.sigma_cs = ibc::dv_transform(group, ibs, q_cs).sigma;
+  out.sig.sigma_da = ibc::dv_transform(group, ibs, q_da).sigma;
+  return out;
+}
+
+}  // namespace
+
+FleetWorkload::FleetWorkload(const ibc::Sio& sio, FleetConfig config)
+    : sio_(&sio), config_(config) {
+  if (config_.users == 0) config_.users = 1;
+  config_.active_users = std::clamp<std::size_t>(config_.active_users, 1, config_.users);
+  if (config_.blocks_per_request == 0) config_.blocks_per_request = 1;
+}
+
+std::string FleetWorkload::user_id(std::size_t i) const {
+  return config_.id_prefix + std::to_string(i);
+}
+
+void FleetWorkload::populate(service::AuditService& svc) {
+  handles_.clear();
+  active_keys_.clear();
+  handles_.reserve(config_.active_users);
+  active_keys_.reserve(config_.active_users);
+  // Active prefix: extract real identity keys and bind their Q_ID.
+  for (std::size_t i = 0; i < config_.active_users; ++i) {
+    ibc::IdentityKey key = sio_->extract(user_id(i));
+    handles_.push_back(svc.register_user(user_id(i), key.q_id));
+    active_keys_.push_back(std::move(key));
+  }
+  // The long tail: registry records only — no key extraction, no heap churn
+  // beyond the shard arenas.
+  for (std::size_t i = config_.active_users; i < config_.users; ++i) {
+    svc.register_user(user_id(i));
+  }
+  versions_.assign(config_.active_users, 0);
+  round_ = 0;
+}
+
+std::vector<service::AuditRequest> FleetWorkload::make_requests(
+    const service::AuditService& svc,
+    const std::function<FleetBehavior(std::size_t)>& behavior) {
+  if (handles_.empty()) throw std::logic_error("FleetWorkload: populate() first");
+  const pairing::PairingGroup& group = svc.group();
+  // Clients designate Σ/Σ' to whichever identities serve as CS and DA: the
+  // service's attestor is the CS; the service itself verifies as the DA
+  // unless configured as the CS.
+  const pairing::Point& q_verifier = svc.verifier_q_id();
+  const pairing::Point& q_attestor = svc.attestor_q_id();
+  const bool verifier_is_cs =
+      svc.config().role == service::VerifierRole::kCloudServer;
+  const pairing::Point& q_cs = verifier_is_cs ? q_verifier : q_attestor;
+  const pairing::Point& q_da = verifier_is_cs ? q_attestor : q_verifier;
+
+  std::vector<service::AuditRequest> requests;
+  requests.reserve(config_.active_users);
+  for (std::size_t i = 0; i < config_.active_users; ++i) {
+    const FleetBehavior b = behavior ? behavior(i) : FleetBehavior::kHonest;
+    service::AuditRequest request;
+    request.user = handles_[i];
+    if (b == FleetBehavior::kStaleReplay) {
+      request.version = versions_[i];  // last issued (0 = never audited)
+    } else {
+      request.version = ++versions_[i];
+    }
+
+    std::vector<std::uint8_t> drbg_seed;
+    drbg_seed.reserve(32);
+    append_u64(drbg_seed, config_.seed);
+    append_u64(drbg_seed, round_);
+    append_u64(drbg_seed, i);
+    hash::HmacDrbg drbg{std::span<const std::uint8_t>{drbg_seed}};
+
+    request.blocks.reserve(config_.blocks_per_request);
+    for (std::size_t j = 0; j < config_.blocks_per_request; ++j) {
+      const std::uint64_t index = round_ * config_.blocks_per_request + j;
+      core::DataBlock block = core::DataBlock::from_value(index, drbg.next_u64());
+      request.blocks.push_back(
+          sign_block(group, active_keys_[i], std::move(block), q_cs, q_da, drbg));
+    }
+    if (b == FleetBehavior::kBadSignature) {
+      // Flip one payload byte after signing: the signature itself is well
+      // formed but no longer matches the block it claims to cover.
+      request.blocks[0].block.payload[0] ^= 0x01;
+    }
+    requests.push_back(std::move(request));
+  }
+  ++round_;
+  return requests;
+}
+
+}  // namespace seccloud::sim

@@ -46,8 +46,8 @@ void ThreadPool::submit(TaskGroup& group, Task task) {
     queues_[lane]->tasks.push_back(std::move(wrapped));
   }
   queued_.fetch_add(1, std::memory_order_release);
-  if (obs::Counter* tasks = m_tasks_.load(std::memory_order_relaxed)) tasks->inc();
-  if (obs::Gauge* depth = m_depth_.load(std::memory_order_relaxed)) depth->add(1);
+  if (obs::Counter* tasks = m_tasks_.load(std::memory_order_acquire)) tasks->inc();
+  if (obs::Gauge* depth = m_depth_.load(std::memory_order_acquire)) depth->add(1);
   sleep_cv_.notify_one();
 }
 
@@ -73,11 +73,11 @@ bool ThreadPool::try_run_one(std::size_t self) {
   }
   if (!task) return false;
   queued_.fetch_sub(1, std::memory_order_acq_rel);
-  if (obs::Gauge* depth = m_depth_.load(std::memory_order_relaxed)) depth->add(-1);
+  if (obs::Gauge* depth = m_depth_.load(std::memory_order_acquire)) depth->add(-1);
   if (stolen) {
-    if (obs::Counter* steals = m_steals_.load(std::memory_order_relaxed)) steals->inc();
+    if (obs::Counter* steals = m_steals_.load(std::memory_order_acquire)) steals->inc();
   }
-  if (obs::Histogram* task_ms = m_task_ms_.load(std::memory_order_relaxed)) {
+  if (obs::Histogram* task_ms = m_task_ms_.load(std::memory_order_acquire)) {
     const auto begin = std::chrono::steady_clock::now();
     task();
     const std::chrono::duration<double, std::milli> elapsed =
@@ -118,10 +118,13 @@ void ThreadPool::wait(TaskGroup& group) {
 
 void ThreadPool::bind_metrics(obs::MetricsRegistry& registry, std::string_view prefix) {
   const std::string p{prefix};
-  m_tasks_.store(&registry.counter(p + ".tasks"), std::memory_order_relaxed);
-  m_steals_.store(&registry.counter(p + ".steals"), std::memory_order_relaxed);
-  m_depth_.store(&registry.gauge(p + ".queue_depth"), std::memory_order_relaxed);
-  m_task_ms_.store(&registry.histogram(p + ".task_ms"), std::memory_order_relaxed);
+  // Late binding can race in-flight tasks on worker threads: the handles are
+  // published with release stores (and read with acquire loads above) so a
+  // worker that observes a handle also observes the fully constructed metric.
+  m_tasks_.store(&registry.counter(p + ".tasks"), std::memory_order_release);
+  m_steals_.store(&registry.counter(p + ".steals"), std::memory_order_release);
+  m_depth_.store(&registry.gauge(p + ".queue_depth"), std::memory_order_release);
+  m_task_ms_.store(&registry.histogram(p + ".task_ms"), std::memory_order_release);
 }
 
 void ThreadPool::parallel_for(

@@ -154,6 +154,101 @@ TEST_F(DynamicTest, VersionedAndStaticMessagesAreDomainSeparated) {
   EXPECT_NE(tombstone_message(7, 1), versioned_block_message(block, 1));
 }
 
+TEST_F(DynamicTest, ReinsertAfterDeleteRejectsPreDeleteReplays) {
+  // Ops from the first life of a position must stay dead after delete +
+  // re-insert: the high-water mark spans lifetimes.
+  const StorageOp first_insert = client.insert(DataBlock::from_value(0, 1), rng);   // v1
+  EXPECT_TRUE(store.apply(first_insert));
+  const StorageOp first_update = client.update(DataBlock::from_value(0, 2), rng);   // v2
+  EXPECT_TRUE(store.apply(first_update));
+  EXPECT_TRUE(store.apply(client.remove(0, rng)));                                  // v3
+  EXPECT_TRUE(store.apply(client.insert(DataBlock::from_value(0, 9), rng)));        // v4
+
+  EXPECT_FALSE(store.apply(first_insert));
+  EXPECT_FALSE(store.apply(first_update));
+  ASSERT_NE(store.lookup(0), nullptr);
+  EXPECT_EQ(store.lookup(0)->version, 4u);
+  EXPECT_EQ(store.lookup(0)->block.block.value(), 9u);
+  EXPECT_TRUE(audit(all_positions(1)).accepted);
+}
+
+TEST_F(DynamicTest, StaleTombstoneCannotDeleteReinsertedBlock) {
+  // A captured delete (valid signature!) replayed after re-insert must not
+  // kill the new block — its version sits below the high-water mark.
+  EXPECT_TRUE(store.apply(client.insert(DataBlock::from_value(0, 1), rng)));  // v1
+  const StorageOp tombstone_op = client.remove(0, rng);                       // v2
+  EXPECT_TRUE(store.apply(tombstone_op));
+  EXPECT_TRUE(store.apply(client.insert(DataBlock::from_value(0, 5), rng)));  // v3
+
+  EXPECT_FALSE(store.apply(tombstone_op));
+  ASSERT_NE(store.lookup(0), nullptr);
+  EXPECT_EQ(store.lookup(0)->version, 3u);
+  EXPECT_TRUE(audit(all_positions(1)).accepted);
+}
+
+TEST_F(DynamicTest, ReplayAtExactVersionBoundaryRejected) {
+  // The freshness check is strict: version == high-water is a replay, not an
+  // update. The equal-version boundary is where an off-by-one would hide.
+  EXPECT_TRUE(store.apply(client.insert(DataBlock::from_value(0, 1), rng)));  // v1
+  const StorageOp update_op = client.update(DataBlock::from_value(0, 2), rng);  // v2
+  EXPECT_TRUE(store.apply(update_op));
+  EXPECT_FALSE(store.apply(update_op));  // version == high-water: boundary replay
+  EXPECT_EQ(store.lookup(0)->version, 2u);
+  // The very next version still applies — the mark rejects <=, not <.
+  EXPECT_TRUE(store.apply(client.update(DataBlock::from_value(0, 3), rng)));  // v3
+  EXPECT_EQ(store.lookup(0)->version, 3u);
+}
+
+TEST_F(DynamicTest, HoarderServingPreDeleteBlockAfterReinsertCaught) {
+  // A server stuck before a delete/re-insert cycle serves the old block with
+  // a perfectly valid signature; the audit's version comparison catches it.
+  EXPECT_TRUE(store.apply(client.insert(DataBlock::from_value(0, 1), rng)));  // v1
+  DynamicServerStore hoarder = store;  // snapshot at v1
+  EXPECT_TRUE(store.apply(client.remove(0, rng)));                            // v2
+  EXPECT_TRUE(store.apply(client.insert(DataBlock::from_value(0, 7), rng)));  // v3
+
+  const auto report = verify_dynamic_storage(
+      g, user_key.q_id, hoarder, client.version_table(), all_positions(1), da_key,
+      VerifierRole::kDesignatedAgency);
+  EXPECT_FALSE(report.accepted);
+  EXPECT_EQ(report.stale_version_failures, 1u);
+  EXPECT_EQ(report.signature_failures, 0u);  // the signature itself is fine
+  EXPECT_TRUE(audit(all_positions(1)).accepted);  // the honest store is clean
+}
+
+TEST_F(DynamicTest, TombstoneAndBlockSignaturesNeverCrossApply) {
+  // Domain separation end to end: a tombstone signature smuggled into an
+  // update (and a block signature smuggled into a delete) must fail the
+  // server's verification even at the version the signer authorized.
+  const StorageOp insert_op = client.insert(DataBlock::from_value(0, 1), rng);  // v1
+  EXPECT_TRUE(store.apply(insert_op));
+  const StorageOp delete_op = client.remove(0, rng);  // v2, not applied
+
+  // "del2"‖2‖0 signature presented as an update of ("blk2"‖2‖0‖payload).
+  StorageOp forged_update;
+  forged_update.kind = StorageOpKind::kUpdate;
+  forged_update.version = delete_op.version;
+  forged_update.block.block = DataBlock::from_value(0, 666);
+  forged_update.block.sig = delete_op.tombstone;
+  EXPECT_FALSE(store.apply(forged_update));
+  EXPECT_EQ(store.lookup(0)->block.block.value(), 1u);
+
+  // "blk2"‖1‖0‖payload signature presented as a tombstone for ("del2"‖2‖0).
+  StorageOp forged_delete;
+  forged_delete.kind = StorageOpKind::kDelete;
+  forged_delete.version = delete_op.version;
+  forged_delete.index = 0;
+  forged_delete.tombstone = insert_op.block.sig;
+  EXPECT_FALSE(store.apply(forged_delete));
+  ASSERT_NE(store.lookup(0), nullptr);
+
+  // Field-order separation inside the tombstone encoding: swapping
+  // (index, version) must change the message.
+  EXPECT_NE(tombstone_message(1, 2), tombstone_message(2, 1));
+  EXPECT_NE(versioned_block_message(DataBlock::from_value(1, 0), 2),
+            versioned_block_message(DataBlock::from_value(2, 0), 1));
+}
+
 TEST_F(DynamicTest, ManyOperationsEndToEnd) {
   Xoshiro256 op_rng{4141};
   // 64 random operations over 16 positions; the audit must stay clean after

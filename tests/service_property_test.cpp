@@ -1,0 +1,241 @@
+// Property suite (ctest labels: property, concurrency): the cross-user
+// shared-batch pipeline must be *bit-identical* to the per-user reference
+// path — same verdicts, same isolated-bad-signer set, same op-counter
+// totals — across seeds, shard counts, and 1/2/4/8 verification threads.
+// The whole point of the service layer is that packing many users into one
+// 2-pairing batch changes the COST, never the OUTCOME.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "bigint/rng.h"
+#include "ibc/dvs.h"
+#include "ibc/keys.h"
+#include "pairing/group.h"
+#include "seccloud/client.h"
+#include "seccloud/service/service.h"
+#include "sim/fleet.h"
+#include "property_support.h"
+
+namespace seccloud {
+namespace {
+
+using num::Xoshiro256;
+using pairing::tiny_group;
+using service::AuditRequest;
+using service::AuditService;
+using service::EpochReport;
+using service::ServiceConfig;
+using sim::FleetBehavior;
+using sim::FleetConfig;
+using sim::FleetWorkload;
+
+constexpr std::size_t kActiveUsers = 8;
+constexpr std::size_t kBlocksPerRequest = 2;
+
+FleetBehavior behavior_for(std::uint64_t seed, std::size_t user) {
+  if ((seed + user) % 5 == 0) return FleetBehavior::kBadSignature;
+  if ((seed + user) % 7 == 0) return FleetBehavior::kStaleReplay;
+  return FleetBehavior::kHonest;
+}
+
+/// Everything about an epoch that must not depend on shard count or thread
+/// count. Users are identified by id string (handles are shard-dependent).
+struct Outcome {
+  std::size_t verified = 0;
+  std::size_t failed = 0;
+  std::size_t stale = 0;
+  std::size_t entries = 0;
+  std::size_t batches = 0;
+  /// (user id, request index, block index), service order.
+  std::vector<std::tuple<std::string, std::size_t, std::size_t>> invalid;
+  std::vector<std::string> byzantine_ids;
+  /// (attestation_valid, aggregate_valid, invalid entry indices) per batch.
+  std::vector<std::tuple<bool, bool, std::vector<std::size_t>>> batch_verdicts;
+  pairing::OpCounters assembly_ops;
+  pairing::OpCounters verify_ops;
+  ibc::BisectionStats bisection;
+
+  bool operator==(const Outcome&) const = default;
+};
+
+struct EpochRun {
+  Outcome outcome;
+  /// The traffic that was verified, in admission order (copied pre-submit).
+  std::vector<AuditRequest> requests;
+};
+
+EpochRun run_epoch(const pairing::PairingGroup& g, const ibc::Sio& sio,
+              const ibc::IdentityKey& da, const ibc::IdentityKey& cs,
+              std::uint64_t seed, std::size_t shards, std::size_t threads) {
+  ServiceConfig config;
+  config.registry.shards = shards;
+  config.epoch.queue_capacity = 64;
+  config.epoch.batch_capacity = 6;  // forces multiple cross-user batches
+  config.threads = threads;
+  AuditService svc{g, da, cs, config};
+
+  FleetWorkload fleet{sio,
+                      FleetConfig{.users = 24,
+                                  .active_users = kActiveUsers,
+                                  .blocks_per_request = kBlocksPerRequest,
+                                  .seed = seed}};
+  fleet.populate(svc);
+  EpochRun run;
+  run.requests = fleet.make_requests(
+      svc, [seed](std::size_t i) { return behavior_for(seed, i); });
+  for (const AuditRequest& r : run.requests) {
+    AuditRequest copy = r;
+    EXPECT_TRUE(svc.submit(std::move(copy)).accepted);
+  }
+
+  const EpochReport report = svc.run_epoch();
+  Outcome& out = run.outcome;
+  out.verified = report.verified_requests;
+  out.failed = report.failed_requests;
+  out.stale = report.stale_rejected;
+  out.entries = report.entries;
+  out.batches = report.batches;
+  for (const auto& inv : report.invalid_entries) {
+    out.invalid.emplace_back(std::string{svc.registry().view(inv.user).id},
+                             inv.request_index, inv.block_index);
+  }
+  for (const auto user : report.byzantine_users) {
+    out.byzantine_ids.emplace_back(svc.registry().view(user).id);
+  }
+  // byzantine_users is ordered by handle; handles encode the shard index, so
+  // the *order* is shard-dependent even though the set never is.
+  std::sort(out.byzantine_ids.begin(), out.byzantine_ids.end());
+  for (const auto& batch : report.results) {
+    out.batch_verdicts.emplace_back(batch.verdict.attestation_valid,
+                                    batch.verdict.aggregate_valid,
+                                    batch.verdict.invalid_entries);
+  }
+  out.assembly_ops = report.assembly_ops;
+  out.verify_ops = report.verify_ops;
+  out.bisection = report.bisection;
+  return run;
+}
+
+/// Per-user reference: each request verified on its own through the plain
+/// Eq. (8)/(9) batch path, isolating with per-user bisection on reject.
+struct Reference {
+  std::size_t verified = 0;
+  std::size_t stale = 0;
+  /// (request index, block index) of every invalid signature entry.
+  std::vector<std::pair<std::size_t, std::size_t>> invalid;
+};
+
+Reference reference_verdicts(const pairing::PairingGroup& g, const ibc::Sio& sio,
+                             const ibc::IdentityKey& da,
+                             const std::vector<AuditRequest>& requests,
+                             std::uint64_t seed) {
+  Reference ref;
+  for (std::size_t r = 0; r < requests.size(); ++r) {
+    // The fleet's stale replays are exactly the behavior-map stale users on
+    // round 0 (version 0 against an empty high-water mark).
+    if (requests[r].version == 0) {
+      ++ref.stale;
+      continue;
+    }
+    const ibc::IdentityKey signer = sio.extract("user-" + std::to_string(r));
+    std::vector<core::Bytes> messages;
+    std::vector<ibc::DvSignature> sigs;
+    std::vector<ibc::BatchEntry> entries;
+    messages.reserve(requests[r].blocks.size());
+    sigs.reserve(requests[r].blocks.size());
+    entries.reserve(requests[r].blocks.size());
+    for (const core::SignedBlock& sb : requests[r].blocks) {
+      messages.push_back(core::block_message_bytes(sb.block));
+      sigs.push_back(sb.sig.for_da());
+      entries.push_back({signer.q_id, messages.back(), &sigs.back()});
+    }
+    if (ibc::dv_batch_verify(g, entries, da)) {
+      ++ref.verified;
+    } else {
+      for (const std::size_t b : ibc::dv_batch_isolate(g, entries, da)) {
+        ref.invalid.emplace_back(r, b);
+      }
+    }
+  }
+  (void)seed;
+  return ref;
+}
+
+TEST(ServicePropertyTest, SharedBatchesMatchPerUserVerdictsEverywhere) {
+  const pairing::PairingGroup& g = tiny_group();
+  Xoshiro256 rng{20260808};
+  const ibc::Sio sio{g, rng};
+  const ibc::IdentityKey da = sio.extract("agency");
+  const ibc::IdentityKey cs = sio.extract("cloud-server");
+
+  const std::size_t iters = testsupport::property_iters(6);
+  for (std::size_t iter = 0; iter < iters; ++iter) {
+    const std::uint64_t seed = 1000 + iter * 37;
+
+    // Baseline run: 1 shard, 1 thread.
+    const EpochRun base = run_epoch(g, sio, da, cs, seed, 1, 1);
+
+    // The per-user reference must agree on every verdict and every isolated
+    // (request, block) pair — the shared batch changes cost, not outcome.
+    const Reference ref = reference_verdicts(g, sio, da, base.requests, seed);
+    EXPECT_EQ(base.outcome.verified, ref.verified) << "seed " << seed;
+    EXPECT_EQ(base.outcome.stale, ref.stale) << "seed " << seed;
+    std::vector<std::pair<std::size_t, std::size_t>> got;
+    got.reserve(base.outcome.invalid.size());
+    for (const auto& [id, req, block] : base.outcome.invalid) {
+      EXPECT_EQ(id, "user-" + std::to_string(req)) << "seed " << seed;
+      got.emplace_back(req, block);
+    }
+    std::sort(got.begin(), got.end());
+    std::vector<std::pair<std::size_t, std::size_t>> want = ref.invalid;
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want) << "seed " << seed;
+
+    // Every (shard count × thread count) combination must reproduce the
+    // baseline outcome bit for bit, op-counter totals included.
+    for (const std::size_t shards : {std::size_t{1}, std::size_t{8}, std::size_t{64}}) {
+      for (const std::size_t threads :
+           {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+        if (shards == 1 && threads == 1) continue;
+        const EpochRun run = run_epoch(g, sio, da, cs, seed, shards, threads);
+        EXPECT_EQ(run.outcome, base.outcome)
+            << "seed " << seed << " shards " << shards << " threads " << threads;
+      }
+    }
+  }
+}
+
+TEST(ServicePropertyTest, TwoPairingsPerCleanBatchAtEveryScale) {
+  // With every user honest, verify-phase pairings are exactly 2 per batch
+  // for any batch packing — the paper's any-size-batch headline.
+  const pairing::PairingGroup& g = tiny_group();
+  Xoshiro256 rng{77};
+  const ibc::Sio sio{g, rng};
+  const ibc::IdentityKey da = sio.extract("agency");
+  const ibc::IdentityKey cs = sio.extract("cloud-server");
+
+  for (const std::size_t batch_capacity :
+       {std::size_t{1}, std::size_t{4}, std::size_t{64}}) {
+    ServiceConfig config;
+    config.epoch.batch_capacity = batch_capacity;
+    config.threads = 2;
+    AuditService svc{g, da, cs, config};
+    FleetWorkload fleet{
+        sio, FleetConfig{.users = 8, .active_users = 4, .blocks_per_request = 3, .seed = 5}};
+    fleet.populate(svc);
+    for (auto& r : fleet.make_requests(svc)) svc.submit(std::move(r));
+    const EpochReport report = svc.run_epoch();
+    const std::size_t expected_batches = (12 + batch_capacity - 1) / batch_capacity;
+    EXPECT_EQ(report.batches, expected_batches);
+    EXPECT_EQ(report.verified_requests, 4u);
+    EXPECT_EQ(report.verify_ops.pairings, 2 * report.batches)
+        << "batch capacity " << batch_capacity;
+  }
+}
+
+}  // namespace
+}  // namespace seccloud

@@ -1,0 +1,380 @@
+// Fleet-scale audit service: sharded registry semantics, bounded admission
+// with backpressure, and the cross-user 2-pairing epoch pipeline (shared
+// batches, stale-replay filtering, Byzantine isolation across user
+// boundaries). The *Concurrent* suites are the TSan targets: registration,
+// submission, and metric binding race across real threads.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "bigint/rng.h"
+#include "ibc/keys.h"
+#include "obs/metrics.h"
+#include "pairing/group.h"
+#include "seccloud/service/service.h"
+#include "sim/fleet.h"
+
+namespace seccloud {
+namespace {
+
+using num::Xoshiro256;
+using pairing::tiny_group;
+using service::AuditRequest;
+using service::AuditService;
+using service::EpochReport;
+using service::RegistryConfig;
+using service::ServiceConfig;
+using service::ShardedRegistry;
+using service::UserHandle;
+using sim::FleetBehavior;
+using sim::FleetConfig;
+using sim::FleetWorkload;
+
+// --- registry ---------------------------------------------------------------
+
+TEST(ShardedRegistryTest, RegisterFindAndIdempotence) {
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{4}, std::size_t{64}}) {
+    ShardedRegistry reg{{.shards = shards, .records_per_chunk = 16}};
+    std::vector<UserHandle> handles;
+    for (std::size_t i = 0; i < 1000; ++i) {
+      handles.push_back(reg.register_user("user-" + std::to_string(i)));
+    }
+    EXPECT_EQ(reg.size(), 1000u);
+    for (std::size_t i = 0; i < 1000; ++i) {
+      const std::string id = "user-" + std::to_string(i);
+      EXPECT_EQ(reg.register_user(id), handles[i]) << "re-register must be idempotent";
+      ASSERT_TRUE(reg.find(id).has_value());
+      EXPECT_EQ(*reg.find(id), handles[i]);
+      EXPECT_EQ(reg.view(handles[i]).id, id);
+    }
+    EXPECT_EQ(reg.size(), 1000u);
+    EXPECT_FALSE(reg.find("never-registered").has_value());
+    EXPECT_FALSE(reg.find("").has_value());
+  }
+}
+
+TEST(ShardedRegistryTest, HandlesStayValidAcrossGrowth) {
+  // Small chunks force many arena chunk allocations and table rehashes;
+  // handles issued early must still resolve to the same record.
+  ShardedRegistry reg{{.shards = 2, .records_per_chunk = 16, .id_arena_chunk_bytes = 256}};
+  const UserHandle first = reg.register_user("first-user");
+  for (std::size_t i = 0; i < 5000; ++i) reg.register_user("u" + std::to_string(i));
+  EXPECT_EQ(reg.view(first).id, "first-user");
+  EXPECT_EQ(*reg.find("first-user"), first);
+}
+
+TEST(ShardedRegistryTest, KeyBindingIsWriteOnceAndStable) {
+  ShardedRegistry reg{{.shards = 4, .key_width = 8}};
+  const UserHandle u = reg.register_user("alice");
+  EXPECT_TRUE(reg.key(u).empty());
+  EXPECT_FALSE(reg.view(u).has_key);
+
+  const std::vector<std::uint8_t> blob = {1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_TRUE(reg.bind_key(u, blob));
+  EXPECT_FALSE(reg.bind_key(u, blob)) << "write-once";
+  const auto key = reg.key(u);
+  ASSERT_EQ(key.size(), 8u);
+  EXPECT_TRUE(std::equal(key.begin(), key.end(), blob.begin()));
+  EXPECT_TRUE(reg.view(u).has_key);
+
+  const std::vector<std::uint8_t> short_blob = {1, 2};
+  const UserHandle v = reg.register_user("bob");
+  EXPECT_THROW(reg.bind_key(v, short_blob), std::invalid_argument);
+
+  ShardedRegistry keyless{{.shards = 1}};  // key_width = 0 disables the arena
+  const UserHandle w = keyless.register_user("carol");
+  EXPECT_THROW(keyless.bind_key(w, blob), std::invalid_argument);
+}
+
+TEST(ShardedRegistryTest, AuditHighWaterMarkFiltersStaleVersions) {
+  ShardedRegistry reg{{.shards = 1}};
+  const UserHandle u = reg.register_user("alice");
+  EXPECT_EQ(reg.audited_version(u), 0u);
+  EXPECT_TRUE(reg.record_audit(u, 3));
+  EXPECT_EQ(reg.audited_version(u), 3u);
+  EXPECT_FALSE(reg.record_audit(u, 3)) << "same version is stale";
+  EXPECT_FALSE(reg.record_audit(u, 1)) << "older version is stale";
+  EXPECT_TRUE(reg.record_audit(u, 7));
+  EXPECT_EQ(reg.audited_version(u), 7u);
+  EXPECT_EQ(reg.view(u).audits_served, 4u) << "every record_audit counts";
+}
+
+TEST(ShardedRegistryTest, RejectsMalformedInputs) {
+  ShardedRegistry reg{{.shards = 2, .id_arena_chunk_bytes = 256}};
+  EXPECT_THROW(reg.register_user(""), std::invalid_argument);
+  EXPECT_THROW(reg.register_user(std::string(300, 'x')), std::length_error);
+  EXPECT_THROW(reg.view(service::kInvalidUser), std::out_of_range);
+  const UserHandle u = reg.register_user("ok");
+  EXPECT_THROW(reg.view(u + 1), std::out_of_range);
+}
+
+TEST(ShardedRegistryTest, StatsAccountForArenas) {
+  ShardedRegistry reg{{.shards = 8, .key_width = 16}};
+  for (std::size_t i = 0; i < 500; ++i) reg.register_user("user-" + std::to_string(i));
+  const auto stats = reg.stats();
+  EXPECT_EQ(stats.users, 500u);
+  EXPECT_EQ(stats.keyed_users, 0u);
+  EXPECT_EQ(stats.shards, 8u);
+  EXPECT_GT(stats.record_bytes, 0u);
+  EXPECT_GT(stats.id_bytes, 0u);
+  EXPECT_GT(stats.table_bytes, 0u);
+  EXPECT_EQ(stats.total_bytes(),
+            stats.record_bytes + stats.id_bytes + stats.key_bytes + stats.table_bytes);
+}
+
+TEST(ShardedRegistryConcurrentTest, ParallelRegisterAndFind) {
+  ShardedRegistry reg{{.shards = 8, .records_per_chunk = 32}};
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, t] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        // Half the ids collide across threads: idempotence under contention.
+        const std::string id = "u" + std::to_string(i % 2 == 0 ? i : t * kPerThread + i);
+        const UserHandle h = reg.register_user(id);
+        ASSERT_EQ(reg.view(h).id, id);
+        ASSERT_EQ(*reg.find(id), h);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Every id registered exactly once.
+  EXPECT_EQ(reg.size(), reg.stats().users);
+  for (std::size_t i = 0; i < kPerThread; i += 2) {
+    EXPECT_TRUE(reg.find("u" + std::to_string(i)).has_value());
+  }
+}
+
+// --- admission queue --------------------------------------------------------
+
+TEST(AdmissionQueueTest, BoundedWithRetryAfterBackpressure) {
+  service::AdmissionQueue queue{{.queue_capacity = 4, .retry_after_epochs = 3}};
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto admission = queue.submit({});
+    EXPECT_TRUE(admission.accepted);
+    EXPECT_EQ(admission.epoch, 0u);
+    EXPECT_EQ(admission.retry_after_epochs, 0u);
+  }
+  const auto rejected = queue.submit({});
+  EXPECT_FALSE(rejected.accepted);
+  EXPECT_EQ(rejected.retry_after_epochs, 3u);
+  EXPECT_EQ(queue.depth(), 4u);
+
+  const auto drained = queue.drain();
+  EXPECT_EQ(drained.size(), 4u);
+  EXPECT_EQ(queue.depth(), 0u);
+  EXPECT_EQ(queue.epoch(), 1u);
+  EXPECT_TRUE(queue.submit({}).accepted) << "capacity frees after drain";
+}
+
+TEST(AdmissionQueueTest, DrainPreservesAdmissionOrder) {
+  service::AdmissionQueue queue{{.queue_capacity = 16}};
+  for (std::uint64_t v = 1; v <= 10; ++v) {
+    AuditRequest r;
+    r.version = v;
+    ASSERT_TRUE(queue.submit(std::move(r)).accepted);
+  }
+  const auto drained = queue.drain();
+  ASSERT_EQ(drained.size(), 10u);
+  for (std::uint64_t v = 1; v <= 10; ++v) EXPECT_EQ(drained[v - 1].version, v);
+}
+
+TEST(AdmissionQueueConcurrentTest, SubmitRacesBindMetricsAndDrain) {
+  service::AdmissionQueue queue{{.queue_capacity = 64}};
+  obs::MetricsRegistry metrics;
+  std::vector<std::thread> threads;
+  std::atomic<std::size_t> accepted{0};
+  for (std::size_t t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (std::size_t i = 0; i < 200; ++i) {
+        if (queue.submit({}).accepted) accepted.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  // Bind metrics while submissions are in flight (the late-binding race the
+  // TSan job guards), and drain concurrently to exercise the epoch boundary.
+  queue.bind_metrics(metrics, "svc.queue");
+  std::size_t drained = 0;
+  for (std::size_t i = 0; i < 50; ++i) drained += queue.drain().size();
+  for (auto& t : threads) t.join();
+  drained += queue.drain().size();
+  EXPECT_EQ(drained, accepted.load());
+  EXPECT_EQ(queue.epoch(), 51u);
+}
+
+// --- epoch pipeline ---------------------------------------------------------
+
+struct ServiceFixture : ::testing::Test {
+  const pairing::PairingGroup& g = tiny_group();
+  Xoshiro256 rng{4242};
+  ibc::Sio sio{g, rng};
+  ibc::IdentityKey da = sio.extract("agency");
+  ibc::IdentityKey cs = sio.extract("cloud-server");
+
+  AuditService make_service(std::size_t threads = 1, std::size_t batch_capacity = 8) {
+    ServiceConfig config;
+    config.registry.shards = 4;
+    config.epoch.queue_capacity = 256;
+    config.epoch.batch_capacity = batch_capacity;
+    config.threads = threads;
+    return AuditService{g, da, cs, config};
+  }
+};
+
+TEST_F(ServiceFixture, HonestEpochVerifiesAtTwoPairingsPerBatch) {
+  AuditService svc = make_service();
+  FleetWorkload fleet{sio, {.users = 64, .active_users = 6, .blocks_per_request = 4, .seed = 7}};
+  fleet.populate(svc);
+  for (auto& r : fleet.make_requests(svc)) ASSERT_TRUE(svc.submit(std::move(r)).accepted);
+
+  const EpochReport report = svc.run_epoch();
+  EXPECT_EQ(report.requests, 6u);
+  EXPECT_EQ(report.entries, 24u);
+  EXPECT_EQ(report.batches, 3u);  // 24 entries / capacity 8
+  EXPECT_EQ(report.verified_requests, 6u);
+  EXPECT_EQ(report.failed_requests, 0u);
+  EXPECT_TRUE(report.invalid_entries.empty());
+  EXPECT_TRUE(report.byzantine_users.empty());
+  for (const auto& batch : report.results) {
+    EXPECT_TRUE(batch.verdict.accepted);
+    EXPECT_TRUE(batch.verdict.attestation_valid);
+    EXPECT_TRUE(batch.verdict.aggregate_valid);
+  }
+  // The headline number: any batch size, exactly 2 pairings per batch in the
+  // verify window (1 attestation + 1 mixed-signer aggregate).
+  EXPECT_EQ(report.verify_ops.pairings, 2 * report.batches);
+  EXPECT_EQ(report.bisection.oracle_calls, 0u);
+  // Audits recorded against the freshness high-water mark.
+  EXPECT_EQ(svc.registry().audited_version(fleet.handle(0)), 1u);
+}
+
+TEST_F(ServiceFixture, StaleReplayIsFilteredAtZeroPairingCost) {
+  AuditService svc = make_service();
+  FleetWorkload fleet{sio, {.users = 16, .active_users = 3, .blocks_per_request = 2, .seed = 11}};
+  fleet.populate(svc);
+  for (auto& r : fleet.make_requests(svc)) svc.submit(std::move(r));
+  ASSERT_EQ(svc.run_epoch().verified_requests, 3u);
+
+  // Round 2: user 1 replays its already-audited version.
+  auto behaviors = [](std::size_t i) {
+    return i == 1 ? FleetBehavior::kStaleReplay : FleetBehavior::kHonest;
+  };
+  for (auto& r : fleet.make_requests(svc, behaviors)) svc.submit(std::move(r));
+  const EpochReport report = svc.run_epoch();
+  EXPECT_EQ(report.stale_rejected, 1u);
+  EXPECT_EQ(report.verified_requests, 2u);
+  EXPECT_EQ(report.failed_requests, 1u);
+  EXPECT_EQ(report.entries, 4u) << "stale request never reaches a batch";
+  EXPECT_EQ(report.verify_ops.pairings, 2 * report.batches)
+      << "the replay cost zero extra pairings";
+  EXPECT_TRUE(report.byzantine_users.empty())
+      << "a stale replay is filtered, not isolated";
+}
+
+TEST_F(ServiceFixture, ByzantineSignerIsolatedWithoutPoisoningTheBatch) {
+  AuditService svc = make_service(/*threads=*/1, /*batch_capacity=*/16);
+  FleetWorkload fleet{sio, {.users = 32, .active_users = 5, .blocks_per_request = 3, .seed = 13}};
+  fleet.populate(svc);
+  auto behaviors = [](std::size_t i) {
+    return i == 2 ? FleetBehavior::kBadSignature : FleetBehavior::kHonest;
+  };
+  for (auto& r : fleet.make_requests(svc, behaviors)) svc.submit(std::move(r));
+
+  const EpochReport report = svc.run_epoch();
+  EXPECT_EQ(report.entries, 15u);
+  EXPECT_EQ(report.batches, 1u);
+  ASSERT_EQ(report.invalid_entries.size(), 1u);
+  EXPECT_EQ(report.invalid_entries[0].user, fleet.handle(2));
+  EXPECT_EQ(report.invalid_entries[0].block_index, 0u);
+  ASSERT_EQ(report.byzantine_users.size(), 1u);
+  EXPECT_EQ(report.byzantine_users[0], fleet.handle(2));
+  EXPECT_EQ(report.failed_requests, 1u);
+  EXPECT_EQ(report.verified_requests, 4u) << "honest users still accepted";
+  // 2 pairings for the batch + 1+O(k·log n) bisection oracle calls.
+  EXPECT_GT(report.bisection.oracle_calls, 0u);
+  EXPECT_EQ(report.verify_ops.pairings,
+            2 * report.batches + report.bisection.oracle_calls);
+  // The Byzantine user's version did NOT advance: a later honest submission
+  // at the same version must succeed.
+  EXPECT_EQ(svc.registry().audited_version(fleet.handle(2)), 0u);
+}
+
+TEST_F(ServiceFixture, UnkeyedUsersAreRejectedBeforeBatching) {
+  AuditService svc = make_service();
+  const UserHandle ghost = svc.register_user("ghost");  // record, no key
+  AuditRequest r;
+  r.user = ghost;
+  r.version = 1;
+  r.blocks.resize(1);
+  svc.submit(std::move(r));
+  const EpochReport report = svc.run_epoch();
+  EXPECT_EQ(report.unkeyed_rejected, 1u);
+  EXPECT_EQ(report.entries, 0u);
+  EXPECT_EQ(report.verify_ops.pairings, 0u);
+}
+
+TEST_F(ServiceFixture, MetricsFlowThroughTheRegistry) {
+  obs::MetricsRegistry metrics;  // must outlive the service's pool threads
+  AuditService svc = make_service();
+  svc.bind_metrics(metrics, "svc");
+  FleetWorkload fleet{sio, {.users = 8, .active_users = 2, .blocks_per_request = 2, .seed = 3}};
+  fleet.populate(svc);
+  for (auto& r : fleet.make_requests(svc)) svc.submit(std::move(r));
+  svc.run_epoch();
+
+  const auto snap = metrics.snapshot();
+  EXPECT_EQ(snap.counters.at("svc.queue.admitted"), 2u);
+  EXPECT_EQ(snap.counters.at("svc.requests.verified"), 2u);
+  EXPECT_EQ(snap.counters.at("svc.epochs"), 1u);
+  EXPECT_EQ(snap.histograms.at("svc.epoch_ms").count, 1u);
+  EXPECT_EQ(snap.gauges.at("svc.queue.queue_depth").max, 2);
+}
+
+TEST_F(ServiceFixture, ConcurrentSubmittersWithEpochDriver) {
+  // The registry must outlive the service: pool workers can still be
+  // recording task latency into the bound histograms for a moment after
+  // run_epoch() returns, so destroying the registry first is use-after-free
+  // (the TSan job catches exactly this ordering).
+  obs::MetricsRegistry metrics;
+  AuditService svc = make_service(/*threads=*/2);
+  FleetWorkload fleet{sio, {.users = 16, .active_users = 4, .blocks_per_request = 1, .seed = 17}};
+  fleet.populate(svc);
+  // Pre-build three rounds of traffic, then submit from racing threads while
+  // metrics bind late — verification itself stays on the driver thread.
+  std::vector<service::AuditRequest> traffic;
+  for (int round = 0; round < 3; ++round) {
+    for (auto& r : fleet.make_requests(svc)) traffic.push_back(std::move(r));
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> submitters;
+  for (std::size_t t = 0; t < 4; ++t) {
+    submitters.emplace_back([&] {
+      while (true) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= traffic.size()) return;
+        svc.submit(std::move(traffic[i]));
+      }
+    });
+  }
+  svc.bind_metrics(metrics, "svc");
+  for (auto& t : submitters) t.join();
+
+  std::size_t verified = 0;
+  // Out-of-order versions across rounds may reject some as stale; every
+  // entry must still be either verified or filtered — never lost.
+  std::size_t outcomes = 0;
+  for (int epoch = 0; epoch < 2; ++epoch) {
+    const EpochReport report = svc.run_epoch();
+    verified += report.verified_requests;
+    outcomes += report.verified_requests + report.failed_requests;
+  }
+  EXPECT_EQ(outcomes, traffic.size());
+  EXPECT_GE(verified, 4u) << "at least the newest version per user verifies";
+}
+
+}  // namespace
+}  // namespace seccloud

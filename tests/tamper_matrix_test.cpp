@@ -7,6 +7,7 @@
 // matrix exercises the cryptographic binding, not input parsing.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <functional>
 #include <string>
 #include <vector>
@@ -20,6 +21,8 @@
 #include "ibc/ibs.h"
 #include "ibc/keys.h"
 #include "pairing/group.h"
+#include "seccloud/service/service.h"
+#include "sim/fleet.h"
 
 namespace seccloud {
 namespace {
@@ -282,6 +285,131 @@ TEST(TamperMatrixTest, DesignatedVerifierBatchBisection) {
     EXPECT_EQ(ibc::dv_batch_isolate(g, entries, verifier, &stats), bad)
         << bad.size() << " corruptions";
     EXPECT_LE(stats.max_depth, 5u);
+  }
+}
+
+// --- cross-user rows ---------------------------------------------------------
+// k Byzantine users inside one shared epoch batch: their entries must be
+// isolated in 1+O(k·log n) pairings (one aggregate check plus bisection)
+// while every honest user's audit in the same batch is still accepted — one
+// bad actor cannot poison an epoch for its neighbors. Stale-commit replays
+// are a separate row: filtered by the freshness high-water mark before the
+// batch forms, at zero pairing cost.
+
+constexpr std::size_t kFleetUsers = 12;
+constexpr std::size_t kBlocksPerUser = 2;
+
+const std::vector<std::vector<std::size_t>> kByzantineUserRows = {
+    {2}, {1, 5}, {0, 3, 6, 9, 11}};
+
+struct CrossUserFixture {
+  const pairing::PairingGroup& g = tiny_group();
+  Xoshiro256 rng{716};
+  ibc::Sio sio{g, rng};
+  ibc::IdentityKey da = sio.extract("agency@cross-user");
+  ibc::IdentityKey cs = sio.extract("cs@cross-user");
+
+  service::AuditService make_service() {
+    service::ServiceConfig config;
+    config.registry.shards = 4;
+    config.epoch.batch_capacity = kFleetUsers * kBlocksPerUser;  // one shared batch
+    config.threads = 1;
+    return service::AuditService{g, da, cs, config};
+  }
+};
+
+TEST(TamperMatrixTest, CrossUserByzantineSignersIsolatedInSharedBatch) {
+  CrossUserFixture fx;
+  for (const auto& bad : kByzantineUserRows) {
+    service::AuditService svc = fx.make_service();
+    sim::FleetWorkload fleet{fx.sio,
+                             {.users = kFleetUsers,
+                              .active_users = kFleetUsers,
+                              .blocks_per_request = kBlocksPerUser,
+                              .seed = 90 + bad.size()}};
+    fleet.populate(svc);
+    const auto is_bad = [&bad](std::size_t i) {
+      return std::find(bad.begin(), bad.end(), i) != bad.end();
+    };
+    for (auto& r : fleet.make_requests(svc, [&](std::size_t i) {
+           return is_bad(i) ? sim::FleetBehavior::kBadSignature
+                            : sim::FleetBehavior::kHonest;
+         })) {
+      ASSERT_TRUE(svc.submit(std::move(r)).accepted);
+    }
+
+    const service::EpochReport report = svc.run_epoch();
+    ASSERT_EQ(report.batches, 1u) << "all users share one batch";
+    EXPECT_EQ(report.entries, kFleetUsers * kBlocksPerUser);
+
+    // Exactly the Byzantine users' corrupted blocks are isolated.
+    ASSERT_EQ(report.invalid_entries.size(), bad.size());
+    std::vector<service::UserHandle> expected_users;
+    for (const std::size_t i : bad) expected_users.push_back(fleet.handle(i));
+    std::sort(expected_users.begin(), expected_users.end());
+    EXPECT_EQ(report.byzantine_users, expected_users);
+    for (const auto& inv : report.invalid_entries) {
+      EXPECT_EQ(inv.block_index, 0u) << "the corrupted block, not its neighbor";
+    }
+
+    // Honest users' audits in the SAME batch are still accepted.
+    EXPECT_EQ(report.verified_requests, kFleetUsers - bad.size());
+    EXPECT_EQ(report.failed_requests, bad.size());
+    for (std::size_t i = 0; i < kFleetUsers; ++i) {
+      EXPECT_EQ(svc.registry().audited_version(fleet.handle(i)),
+                is_bad(i) ? 0u : 1u);
+    }
+
+    // Cost: 1 attestation pairing + 1 aggregate pairing + bisection oracle
+    // calls, bounded by k·2·(log2 n + 1) — far below one pairing per entry.
+    const std::size_t n = kFleetUsers * kBlocksPerUser;
+    const std::size_t log2n = 5;  // ceil(log2(24))
+    const std::size_t bound = 1 + bad.size() * 2 * (log2n + 1);
+    EXPECT_EQ(report.verify_ops.pairings, 2 + report.bisection.oracle_calls);
+    EXPECT_LE(report.bisection.oracle_calls, bound);
+    if (bound < n) {
+      // Sparse-corruption regime: bisection must beat per-entry re-verify.
+      EXPECT_LT(report.bisection.oracle_calls, n)
+          << "bisection must beat per-entry re-verification";
+    }
+  }
+}
+
+TEST(TamperMatrixTest, CrossUserStaleReplayFilteredBeforeTheBatch) {
+  CrossUserFixture fx;
+  service::AuditService svc = fx.make_service();
+  sim::FleetWorkload fleet{fx.sio,
+                           {.users = kFleetUsers,
+                            .active_users = kFleetUsers,
+                            .blocks_per_request = kBlocksPerUser,
+                            .seed = 99}};
+  fleet.populate(svc);
+  // Round 1: everyone honest, all audits recorded.
+  for (auto& r : fleet.make_requests(svc)) svc.submit(std::move(r));
+  ASSERT_EQ(svc.run_epoch().verified_requests, kFleetUsers);
+
+  // Round 2: users {1, 4, 7} replay their already-audited commits (validly
+  // signed!) inside the shared batch window.
+  const std::vector<std::size_t> replayers = {1, 4, 7};
+  for (auto& r : fleet.make_requests(svc, [&](std::size_t i) {
+         return std::find(replayers.begin(), replayers.end(), i) != replayers.end()
+                    ? sim::FleetBehavior::kStaleReplay
+                    : sim::FleetBehavior::kHonest;
+       })) {
+    svc.submit(std::move(r));
+  }
+  const service::EpochReport report = svc.run_epoch();
+  EXPECT_EQ(report.stale_rejected, replayers.size());
+  EXPECT_EQ(report.verified_requests, kFleetUsers - replayers.size());
+  // The replays never reached the batch: no extra entries, no bisection, and
+  // the clean batch still costs exactly 2 pairings.
+  EXPECT_EQ(report.entries, (kFleetUsers - replayers.size()) * kBlocksPerUser);
+  EXPECT_EQ(report.bisection.oracle_calls, 0u);
+  EXPECT_EQ(report.verify_ops.pairings, 2 * report.batches);
+  EXPECT_TRUE(report.byzantine_users.empty());
+  // Replayed versions did not advance anyone's high-water mark.
+  for (const std::size_t i : replayers) {
+    EXPECT_EQ(svc.registry().audited_version(fleet.handle(i)), 1u);
   }
 }
 

@@ -13,7 +13,11 @@ current directory) this asserts:
     sum(counts) == count);
   * when uses_pairing_group is true, the cumulative pairing-operation count
     across all *.pairings counters is nonzero (the instrumented group really
-    published through the registry).
+    published through the registry);
+  * BENCH_service_steady_state.json additionally satisfies the service
+    schema: per-scale u<N>_* sweep values, the service.* metrics tree, a
+    nonzero backpressure rejection count, and — pinned — exactly 2 pairings
+    per clean cross-user batch.
 
 Every TRACE_*.json (Chrome trace-event format) in the same directory is also
 checked: the traceEvents array must exist, every event needs a name and
@@ -48,6 +52,45 @@ def check_histogram(name: str, hist: dict, errors: list) -> None:
     for q in ("p50", "p95", "p99"):
         if q not in hist:
             errors.append(f"histogram {name}: missing {q}")
+
+
+def check_service_bench(doc: dict, errors: list) -> None:
+    """Schema for the service_steady_state bench: the fleet-scale sweep must
+    report its scale, its throughput/latency/memory values per sweep point,
+    the service.* metrics tree, and — the pinned paper invariant — exactly
+    2 pairings per clean cross-user batch (epoch attestation + mixed-signer
+    aggregate). A drift here means the service regressed to per-user
+    verification and the headline batching result is gone."""
+    values = doc.get("values", {})
+    if values.get("cross_user_pairings_per_batch") != 2:
+        errors.append(
+            "service bench: values.cross_user_pairings_per_batch is "
+            f"{values.get('cross_user_pairings_per_batch')!r}, must be exactly 2"
+        )
+    if not isinstance(values.get("users_peak"), (int, float)) or values.get(
+            "users_peak", 0) <= 0:
+        errors.append("service bench: values.users_peak missing or non-positive")
+    sweep_tags = {key.split("_", 1)[0] for key in values if key.startswith("u")
+                  and key.split("_", 1)[0][1:].isdigit()}
+    if not sweep_tags:
+        errors.append("service bench: no per-scale u<N>_* sweep values")
+    for tag in sorted(sweep_tags):
+        for suffix in ("audits_per_sec", "epoch_p99_ms", "registry_bytes",
+                       "batches", "entries"):
+            if f"{tag}_{suffix}" not in values:
+                errors.append(f"service bench: missing values.{tag}_{suffix}")
+    counters = doc.get("metrics", {}).get("counters", {})
+    for name in ("service.requests.verified", "service.epochs",
+                 "service.queue.admitted", "service.queue.rejected"):
+        if name not in counters:
+            errors.append(f"service bench: missing counter {name}")
+    if counters.get("service.queue.rejected", 0) <= 0:
+        errors.append(
+            "service bench: the backpressure probe admitted everything — "
+            "service.queue.rejected must be nonzero"
+        )
+    if "service.epoch_ms" not in doc.get("metrics", {}).get("histograms", {}):
+        errors.append("service bench: missing histogram service.epoch_ms")
 
 
 def check_file(path: pathlib.Path) -> list:
@@ -96,6 +139,8 @@ def check_file(path: pathlib.Path) -> list:
                 "uses_pairing_group is true but the cumulative *.pairings "
                 "counter total is zero"
             )
+    if doc["name"] == "service_steady_state":
+        check_service_bench(doc, errors)
     return errors
 
 
