@@ -102,6 +102,10 @@ class Bench {
   void value(std::string key, double v) { values_[std::move(key)] = v; }
   /// Records a named string annotation (units, modes, parameter sets).
   void note(std::string key, std::string v) { notes_[std::move(key)] = std::move(v); }
+  /// The bench's key result, spliced into the one-line "[bench] wrote ..."
+  /// digest so every bench's headline number greps out of a CI log the same
+  /// way (e.g. "pairings/batch=2.00").
+  void headline(std::string text) { headline_ = std::move(text); }
 
   /// Installs a tracer as the process-wide current tracer; finish() then
   /// also writes TRACE_<name>.json (Chrome trace-event format).
@@ -168,8 +172,9 @@ class Bench {
 
     const std::string path = "BENCH_" + name_ + ".json";
     std::ofstream(path) << std::move(w).str() << '\n';
-    std::printf("[bench] wrote %s | %s\n", path.c_str(),
-                obs::summary_line(snap).c_str());
+    std::printf("[bench] wrote %s | %s%s%s\n", path.c_str(),
+                headline_.empty() ? "" : headline_.c_str(),
+                headline_.empty() ? "" : " | ", obs::summary_line(snap).c_str());
 
     // OpenMetrics exposition of the same snapshot, for scrape-style tooling.
     const std::string prom_path = "METRICS_" + name_ + ".prom";
@@ -202,6 +207,7 @@ class Bench {
   bool uses_pairing_ = false;
   std::map<std::string, double> values_;
   std::map<std::string, std::string> notes_;
+  std::string headline_;
   std::unique_ptr<obs::Tracer> tracer_;
   std::unique_ptr<obs::TracerScope> scope_;
 };

@@ -347,6 +347,9 @@ std::string metrics_to_json(const MetricsSnapshot& snapshot) {
     w.key("p50").value(hist.percentile(0.50));
     w.key("p95").value(hist.percentile(0.95));
     w.key("p99").value(hist.percentile(0.99));
+    // Derived, ignored on parse (like the percentiles): observations fell
+    // past the last finite edge, so those percentiles are lower bounds.
+    w.key("saturated").value(hist.saturated());
     w.key("edges").begin_array();
     for (const double e : hist.edges) w.value(e);
     w.end_array();
@@ -441,9 +444,10 @@ std::string summary_line(const MetricsSnapshot& snapshot) {
             [](const auto& a, const auto& b) { return a.second->count > b.second->count; });
   if (busiest.size() > 3) busiest.resize(3);
   for (const auto& [name, hist] : busiest) {
-    std::snprintf(buf, sizeof buf, " | %s n=%llu p50=%.3g p95=%.3g p99=%.3g", name.c_str(),
-                  static_cast<unsigned long long>(hist->count), hist->percentile(0.50),
-                  hist->percentile(0.95), hist->percentile(0.99));
+    std::snprintf(buf, sizeof buf, " | %s n=%llu p50=%.3g p95=%.3g p99=%.3g%s",
+                  name.c_str(), static_cast<unsigned long long>(hist->count),
+                  hist->percentile(0.50), hist->percentile(0.95), hist->percentile(0.99),
+                  hist->saturated() ? " (saturated)" : "");
     out += buf;
   }
   return out;

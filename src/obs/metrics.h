@@ -108,6 +108,11 @@ struct HistogramSnapshot {
   /// Quantile q in [0, 1] by linear interpolation inside the owning bucket,
   /// clamped to the observed [min, max] so the overflow bucket stays finite.
   double percentile(double q) const noexcept;
+  /// True when observations landed past the last finite edge: percentiles
+  /// that resolve into the overflow bucket are then interpolations over an
+  /// unbounded range (or, for a snapshot with no tracked max, just the last
+  /// finite edge) and must be read as lower bounds, not measurements.
+  bool saturated() const noexcept { return !counts.empty() && counts.back() > 0; }
 
   bool operator==(const HistogramSnapshot&) const = default;
 };

@@ -124,6 +124,10 @@ std::string metrics_to_openmetrics(const MetricsSnapshot& snapshot, std::string_
       out += name + "_bucket{le=\"" + format_double(hist.edges[i]) + "\"} " +
              std::to_string(cumulative) + "\n";
     }
+    // The +Inf cumulative is the total count, so saturation (observations
+    // past the last finite edge — HistogramSnapshot::saturated()) shows up
+    // as +Inf strictly exceeding the last finite bucket's cumulative; PromQL
+    // quantiles over such a series are lower bounds, same as the JSON p99.
     out += name + "_bucket{le=\"+Inf\"} " + std::to_string(hist.count) + "\n";
     out += name + "_sum " + format_double(hist.sum) + "\n";
     out += name + "_count " + std::to_string(hist.count) + "\n";

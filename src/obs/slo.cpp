@@ -1,0 +1,134 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+
+#include "obs/export.h"
+
+namespace seccloud::obs {
+
+// --- alert JSON codec ------------------------------------------------------
+
+std::string SloAlert::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("slo").value(slo);
+  w.key("epoch").value(epoch);
+  w.key("firing").value(firing);
+  w.key("burn").value(burn);
+  w.key("window_epochs").value(window_epochs);
+  w.end_object();
+  return std::move(w).str();
+}
+
+std::optional<SloAlert> SloAlert::from_json(std::string_view json) {
+  const auto parsed = json_parse(json);
+  if (!parsed || !parsed->is_object()) return std::nullopt;
+  SloAlert alert;
+  if (const JsonValue* v = parsed->find("slo"); v != nullptr && v->is_string()) {
+    alert.slo = v->string;
+  } else {
+    return std::nullopt;
+  }
+  if (const JsonValue* v = parsed->find("epoch"); v != nullptr && v->is_number()) {
+    alert.epoch = static_cast<std::uint64_t>(v->number);
+  }
+  if (const JsonValue* v = parsed->find("firing"); v != nullptr) alert.firing = v->boolean;
+  if (const JsonValue* v = parsed->find("burn"); v != nullptr && v->is_number()) {
+    alert.burn = v->number;
+  }
+  if (const JsonValue* v = parsed->find("window_epochs"); v != nullptr && v->is_number()) {
+    alert.window_epochs = static_cast<std::uint64_t>(v->number);
+  }
+  return alert;
+}
+
+// --- tracker ---------------------------------------------------------------
+
+void SloTracker::add(SloSpec spec) {
+  spec.error_budget = std::clamp(spec.error_budget, 1e-12, 1.0);
+  if (spec.windows.empty()) spec.windows.push_back(BurnWindow{1, 1.0});
+  for (BurnWindow& w : spec.windows) w.epochs = std::max<std::uint64_t>(w.epochs, 1);
+  State state;
+  state.spec_index = specs_.size();
+  states_.insert_or_assign(spec.name, state);
+  specs_.push_back(std::move(spec));
+}
+
+std::uint64_t SloTracker::max_window(const SloSpec& spec) const {
+  std::uint64_t m = 1;
+  for (const BurnWindow& w : spec.windows) m = std::max(m, w.epochs);
+  return m;
+}
+
+void SloTracker::observe(std::string_view name, std::uint64_t /*epoch*/, SloSample sample) {
+  const auto it = states_.find(name);
+  if (it == states_.end()) return;
+  State& state = it->second;
+  const SloSpec& spec = specs_[state.spec_index];
+  state.history.push_back(sample);
+  while (state.history.size() > max_window(spec)) state.history.pop_front();
+}
+
+double SloTracker::burn_rate(std::string_view name, std::uint64_t window) const {
+  const auto it = states_.find(name);
+  if (it == states_.end()) return 0.0;
+  const State& state = it->second;
+  const SloSpec& spec = specs_[state.spec_index];
+  const std::size_t n =
+      std::min<std::size_t>(state.history.size(), std::max<std::uint64_t>(window, 1));
+  std::uint64_t good = 0;
+  std::uint64_t bad = 0;
+  for (std::size_t i = state.history.size() - n; i < state.history.size(); ++i) {
+    good += state.history[i].good;
+    bad += state.history[i].bad;
+  }
+  const std::uint64_t total = good + bad;
+  if (total == 0) return 0.0;
+  const double bad_fraction = static_cast<double>(bad) / static_cast<double>(total);
+  return bad_fraction / spec.error_budget;
+}
+
+std::vector<SloAlert> SloTracker::evaluate(std::uint64_t epoch) {
+  std::vector<SloAlert> transitions;
+  for (auto& [name, state] : states_) {
+    const SloSpec& spec = specs_[state.spec_index];
+    bool all_exceed = !spec.windows.empty();
+    double worst_burn = 0.0;  // highest burn among exceeding windows
+    double best_burn = 0.0;   // burn of the first non-exceeding window
+    std::uint64_t worst_window = 0;
+    std::uint64_t best_window = 0;
+    for (const BurnWindow& w : spec.windows) {
+      const double burn = burn_rate(name, w.epochs);
+      if (burn > w.max_burn) {
+        if (burn >= worst_burn) {
+          worst_burn = burn;
+          worst_window = w.epochs;
+        }
+      } else {
+        all_exceed = false;
+        if (best_window == 0) {
+          best_burn = burn;
+          best_window = w.epochs;
+        }
+      }
+    }
+    if (all_exceed != state.firing) {
+      state.firing = all_exceed;
+      SloAlert alert;
+      alert.slo = name;
+      alert.epoch = epoch;
+      alert.firing = all_exceed;
+      alert.burn = all_exceed ? worst_burn : best_burn;
+      alert.window_epochs = all_exceed ? worst_window : best_window;
+      transitions.push_back(std::move(alert));
+    }
+  }
+  return transitions;
+}
+
+bool SloTracker::firing(std::string_view name) const {
+  const auto it = states_.find(name);
+  return it != states_.end() && it->second.firing;
+}
+
+}  // namespace seccloud::obs

@@ -1,0 +1,111 @@
+// Declarative service-level objectives with multi-window burn-rate
+// evaluation, clocked in epochs rather than wall seconds so every test and
+// bench run is deterministic.
+//
+// An SloSpec names an error budget (allowed bad fraction, e.g. 0.05 = "5%
+// of requests may be rejected") and a set of burn windows. Each epoch the
+// driver feeds one SloSample (good/bad counts) per objective and calls
+// evaluate(); an objective FIRES only when the burn rate — observed bad
+// fraction divided by the budget — exceeds the threshold in EVERY window
+// simultaneously (the classic SRE fast+slow multi-window guard: the short
+// window proves the problem is live, the long window proves it is not a
+// blip). evaluate() returns only *transitions* (fire / resolve), which the
+// TelemetrySink appends to the stream as structured kSloAlert records.
+//
+// Latency objectives feed good/bad directly (e.g. good = epochs under the
+// p99 target); exact-invariant objectives (pairings-per-clean-batch == 2)
+// use a near-zero budget and a single 1-epoch window so any violation fires
+// the same epoch it happens.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace seccloud::obs {
+
+/// One evaluation window: the trailing `epochs` of samples must burn the
+/// budget faster than `max_burn` (1.0 = exactly on budget) for this window
+/// to vote "firing".
+struct BurnWindow {
+  std::uint64_t epochs = 1;
+  double max_burn = 1.0;
+
+  bool operator==(const BurnWindow&) const = default;
+};
+
+/// A declared objective. All windows must exceed their threshold at once
+/// for the objective to fire.
+struct SloSpec {
+  std::string name;
+  double error_budget = 0.01;  ///< allowed bad fraction in (0, 1]
+  std::vector<BurnWindow> windows;
+
+  bool operator==(const SloSpec&) const = default;
+};
+
+/// One epoch's worth of evidence for one objective.
+struct SloSample {
+  std::uint64_t good = 0;
+  std::uint64_t bad = 0;
+
+  bool operator==(const SloSample&) const = default;
+};
+
+/// A fire/resolve transition, emitted at most once per state change.
+struct SloAlert {
+  std::string slo;
+  std::uint64_t epoch = 0;
+  bool firing = false;          ///< true = budget burning, false = recovered
+  double burn = 0.0;            ///< worst (fire) / best (resolve) window burn
+  std::uint64_t window_epochs = 0;  ///< the window that produced `burn`
+
+  bool operator==(const SloAlert&) const = default;
+
+  std::string to_json() const;
+  static std::optional<SloAlert> from_json(std::string_view json);
+};
+
+/// Tracks every declared objective over an epoch-indexed sample history.
+/// Single-writer, evaluated between epochs — deliberately not thread-safe.
+class SloTracker {
+ public:
+  /// Declares an objective. Budget is clamped into (0, 1]; an empty window
+  /// list gets a single 1-epoch window at burn 1.0.
+  void add(SloSpec spec);
+
+  /// Records `sample` for objective `name` at `epoch`. Unknown names are
+  /// ignored (objectives are declared up front).
+  void observe(std::string_view name, std::uint64_t epoch, SloSample sample);
+
+  /// Evaluates every objective against its windows at `epoch` and returns
+  /// the state transitions (fire when all windows exceed, resolve when any
+  /// stops). Steady states return nothing.
+  std::vector<SloAlert> evaluate(std::uint64_t epoch);
+
+  /// Burn rate of the trailing `window` epochs for `name`: observed bad
+  /// fraction / error budget. Partial history uses the samples available;
+  /// no samples at all burn 0.
+  double burn_rate(std::string_view name, std::uint64_t window) const;
+
+  bool firing(std::string_view name) const;
+  const std::vector<SloSpec>& specs() const noexcept { return specs_; }
+
+ private:
+  struct State {
+    std::size_t spec_index = 0;
+    std::deque<SloSample> history;  ///< trailing samples, newest at back
+    bool firing = false;
+  };
+
+  std::uint64_t max_window(const SloSpec& spec) const;
+
+  std::vector<SloSpec> specs_;
+  std::map<std::string, State, std::less<>> states_;
+};
+
+}  // namespace seccloud::obs

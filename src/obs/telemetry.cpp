@@ -1,0 +1,261 @@
+#include "obs/telemetry.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "hash/sha256.h"
+#include "obs/export.h"
+#include "obs/slo.h"
+
+namespace seccloud::obs {
+namespace {
+
+// Distinct magic from the session journal ('S','J') and the channel frame
+// codec ('S','C') so a telemetry stream can never be replayed as either.
+constexpr std::uint8_t kMagic0 = 'S';
+constexpr std::uint8_t kMagic1 = 'T';
+constexpr std::uint8_t kVersion = 1;
+constexpr std::size_t kHeaderBytes = 2 + 1 + 1 + 4 + 4 + 4;  // magic‖ver‖type‖stream‖seq‖len
+constexpr std::size_t kChecksumBytes = 8;
+constexpr std::uint8_t kRecordTypeMax = 3;
+
+void append_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (i * 8)));
+}
+
+std::uint32_t read_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint64_t get_u64(const JsonValue& obj, std::string_view key) {
+  const JsonValue* v = obj.find(key);
+  return (v != nullptr && v->is_number()) ? static_cast<std::uint64_t>(v->number) : 0;
+}
+
+double get_f64(const JsonValue& obj, std::string_view key) {
+  const JsonValue* v = obj.find(key);
+  return (v != nullptr && v->is_number()) ? v->number : 0.0;
+}
+
+}  // namespace
+
+const char* to_string(TelemetryRecordType type) noexcept {
+  switch (type) {
+    case TelemetryRecordType::kEpochSnapshot: return "epoch-snapshot";
+    case TelemetryRecordType::kSloAlert: return "slo-alert";
+    case TelemetryRecordType::kLedgerEntry: return "ledger-entry";
+  }
+  return "unknown";
+}
+
+// --- framed record codec ---------------------------------------------------
+
+std::vector<std::uint8_t> encode_telemetry_record(const TelemetryRecord& record) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderBytes + record.payload.size() + kChecksumBytes);
+  out.push_back(kMagic0);
+  out.push_back(kMagic1);
+  out.push_back(kVersion);
+  out.push_back(static_cast<std::uint8_t>(record.type));
+  append_u32(out, record.stream_id);
+  append_u32(out, record.seq);
+  append_u32(out, static_cast<std::uint32_t>(record.payload.size()));
+  out.insert(out.end(), record.payload.begin(), record.payload.end());
+  const hash::Digest digest = hash::Sha256::digest(std::span<const std::uint8_t>(out));
+  out.insert(out.end(), digest.begin(), digest.begin() + kChecksumBytes);
+  return out;
+}
+
+std::optional<TelemetryRecord> decode_telemetry_record(std::span<const std::uint8_t> bytes,
+                                                       std::size_t* consumed) {
+  if (bytes.size() < kHeaderBytes + kChecksumBytes) return std::nullopt;
+  if (bytes[0] != kMagic0 || bytes[1] != kMagic1 || bytes[2] != kVersion) return std::nullopt;
+  const std::uint8_t type = bytes[3];
+  if (type < 1 || type > kRecordTypeMax) return std::nullopt;
+  const std::uint32_t stream_id = read_u32(bytes.data() + 4);
+  const std::uint32_t seq = read_u32(bytes.data() + 8);
+  const std::uint32_t len = read_u32(bytes.data() + 12);
+  const std::size_t total = kHeaderBytes + std::size_t{len} + kChecksumBytes;
+  if (bytes.size() < total) return std::nullopt;
+  const hash::Digest digest = hash::Sha256::digest(bytes.first(kHeaderBytes + len));
+  if (!std::equal(digest.begin(), digest.begin() + kChecksumBytes,
+                  bytes.begin() + static_cast<std::ptrdiff_t>(kHeaderBytes + len))) {
+    return std::nullopt;
+  }
+  TelemetryRecord record;
+  record.type = static_cast<TelemetryRecordType>(type);
+  record.stream_id = stream_id;
+  record.seq = seq;
+  record.payload.assign(bytes.begin() + static_cast<std::ptrdiff_t>(kHeaderBytes),
+                        bytes.begin() + static_cast<std::ptrdiff_t>(kHeaderBytes + len));
+  if (consumed != nullptr) *consumed = total;
+  return record;
+}
+
+TelemetryReplay replay_telemetry(std::span<const std::uint8_t> bytes) {
+  TelemetryReplay result;
+  std::size_t pos = 0;
+  while (pos < bytes.size()) {
+    std::size_t consumed = 0;
+    auto record = decode_telemetry_record(bytes.subspan(pos), &consumed);
+    if (!record) {
+      // Torn final append (or trailing garbage): the intact prefix stands.
+      result.torn_tail = true;
+      break;
+    }
+    pos += consumed;
+    result.records.push_back(std::move(*record));
+  }
+  result.clean_bytes = pos;
+  return result;
+}
+
+// --- epoch snapshot JSON codec ---------------------------------------------
+
+std::string EpochSnapshot::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("epoch").value(epoch);
+  w.key("epoch_ms").value(epoch_ms);
+  w.key("telemetry_ms").value(telemetry_ms);
+  w.key("requests").value(requests);
+  w.key("stale_rejected").value(stale_rejected);
+  w.key("unkeyed_rejected").value(unkeyed_rejected);
+  w.key("entries").value(entries);
+  w.key("batches").value(batches);
+  w.key("verified_requests").value(verified_requests);
+  w.key("failed_requests").value(failed_requests);
+  w.key("byzantine_users").value(byzantine_users);
+  w.key("assembly_pairings").value(assembly_pairings);
+  w.key("verify_pairings").value(verify_pairings);
+  w.key("pairings_per_batch").value(pairings_per_batch);
+  w.key("bisection_oracle_calls").value(bisection_oracle_calls);
+  w.key("bisection_max_depth").value(bisection_max_depth);
+  w.key("queue_depth_at_drain").value(queue_depth_at_drain);
+  w.key("queue_admitted").value(queue_admitted);
+  w.key("queue_rejected").value(queue_rejected);
+  w.key("retry_after_epochs").value(retry_after_epochs);
+  w.key("shards").begin_array();
+  for (const ShardHeat& s : shards) {
+    w.begin_object();
+    w.key("users").value(s.users);
+    w.key("keyed").value(s.keyed);
+    w.key("table_slots").value(s.table_slots);
+    w.key("probe_max").value(s.probe_max);
+    w.key("probe_total").value(s.probe_total);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("counter_deltas").begin_object();
+  for (const auto& [name, delta] : counter_deltas) w.key(name).value(delta);
+  w.end_object();
+  w.end_object();
+  return std::move(w).str();
+}
+
+std::optional<EpochSnapshot> EpochSnapshot::from_json(std::string_view json) {
+  const auto parsed = json_parse(json);
+  if (!parsed || !parsed->is_object()) return std::nullopt;
+  const JsonValue& obj = *parsed;
+  EpochSnapshot s;
+  s.epoch = get_u64(obj, "epoch");
+  s.epoch_ms = get_f64(obj, "epoch_ms");
+  s.telemetry_ms = get_f64(obj, "telemetry_ms");
+  s.requests = get_u64(obj, "requests");
+  s.stale_rejected = get_u64(obj, "stale_rejected");
+  s.unkeyed_rejected = get_u64(obj, "unkeyed_rejected");
+  s.entries = get_u64(obj, "entries");
+  s.batches = get_u64(obj, "batches");
+  s.verified_requests = get_u64(obj, "verified_requests");
+  s.failed_requests = get_u64(obj, "failed_requests");
+  s.byzantine_users = get_u64(obj, "byzantine_users");
+  s.assembly_pairings = get_u64(obj, "assembly_pairings");
+  s.verify_pairings = get_u64(obj, "verify_pairings");
+  s.pairings_per_batch = get_f64(obj, "pairings_per_batch");
+  s.bisection_oracle_calls = get_u64(obj, "bisection_oracle_calls");
+  s.bisection_max_depth = get_u64(obj, "bisection_max_depth");
+  s.queue_depth_at_drain = get_u64(obj, "queue_depth_at_drain");
+  s.queue_admitted = get_u64(obj, "queue_admitted");
+  s.queue_rejected = get_u64(obj, "queue_rejected");
+  s.retry_after_epochs = get_u64(obj, "retry_after_epochs");
+  if (const JsonValue* shards = obj.find("shards"); shards != nullptr && shards->is_array()) {
+    s.shards.reserve(shards->array.size());
+    for (const JsonValue& e : shards->array) {
+      if (!e.is_object()) return std::nullopt;
+      ShardHeat heat;
+      heat.users = get_u64(e, "users");
+      heat.keyed = get_u64(e, "keyed");
+      heat.table_slots = get_u64(e, "table_slots");
+      heat.probe_max = get_u64(e, "probe_max");
+      heat.probe_total = get_u64(e, "probe_total");
+      s.shards.push_back(heat);
+    }
+  }
+  if (const JsonValue* deltas = obj.find("counter_deltas");
+      deltas != nullptr && deltas->is_object()) {
+    for (const auto& [name, v] : deltas->object) {
+      if (!v.is_number()) return std::nullopt;
+      s.counter_deltas[name] = static_cast<std::uint64_t>(v.number);
+    }
+  }
+  return s;
+}
+
+// --- the sink --------------------------------------------------------------
+
+TelemetrySink::TelemetrySink(MetricsRegistry& registry, TelemetrySinkConfig config)
+    : registry_(&registry), config_(config) {
+  if (config_.ring_capacity == 0) config_.ring_capacity = 1;
+  last_counters_ = registry_->snapshot().counters;
+}
+
+void TelemetrySink::capture(EpochSnapshot snapshot) {
+  const auto t0 = std::chrono::steady_clock::now();
+  snapshot.counter_deltas.clear();  // the sink owns this field, whole
+  std::map<std::string, std::uint64_t> now = registry_->snapshot().counters;
+  for (const auto& [name, value] : now) {
+    const auto it = last_counters_.find(name);
+    const std::uint64_t prev = it == last_counters_.end() ? 0 : it->second;
+    // Counters are monotonic; a reset between captures shows up as the full
+    // current value rather than a wrapped delta.
+    const std::uint64_t delta = value >= prev ? value - prev : value;
+    if (delta != 0) snapshot.counter_deltas[name] = delta;
+  }
+  last_counters_ = std::move(now);
+
+  const std::string json = snapshot.to_json();
+  append_record(TelemetryRecordType::kEpochSnapshot,
+                std::span<const std::uint8_t>(
+                    reinterpret_cast<const std::uint8_t*>(json.data()), json.size()));
+  ring_.push_back(std::move(snapshot));
+  while (ring_.size() > config_.ring_capacity) ring_.pop_front();
+  capture_ms_ += std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+}
+
+void TelemetrySink::alert(const SloAlert& alert) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::string json = alert.to_json();
+  append_record(TelemetryRecordType::kSloAlert,
+                std::span<const std::uint8_t>(
+                    reinterpret_cast<const std::uint8_t*>(json.data()), json.size()));
+  capture_ms_ += std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+}
+
+void TelemetrySink::append_record(TelemetryRecordType type,
+                                  std::span<const std::uint8_t> payload) {
+  TelemetryRecord record;
+  record.type = type;
+  record.stream_id = config_.stream_id;
+  record.seq = seq_++;
+  record.payload.assign(payload.begin(), payload.end());
+  const std::vector<std::uint8_t> encoded = encode_telemetry_record(record);
+  stream_.insert(stream_.end(), encoded.begin(), encoded.end());
+}
+
+}  // namespace seccloud::obs

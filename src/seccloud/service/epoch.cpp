@@ -28,12 +28,17 @@ Admission AdmissionQueue::submit(AuditRequest request) {
     }
   }
   if (admission.accepted) {
+    admitted_total_.fetch_add(1, std::memory_order_relaxed);
     if (auto* c = m_admitted_.load(std::memory_order_acquire)) c->inc();
     if (auto* g = m_depth_gauge_.load(std::memory_order_acquire)) {
       g->set(static_cast<std::int64_t>(new_depth));
     }
   } else {
+    rejected_total_.fetch_add(1, std::memory_order_relaxed);
     if (auto* c = m_rejected_.load(std::memory_order_acquire)) c->inc();
+    if (auto* g = m_retry_gauge_.load(std::memory_order_acquire)) {
+      g->set(static_cast<std::int64_t>(admission.retry_after_epochs));
+    }
   }
   return admission;
 }
@@ -68,6 +73,11 @@ void AdmissionQueue::bind_metrics(obs::MetricsRegistry& registry,
   m_admitted_.store(&registry.counter(p + ".admitted"), std::memory_order_release);
   m_rejected_.store(&registry.counter(p + ".rejected"), std::memory_order_release);
   m_depth_gauge_.store(&registry.gauge(p + ".queue_depth"), std::memory_order_release);
+  // The configured hint is published immediately so the gauge is meaningful
+  // even before the first reject updates it.
+  obs::Gauge& retry = registry.gauge(p + ".retry_after_epochs");
+  retry.set(static_cast<std::int64_t>(config_.retry_after_epochs));
+  m_retry_gauge_.store(&retry, std::memory_order_release);
 }
 
 }  // namespace seccloud::service

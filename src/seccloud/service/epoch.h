@@ -76,8 +76,19 @@ class AdmissionQueue {
   std::uint64_t epoch() const noexcept;
   std::size_t depth() const noexcept;
 
-  /// Counters "<prefix>.admitted"/"<prefix>.rejected", gauge
-  /// "<prefix>.queue_depth". Handles are late-bound (release/acquire).
+  /// Lifetime admission tallies (relaxed reads; exact once submitters
+  /// quiesce). The telemetry snapshot diffs these across epochs.
+  std::uint64_t admitted_total() const noexcept {
+    return admitted_total_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t rejected_total() const noexcept {
+    return rejected_total_.load(std::memory_order_relaxed);
+  }
+
+  /// Counters "<prefix>.admitted"/"<prefix>.rejected", gauges
+  /// "<prefix>.queue_depth" and "<prefix>.retry_after_epochs" (the
+  /// backpressure hint attached to rejects — previously computed but never
+  /// surfaced). Handles are late-bound (release/acquire).
   void bind_metrics(obs::MetricsRegistry& registry, std::string_view prefix);
 
  private:
@@ -86,10 +97,13 @@ class AdmissionQueue {
   std::vector<AuditRequest> pending_;
   std::uint64_t epoch_ = 0;
   std::atomic<std::size_t> depth_{0};
+  std::atomic<std::uint64_t> admitted_total_{0};
+  std::atomic<std::uint64_t> rejected_total_{0};
 
   std::atomic<obs::Counter*> m_admitted_{nullptr};
   std::atomic<obs::Counter*> m_rejected_{nullptr};
   std::atomic<obs::Gauge*> m_depth_gauge_{nullptr};
+  std::atomic<obs::Gauge*> m_retry_gauge_{nullptr};
 };
 
 }  // namespace seccloud::service

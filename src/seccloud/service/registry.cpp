@@ -38,6 +38,11 @@ struct ShardedRegistry::Shard {
   std::vector<std::unique_ptr<std::uint8_t[]>> key_chunks;
   /// Open addressing: record index + 1, 0 = empty. Size is a power of two.
   std::vector<std::uint32_t> table;
+  /// Probe-pressure tallies for occupancy(): displacement of every resident
+  /// record from its home slot, maintained at insert and recomputed on
+  /// rebuild so the telemetry read stays O(1) per shard.
+  std::size_t probe_total = 0;
+  std::size_t probe_max = 0;
 
   std::atomic<std::size_t>* global_count = nullptr;
 };
@@ -119,19 +124,28 @@ UserHandle ShardedRegistry::register_user(std::string_view id) {
         std::max<std::size_t>(64, std::bit_ceil((shard.count + 1) * 2));
     std::vector<std::uint32_t> table(new_size, 0);
     const std::size_t mask = new_size - 1;
+    shard.probe_total = 0;
+    shard.probe_max = 0;
     for (std::size_t idx = 0; idx < shard.count; ++idx) {
       const Record& rec =
           shard.record_chunks[idx / config_.records_per_chunk][idx %
                                                               config_.records_per_chunk];
       std::size_t slot = static_cast<std::size_t>(rec.id_hash >> 32) & mask;
-      while (table[slot] != 0) slot = probe_next(slot, mask);
+      std::size_t probes = 0;
+      while (table[slot] != 0) {
+        slot = probe_next(slot, mask);
+        ++probes;
+      }
       table[slot] = static_cast<std::uint32_t>(idx) + 1;
+      shard.probe_total += probes;
+      shard.probe_max = std::max(shard.probe_max, probes);
     }
     shard.table = std::move(table);
   }
 
   const std::size_t mask = shard.table.size() - 1;
   std::size_t slot = static_cast<std::size_t>(h >> 32) & mask;
+  std::size_t probes = 0;
   while (shard.table[slot] != 0) {
     const std::size_t idx = shard.table[slot] - 1;
     const Record& rec =
@@ -140,6 +154,7 @@ UserHandle ShardedRegistry::register_user(std::string_view id) {
       return (static_cast<UserHandle>(shard_index) << kIndexBits) | idx;  // idempotent
     }
     slot = probe_next(slot, mask);
+    ++probes;
   }
 
   // Append the record (new arena chunk when the last one is full).
@@ -166,6 +181,8 @@ UserHandle ShardedRegistry::register_user(std::string_view id) {
   rec.audits_served = 0;
   shard.id_tail += id.size();
   shard.table[slot] = static_cast<std::uint32_t>(idx) + 1;
+  shard.probe_total += probes;
+  shard.probe_max = std::max(shard.probe_max, probes);
   ++shard.count;
   return (static_cast<UserHandle>(shard_index) << kIndexBits) | idx;
 }
@@ -289,6 +306,22 @@ RegistryStats ShardedRegistry::stats() const {
     out.key_bytes +=
         shard->key_chunks.size() * config_.records_per_chunk * config_.key_width;
     out.table_bytes += shard->table.size() * sizeof(std::uint32_t);
+  }
+  return out;
+}
+
+std::vector<ShardOccupancy> ShardedRegistry::occupancy() const {
+  std::vector<ShardOccupancy> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->m);
+    ShardOccupancy o;
+    o.users = shard->count;
+    o.keyed = shard->keyed;
+    o.table_slots = shard->table.size();
+    o.probe_max = shard->probe_max;
+    o.probe_total = shard->probe_total;
+    out.push_back(o);
   }
   return out;
 }

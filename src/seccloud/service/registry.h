@@ -60,6 +60,18 @@ struct UserView {
   bool has_key = false;
 };
 
+/// Per-shard heat sample for the telemetry pipeline: occupancy plus
+/// linear-probe pressure. probe_* tallies are maintained incrementally at
+/// insert and recomputed on table rebuild, so reading them is O(shards) —
+/// never a table walk — and safe to do every epoch at fleet scale.
+struct ShardOccupancy {
+  std::size_t users = 0;
+  std::size_t keyed = 0;
+  std::size_t table_slots = 0;
+  std::size_t probe_max = 0;    ///< longest current home→slot displacement
+  std::size_t probe_total = 0;  ///< summed displacements (avg = /users)
+};
+
 /// Aggregated footprint/statistics (sums shard-local tallies; exact once
 /// writers are quiescent).
 struct RegistryStats {
@@ -121,6 +133,9 @@ class ShardedRegistry {
   bool record_audit(UserHandle handle, std::uint64_t version);
 
   RegistryStats stats() const;
+
+  /// One ShardOccupancy per shard, in shard order. O(shards).
+  std::vector<ShardOccupancy> occupancy() const;
 
  private:
   struct Shard;

@@ -7,8 +7,11 @@
 #include "hash/hmac_drbg.h"
 #include "hash/sha256.h"
 #include "ibc/ibs.h"
+#include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "seccloud/client.h"
+#include "seccloud/service/ledger.h"
 
 namespace seccloud::service {
 
@@ -70,6 +73,8 @@ EpochReport AuditService::run_epoch() {
   const auto t0 = std::chrono::steady_clock::now();
   EpochReport report;
   report.epoch = queue_.epoch();
+  report.retry_after_epochs = queue_.config().retry_after_epochs;
+  const std::size_t depth_at_drain = queue_.depth();
   std::vector<AuditRequest> requests = queue_.drain();
   report.requests = requests.size();
 
@@ -81,6 +86,11 @@ EpochReport AuditService::run_epoch() {
   std::vector<Admitted> admitted;
   admitted.reserve(requests.size());
   std::vector<std::uint8_t> failed(requests.size(), 0);
+  // Pre-batch filter reason per request (0 = admitted), kept so the ledger
+  // can attribute filtered requests without re-deriving the decision.
+  constexpr std::uint8_t kReasonStale = 1;
+  constexpr std::uint8_t kReasonUnkeyed = 2;
+  std::vector<std::uint8_t> filter_reason(requests.size(), 0);
   std::size_t total_entries = 0;
   for (std::size_t r = 0; r < requests.size(); ++r) {
     const AuditRequest& request = requests[r];
@@ -88,11 +98,13 @@ EpochReport AuditService::run_epoch() {
     if (key.empty()) {
       ++report.unkeyed_rejected;
       failed[r] = 1;
+      filter_reason[r] = kReasonUnkeyed;
       continue;
     }
     if (request.version <= registry_.audited_version(request.user)) {
       ++report.stale_rejected;
       failed[r] = 1;
+      filter_reason[r] = kReasonStale;
       if (auto* c = m_stale_.load(std::memory_order_acquire)) c->inc();
       continue;
     }
@@ -100,6 +112,7 @@ EpochReport AuditService::run_epoch() {
     if (!q_id || request.blocks.empty()) {
       ++report.unkeyed_rejected;
       failed[r] = 1;
+      filter_reason[r] = kReasonUnkeyed;
       continue;
     }
     admitted.push_back({r, *q_id});
@@ -236,7 +249,128 @@ EpochReport AuditService::run_epoch() {
   report.epoch_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
   if (auto* c = m_epochs_.load(std::memory_order_acquire)) c->inc();
   if (auto* h = m_epoch_ms_.load(std::memory_order_acquire)) h->observe(report.epoch_ms);
+
+  // --- telemetry + forensic ledger: strictly after the epoch clock stops --
+  if (ledger_ != nullptr || telemetry_ != nullptr) {
+    const auto tt0 = std::chrono::steady_clock::now();
+    if (ledger_ != nullptr) {
+      // Requests filtered before batching: one record each, no batch id.
+      for (std::size_t r = 0; r < requests.size(); ++r) {
+        if (filter_reason[r] == 0) continue;
+        LedgerEntry le;
+        le.epoch = report.epoch;
+        le.user = requests[r].user;
+        le.version = requests[r].version;
+        le.batch = kNoBatch;
+        le.request_index = static_cast<std::uint32_t>(r);
+        le.verdict = filter_reason[r] == kReasonStale ? LedgerVerdict::kStaleReplay
+                                                      : LedgerVerdict::kUnkeyed;
+        ledger_->append(le);
+      }
+      // Every flattened entry, batch by batch. Analytic pairing accounting:
+      // attestation + aggregate always pair once each, bisection adds one
+      // pairing per oracle call — so summing unique batches' batch_pairings
+      // reproduces verify_ops.pairings exactly.
+      for (std::size_t i = 0; i < report.results.size(); ++i) {
+        const BatchResult& br = report.results[i];
+        const std::uint64_t batch_pairings = 2 + br.verdict.bisection.oracle_calls;
+        std::size_t next_invalid = 0;  // invalid_entries is ascending
+        for (std::size_t k = 0; k < br.entries; ++k) {
+          const std::size_t e = br.first_entry + k;
+          const FlatRef& ref = refs[e];
+          LedgerEntry le;
+          le.epoch = report.epoch;
+          le.user = requests[ref.request_index].user;
+          le.version = requests[ref.request_index].version;
+          le.batch = static_cast<std::uint32_t>(i);
+          le.request_index = static_cast<std::uint32_t>(ref.request_index);
+          le.block_index = static_cast<std::uint32_t>(ref.block_index);
+          le.entry_in_batch = static_cast<std::uint32_t>(k);
+          le.batch_pairings = batch_pairings;
+          if (!br.verdict.attestation_valid) {
+            le.verdict = LedgerVerdict::kAttestationFailed;
+          } else if (next_invalid < br.verdict.invalid_entries.size() &&
+                     br.verdict.invalid_entries[next_invalid] == k) {
+            le.verdict = LedgerVerdict::kInvalidSignature;
+            const IsolationPath path = bisection_path(k, br.entries);
+            le.isolation_depth = path.depth;
+            le.isolation_path = path.bits;
+            ++next_invalid;
+          } else {
+            le.verdict = LedgerVerdict::kVerified;
+          }
+          ledger_->append(le);
+        }
+      }
+    }
+    if (telemetry_ != nullptr) {
+      obs::EpochSnapshot snap;
+      snap.epoch = report.epoch;
+      snap.epoch_ms = report.epoch_ms;
+      snap.requests = report.requests;
+      snap.stale_rejected = report.stale_rejected;
+      snap.unkeyed_rejected = report.unkeyed_rejected;
+      snap.entries = report.entries;
+      snap.batches = report.batches;
+      snap.verified_requests = report.verified_requests;
+      snap.failed_requests = report.failed_requests;
+      snap.byzantine_users = report.byzantine_users.size();
+      snap.assembly_pairings = report.assembly_ops.pairings;
+      snap.verify_pairings = report.verify_ops.pairings;
+      snap.pairings_per_batch =
+          report.batches == 0 ? 0.0
+                              : static_cast<double>(report.verify_ops.pairings) /
+                                    static_cast<double>(report.batches);
+      snap.bisection_oracle_calls = report.bisection.oracle_calls;
+      snap.bisection_max_depth = report.bisection.max_depth;
+      snap.queue_depth_at_drain = depth_at_drain;
+      const std::uint64_t admitted_now = queue_.admitted_total();
+      const std::uint64_t rejected_now = queue_.rejected_total();
+      snap.queue_admitted = admitted_now - last_queue_admitted_;
+      snap.queue_rejected = rejected_now - last_queue_rejected_;
+      last_queue_admitted_ = admitted_now;
+      last_queue_rejected_ = rejected_now;
+      snap.retry_after_epochs = report.retry_after_epochs;
+      for (const ShardOccupancy& o : registry_.occupancy()) {
+        snap.shards.push_back({o.users, o.keyed, o.table_slots, o.probe_max, o.probe_total});
+      }
+      report.telemetry_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - tt0)
+                                .count();
+      snap.telemetry_ms = report.telemetry_ms;  // excludes only the final encode
+      telemetry_->capture(std::move(snap));
+    }
+    report.telemetry_ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - tt0)
+                              .count();
+  }
   return report;
+}
+
+std::string EpochReport::to_json() const {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("epoch").value(epoch);
+  w.key("requests").value(static_cast<std::uint64_t>(requests));
+  w.key("stale_rejected").value(static_cast<std::uint64_t>(stale_rejected));
+  w.key("unkeyed_rejected").value(static_cast<std::uint64_t>(unkeyed_rejected));
+  w.key("entries").value(static_cast<std::uint64_t>(entries));
+  w.key("batches").value(static_cast<std::uint64_t>(batches));
+  w.key("verified_requests").value(static_cast<std::uint64_t>(verified_requests));
+  w.key("failed_requests").value(static_cast<std::uint64_t>(failed_requests));
+  w.key("byzantine_users").begin_array();
+  for (const UserHandle user : byzantine_users) w.value(static_cast<std::uint64_t>(user));
+  w.end_array();
+  w.key("invalid_entries").value(static_cast<std::uint64_t>(invalid_entries.size()));
+  w.key("assembly_pairings").value(assembly_ops.pairings);
+  w.key("verify_pairings").value(verify_ops.pairings);
+  w.key("bisection_oracle_calls").value(static_cast<std::uint64_t>(bisection.oracle_calls));
+  w.key("bisection_max_depth").value(static_cast<std::uint64_t>(bisection.max_depth));
+  w.key("retry_after_epochs").value(retry_after_epochs);
+  w.key("epoch_ms").value(epoch_ms);
+  w.key("telemetry_ms").value(telemetry_ms);
+  w.end_object();
+  return std::move(w).str();
 }
 
 void AuditService::bind_metrics(obs::MetricsRegistry& registry,

@@ -40,9 +40,12 @@ namespace seccloud::obs {
 class Counter;
 class Histogram;
 class MetricsRegistry;
+class TelemetrySink;
 }  // namespace seccloud::obs
 
 namespace seccloud::service {
+
+class VerdictLedger;  // ledger.h
 
 using ibc::IdentityKey;
 using pairing::PairingGroup;
@@ -96,7 +99,13 @@ struct EpochReport {
   pairing::OpCounters assembly_ops;  ///< digesting + attestation signing
   pairing::OpCounters verify_ops;    ///< the 2-pairing checks + any bisection
   ibc::BisectionStats bisection;     ///< summed over rejecting batches
-  double epoch_ms = 0.0;
+  std::uint64_t retry_after_epochs = 0;  ///< backpressure hint in force
+  double epoch_ms = 0.0;      ///< drain → verdict wall time (hot path)
+  double telemetry_ms = 0.0;  ///< snapshot + ledger capture (off path)
+
+  /// One-object epoch summary (SessionReport::to_json-style) for logs and
+  /// dashboards; includes the retry-after hint and telemetry cost.
+  std::string to_json() const;
 };
 
 class AuditService {
@@ -139,6 +148,18 @@ class AuditService {
   /// latency histogram, plus queue and engine telemetry.
   void bind_metrics(obs::MetricsRegistry& registry, std::string_view prefix);
 
+  /// Attaches the epoch snapshot pipeline: after every run_epoch the service
+  /// captures one EpochSnapshot (report fields + shard heat + queue deltas)
+  /// into the sink. nullptr detaches. The sink must outlive the service or
+  /// be detached first; capture happens after the epoch clock stops, so its
+  /// cost lands in telemetry_ms, never epoch_ms.
+  void attach_telemetry(obs::TelemetrySink* sink) noexcept { telemetry_ = sink; }
+
+  /// Attaches the forensic verdict ledger: one record per audited entry and
+  /// per pre-batch-filtered request. nullptr detaches. Same lifetime and
+  /// off-hot-path contract as attach_telemetry.
+  void attach_ledger(VerdictLedger* ledger) noexcept { ledger_ = ledger; }
+
  private:
   const PairingGroup* group_;
   ServiceConfig config_;
@@ -147,6 +168,10 @@ class AuditService {
   ShardedRegistry registry_;
   AdmissionQueue queue_;
   ParallelPairingEngine engine_;
+  obs::TelemetrySink* telemetry_ = nullptr;
+  VerdictLedger* ledger_ = nullptr;
+  std::uint64_t last_queue_admitted_ = 0;
+  std::uint64_t last_queue_rejected_ = 0;
 
   std::atomic<obs::Counter*> m_verified_{nullptr};
   std::atomic<obs::Counter*> m_failed_{nullptr};

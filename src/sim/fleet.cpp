@@ -6,6 +6,7 @@
 #include "hash/hmac_drbg.h"
 #include "ibc/dvs.h"
 #include "ibc/ibs.h"
+#include "obs/metrics.h"
 #include "seccloud/client.h"
 
 namespace seccloud::sim {
@@ -65,6 +66,12 @@ void FleetWorkload::populate(service::AuditService& svc) {
   }
   versions_.assign(config_.active_users, 0);
   round_ = 0;
+  obs::default_registry()
+      .counter("fleet.users_registered")
+      .inc(static_cast<std::uint64_t>(config_.users));
+  obs::default_registry()
+      .counter("fleet.users_keyed")
+      .inc(static_cast<std::uint64_t>(config_.active_users));
 }
 
 std::vector<service::AuditRequest> FleetWorkload::make_requests(
@@ -82,10 +89,22 @@ std::vector<service::AuditRequest> FleetWorkload::make_requests(
   const pairing::Point& q_cs = verifier_is_cs ? q_verifier : q_attestor;
   const pairing::Point& q_da = verifier_is_cs ? q_attestor : q_verifier;
 
+  // Workload counters: one lookup per round (not per request), so the epoch
+  // snapshot's counter deltas attribute the traffic mix the fleet generated.
+  auto& registry = obs::default_registry();
+  auto& c_requests = registry.counter("fleet.requests");
+  auto& c_blocks = registry.counter("fleet.blocks_signed");
+  auto& c_bad_sig = registry.counter("fleet.behavior.bad_signature");
+  auto& c_stale = registry.counter("fleet.behavior.stale_replay");
+
   std::vector<service::AuditRequest> requests;
   requests.reserve(config_.active_users);
   for (std::size_t i = 0; i < config_.active_users; ++i) {
     const FleetBehavior b = behavior ? behavior(i) : FleetBehavior::kHonest;
+    c_requests.inc();
+    c_blocks.inc(static_cast<std::uint64_t>(config_.blocks_per_request));
+    if (b == FleetBehavior::kBadSignature) c_bad_sig.inc();
+    if (b == FleetBehavior::kStaleReplay) c_stale.inc();
     service::AuditRequest request;
     request.user = handles_[i];
     if (b == FleetBehavior::kStaleReplay) {

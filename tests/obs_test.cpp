@@ -75,6 +75,32 @@ TEST(Histogram, SingleObservationReportsItselfAtEveryQuantile) {
   }
 }
 
+TEST(Histogram, SaturatedFlagMarksOverflowBucketResidents) {
+  // Every sample past the last edge lands in the overflow bucket; the
+  // percentile readout is then a lower bound, and the snapshot must say so
+  // instead of reporting a confidently wrong p99.
+  Histogram h{{10.0, 20.0}};
+  h.observe(5.0);
+  EXPECT_FALSE(h.snapshot().saturated());
+  h.observe(1e9);
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_TRUE(snap.saturated());
+  // The readout stays clamped to the observed max, never past it.
+  EXPECT_LE(snap.percentile(0.99), 1e9);
+  EXPECT_DOUBLE_EQ(snap.percentile(1.0), 1e9);
+  // All-overflow distribution: the bucket interpolates over [min, max] —
+  // finite, inside the observed range — and the flag still raises.
+  Histogram all_over{{1.0}};
+  all_over.observe(50.0);
+  all_over.observe(70.0);
+  const HistogramSnapshot over_snap = all_over.snapshot();
+  EXPECT_TRUE(over_snap.saturated());
+  EXPECT_DOUBLE_EQ(over_snap.percentile(0.50), 60.0);
+  EXPECT_DOUBLE_EQ(over_snap.percentile(1.0), 70.0);
+  EXPECT_GE(over_snap.percentile(0.01), 50.0);
+  EXPECT_EQ(over_snap.counts.back(), 2u);
+}
+
 // --- counters and gauges ---------------------------------------------------
 
 TEST(Counter, ConcurrentIncrementsMatchSerialTotal) {

@@ -332,6 +332,45 @@ TEST_F(ServiceFixture, MetricsFlowThroughTheRegistry) {
   EXPECT_EQ(snap.counters.at("svc.epochs"), 1u);
   EXPECT_EQ(snap.histograms.at("svc.epoch_ms").count, 1u);
   EXPECT_EQ(snap.gauges.at("svc.queue.queue_depth").max, 2);
+  // The backpressure hint is a surfaced gauge, not a buried config knob.
+  EXPECT_EQ(snap.gauges.at("svc.queue.retry_after_epochs").value,
+            static_cast<std::int64_t>(svc.queue().config().retry_after_epochs));
+}
+
+TEST_F(ServiceFixture, AdmissionTotalsAndRetryHintSurviveBackpressure) {
+  obs::MetricsRegistry metrics;
+  ServiceConfig config;
+  config.registry.shards = 2;
+  config.epoch.queue_capacity = 4;
+  config.epoch.retry_after_epochs = 3;
+  config.threads = 1;
+  AuditService svc{g, da, cs, config};
+  svc.bind_metrics(metrics, "svc");
+  FleetWorkload fleet{sio, {.users = 8, .active_users = 8, .blocks_per_request = 1, .seed = 23}};
+  fleet.populate(svc);
+  std::size_t accepted = 0;
+  std::size_t rejected = 0;
+  for (auto& r : fleet.make_requests(svc)) {
+    const auto ticket = svc.submit(std::move(r));
+    if (ticket.accepted) {
+      ++accepted;
+    } else {
+      ++rejected;
+      EXPECT_EQ(ticket.retry_after_epochs, 3u) << "hint attached to the reject";
+    }
+  }
+  EXPECT_EQ(accepted, 4u);
+  EXPECT_EQ(rejected, 4u);
+  EXPECT_EQ(svc.queue().admitted_total(), 4u);
+  EXPECT_EQ(svc.queue().rejected_total(), 4u);
+  const auto snap = metrics.snapshot();
+  EXPECT_EQ(snap.gauges.at("svc.queue.retry_after_epochs").value, 3);
+
+  // The epoch report republishes the hint in its JSON summary.
+  const EpochReport report = svc.run_epoch();
+  EXPECT_EQ(report.retry_after_epochs, 3u);
+  EXPECT_NE(report.to_json().find("\"retry_after_epochs\":3"), std::string::npos)
+      << report.to_json();
 }
 
 TEST_F(ServiceFixture, ConcurrentSubmittersWithEpochDriver) {

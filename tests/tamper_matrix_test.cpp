@@ -21,6 +21,7 @@
 #include "ibc/ibs.h"
 #include "ibc/keys.h"
 #include "pairing/group.h"
+#include "seccloud/service/ledger.h"
 #include "seccloud/service/service.h"
 #include "sim/fleet.h"
 
@@ -322,6 +323,8 @@ TEST(TamperMatrixTest, CrossUserByzantineSignersIsolatedInSharedBatch) {
   CrossUserFixture fx;
   for (const auto& bad : kByzantineUserRows) {
     service::AuditService svc = fx.make_service();
+    service::VerdictLedger ledger;
+    svc.attach_ledger(&ledger);
     sim::FleetWorkload fleet{fx.sio,
                              {.users = kFleetUsers,
                               .active_users = kFleetUsers,
@@ -372,6 +375,40 @@ TEST(TamperMatrixTest, CrossUserByzantineSignersIsolatedInSharedBatch) {
       EXPECT_LT(report.bisection.oracle_calls, n)
           << "bisection must beat per-entry re-verification";
     }
+
+    // Forensics: every isolated Byzantine user must be attributable from
+    // the ledger BYTES alone — user, epoch, batch, and a bisection path
+    // that actually descends to the flagged entry. No report, no registry.
+    const service::LedgerReplay forensics = service::replay_ledger(ledger.bytes());
+    EXPECT_FALSE(forensics.torn_tail);
+    EXPECT_EQ(forensics.malformed_payloads, 0u);
+    ASSERT_EQ(forensics.entries.size(), n) << "one record per audited entry";
+    std::vector<service::UserHandle> flagged;
+    for (const auto& entry : forensics.entries) {
+      if (entry.verdict == service::LedgerVerdict::kVerified) continue;
+      ASSERT_EQ(entry.verdict, service::LedgerVerdict::kInvalidSignature);
+      flagged.push_back(entry.user);
+      EXPECT_EQ(entry.epoch, report.epoch);
+      EXPECT_EQ(entry.batch, 0u) << "the one shared batch";
+      EXPECT_EQ(entry.block_index, 0u);
+      // The recorded descent must land exactly on the flagged entry's slot.
+      std::size_t lo = 0;
+      std::size_t hi = n;
+      for (std::uint8_t level = 0; level < entry.isolation_depth; ++level) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        if ((entry.isolation_path >> level & 1u) != 0) {
+          lo = mid;
+        } else {
+          hi = mid;
+        }
+      }
+      EXPECT_EQ(lo, entry.entry_in_batch) << "path must isolate the entry";
+      EXPECT_EQ(hi, lo + 1) << "path must descend to a single entry";
+      EXPECT_EQ(entry.batch_pairings, 2 + report.bisection.oracle_calls);
+    }
+    std::sort(flagged.begin(), flagged.end());
+    EXPECT_EQ(flagged, expected_users)
+        << "the ledger attributes exactly the Byzantine users";
   }
 }
 

@@ -25,6 +25,13 @@ non-negative ts (and non-negative dur for 'X' events), and per tid the 'X'
 spans must nest properly — a child span must lie entirely inside its parent,
 never straddling its parent's end.
 
+Every TEL_*.bin / LEDGER_*.bin telemetry stream (the checksummed append-only
+records from TelemetrySink / VerdictLedger) is replayed with the teldump
+parser: the stream must end cleanly (no torn tail — the bench exited
+normally, so a torn tail means a writer bug), hold at least one record,
+carry dense sequence numbers, and its epoch-snapshot ids must be strictly
+increasing. Ledger payloads must all decode.
+
 Exits nonzero, listing every failure, if anything is wrong — CI runs this
 after the bench smoke pass.
 """
@@ -32,6 +39,9 @@ after the bench smoke pass.
 import json
 import pathlib
 import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+import teldump  # noqa: E402  (sibling module, same tools/ directory)
 
 
 def check_histogram(name: str, hist: dict, errors: list) -> None:
@@ -52,6 +62,14 @@ def check_histogram(name: str, hist: dict, errors: list) -> None:
     for q in ("p50", "p95", "p99"):
         if q not in hist:
             errors.append(f"histogram {name}: missing {q}")
+    saturated = hist.get("saturated")
+    if not isinstance(saturated, bool):
+        errors.append(f"histogram {name}: missing boolean 'saturated' flag")
+    elif saturated != (bool(counts) and counts[-1] > 0):
+        errors.append(
+            f"histogram {name}: saturated={saturated} contradicts the "
+            f"overflow bucket count {counts[-1] if counts else 0}"
+        )
 
 
 def check_service_bench(doc: dict, errors: list) -> None:
@@ -144,6 +162,42 @@ def check_file(path: pathlib.Path) -> list:
     return errors
 
 
+def check_stream(path: pathlib.Path) -> list:
+    """TEL_*.bin / LEDGER_*.bin schema: checksum-verified clean tail, at
+    least one record, dense sequence numbers, strictly increasing epoch ids
+    in the snapshots, and decodable ledger payloads. The bench writes these
+    after every epoch completes, so a torn tail here is a writer bug, not a
+    crash artefact."""
+    errors = []
+    try:
+        data = path.read_bytes()
+    except OSError as exc:
+        return [f"unreadable: {exc}"]
+    records, torn, clean = teldump.replay(data)
+    if torn:
+        errors.append(
+            f"torn tail: only {clean}/{len(data)} bytes replay cleanly "
+            f"({len(records)} intact records)"
+        )
+    if not records:
+        errors.append("no intact records")
+    # split_records appends dense-seq / epoch-monotonicity / payload-decode
+    # failures straight into `errors` with the path prefix already applied by
+    # our caller's formatting, so strip its own prefix for consistency.
+    stream_errors = []
+    teldump.split_records(records, path, stream_errors)
+    errors += [e.removeprefix(f"{path}: ") for e in stream_errors]
+    for i, record in enumerate(records):
+        if record.seq != i:
+            errors.append(f"record #{i} has seq {record.seq} (not dense)")
+            break
+    if path.name.startswith("LEDGER_"):
+        non_ledger = sum(1 for r in records if r.type != teldump.TYPE_LEDGER_ENTRY)
+        if non_ledger:
+            errors.append(f"{non_ledger} non-ledger records in a LEDGER_ stream")
+    return errors
+
+
 def check_trace(path: pathlib.Path) -> list:
     errors = []
     try:
@@ -203,10 +257,12 @@ def main() -> int:
         print(f"error: no BENCH_*.json files found under {root}", file=sys.stderr)
         return 1
     trace_files = sorted(root.glob("TRACE_*.json"))
+    stream_files = sorted(root.glob("TEL_*.bin")) + sorted(root.glob("LEDGER_*.bin"))
 
     failed = 0
     checks = [(path, check_file) for path in bench_files]
     checks += [(path, check_trace) for path in trace_files]
+    checks += [(path, check_stream) for path in stream_files]
     for path, checker in checks:
         errors = checker(path)
         if errors:
@@ -222,7 +278,8 @@ def main() -> int:
               file=sys.stderr)
         return 1
     print(f"\nall {total} telemetry files valid "
-          f"({len(bench_files)} bench, {len(trace_files)} trace)")
+          f"({len(bench_files)} bench, {len(trace_files)} trace, "
+          f"{len(stream_files)} stream)")
     return 0
 
 

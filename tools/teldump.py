@@ -1,0 +1,460 @@
+#!/usr/bin/env python3
+"""Render SecCloud telemetry streams (TEL_*.bin / LEDGER_*.bin) for humans.
+
+The audit service's TelemetrySink and VerdictLedger append checksummed,
+length-prefixed records (magic 'ST', 16-byte header, truncated-SHA-256
+trailer — the PR-4 journal framing with its own magic). This tool replays a
+stream and renders:
+
+  * a per-epoch markdown (or CSV with --csv) timeline: throughput, rejects,
+    batches, pairings/batch, bisection, queue pressure, latency;
+  * an ASCII shard heat-map (occupancy + probe pressure per registry shard)
+    from the final snapshot;
+  * the SLO alert transitions in stream order;
+  * for ledger streams, a verdict summary and the full attribution table of
+    every non-verified entry (user, epoch, batch, bisection path, pairing
+    cost) — the "why was user U flagged?" answer, from the bytes alone.
+
+Replay is prefix-tolerant: a torn tail is reported (and, by default, fails
+the run — pass --allow-torn to accept the intact prefix). Any checksum
+mismatch mid-stream truncates there, exactly like the C++ replay.
+
+Usage:
+  teldump.py TEL_service_steady_state.bin [LEDGER_service_steady_state.bin]
+  teldump.py --csv TEL_*.bin          # CSV timeline instead of markdown
+  teldump.py --out report.md TEL_*.bin
+  teldump.py --self-test              # synthetic round-trip + torn-tail check
+
+Exits nonzero on unreadable streams, torn tails (without --allow-torn),
+non-monotone epoch ids, or malformed payloads — CI runs it over the bench
+artifacts.
+"""
+
+import argparse
+import hashlib
+import json
+import pathlib
+import struct
+import sys
+
+MAGIC = b"ST"
+VERSION = 1
+HEADER = struct.Struct("<2sBBIII")  # magic, version, type, stream, seq, len
+CHECKSUM_BYTES = 8
+
+TYPE_EPOCH_SNAPSHOT = 1
+TYPE_SLO_ALERT = 2
+TYPE_LEDGER_ENTRY = 3
+TYPE_NAMES = {
+    TYPE_EPOCH_SNAPSHOT: "epoch-snapshot",
+    TYPE_SLO_ALERT: "slo-alert",
+    TYPE_LEDGER_ENTRY: "ledger-entry",
+}
+
+LEDGER_PAYLOAD = struct.Struct("<QQQIIIIBBHIQ")  # 56 bytes
+VERDICT_NAMES = {
+    1: "verified",
+    2: "invalid-signature",
+    3: "stale-replay",
+    4: "unkeyed",
+    5: "attestation-failed",
+}
+NO_BATCH = 0xFFFFFFFF
+
+
+class Record:
+    __slots__ = ("type", "stream_id", "seq", "payload")
+
+    def __init__(self, rtype, stream_id, seq, payload):
+        self.type = rtype
+        self.stream_id = stream_id
+        self.seq = seq
+        self.payload = payload
+
+
+def replay(data: bytes):
+    """Mirror of obs::replay_telemetry: every intact record in order, then
+    (records, torn_tail, clean_bytes)."""
+    records = []
+    pos = 0
+    torn = False
+    while pos < len(data):
+        if len(data) - pos < HEADER.size + CHECKSUM_BYTES:
+            torn = True
+            break
+        magic, version, rtype, stream_id, seq, length = HEADER.unpack_from(data, pos)
+        if magic != MAGIC or version != VERSION or rtype not in TYPE_NAMES:
+            torn = True
+            break
+        total = HEADER.size + length + CHECKSUM_BYTES
+        if len(data) - pos < total:
+            torn = True
+            break
+        body = data[pos : pos + HEADER.size + length]
+        checksum = data[pos + HEADER.size + length : pos + total]
+        if hashlib.sha256(body).digest()[:CHECKSUM_BYTES] != checksum:
+            torn = True
+            break
+        records.append(Record(rtype, stream_id, seq,
+                              data[pos + HEADER.size : pos + HEADER.size + length]))
+        pos += total
+    return records, torn, pos
+
+
+def decode_ledger_entry(payload: bytes):
+    """Mirror of service::decode_ledger_entry; None on a malformed payload."""
+    if len(payload) != LEDGER_PAYLOAD.size:
+        return None
+    (epoch, user, version, batch, request_index, block_index, entry_in_batch,
+     verdict, isolation_depth, _reserved, isolation_path,
+     batch_pairings) = LEDGER_PAYLOAD.unpack(payload)
+    if verdict not in VERDICT_NAMES:
+        return None
+    return {
+        "epoch": epoch,
+        "user": user,
+        "version": version,
+        "batch": batch,
+        "request_index": request_index,
+        "block_index": block_index,
+        "entry_in_batch": entry_in_batch,
+        "verdict": VERDICT_NAMES[verdict],
+        "isolation_depth": isolation_depth,
+        "isolation_path": isolation_path,
+        "batch_pairings": batch_pairings,
+    }
+
+
+def isolation_path_str(depth: int, bits: int) -> str:
+    """Root-to-leaf descent, L = left half, R = right half."""
+    if depth == 0:
+        return "-"
+    return "".join("R" if bits >> level & 1 else "L" for level in range(depth))
+
+
+def parse_stream(path: pathlib.Path, allow_torn: bool, errors: list):
+    try:
+        data = path.read_bytes()
+    except OSError as exc:
+        errors.append(f"{path}: unreadable: {exc}")
+        return []
+    records, torn, clean = replay(data)
+    if torn and not allow_torn:
+        errors.append(
+            f"{path}: torn tail after {clean}/{len(data)} bytes "
+            f"({len(records)} intact records) — pass --allow-torn to accept"
+        )
+    if not records:
+        errors.append(f"{path}: no intact records")
+    for i, record in enumerate(records):
+        if record.seq != i:
+            errors.append(f"{path}: record #{i} has seq {record.seq} (not dense)")
+            break
+    return records
+
+
+def split_records(records, path, errors):
+    snapshots, alerts, ledger = [], [], []
+    for record in records:
+        if record.type == TYPE_EPOCH_SNAPSHOT:
+            try:
+                snapshots.append(json.loads(record.payload.decode()))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                errors.append(f"{path}: snapshot seq {record.seq}: bad JSON: {exc}")
+        elif record.type == TYPE_SLO_ALERT:
+            try:
+                alerts.append(json.loads(record.payload.decode()))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                errors.append(f"{path}: alert seq {record.seq}: bad JSON: {exc}")
+        elif record.type == TYPE_LEDGER_ENTRY:
+            entry = decode_ledger_entry(record.payload)
+            if entry is None:
+                errors.append(f"{path}: ledger seq {record.seq}: malformed payload")
+            else:
+                ledger.append(entry)
+    epochs = [snap.get("epoch", 0) for snap in snapshots]
+    if epochs != sorted(epochs) or len(set(epochs)) != len(epochs):
+        errors.append(f"{path}: snapshot epoch ids not strictly increasing: {epochs}")
+    return snapshots, alerts, ledger
+
+
+TIMELINE_COLUMNS = [
+    ("epoch", "epoch", "d"),
+    ("requests", "requests", "d"),
+    ("verified", "verified_requests", "d"),
+    ("failed", "failed_requests", "d"),
+    ("stale", "stale_rejected", "d"),
+    ("unkeyed", "unkeyed_rejected", "d"),
+    ("entries", "entries", "d"),
+    ("batches", "batches", "d"),
+    ("pair/batch", "pairings_per_batch", ".2f"),
+    ("bisect", "bisection_oracle_calls", "d"),
+    ("byz", "byzantine_users", "d"),
+    ("q.depth", "queue_depth_at_drain", "d"),
+    ("q.rej", "queue_rejected", "d"),
+    ("epoch ms", "epoch_ms", ".2f"),
+    ("tel ms", "telemetry_ms", ".3f"),
+]
+
+
+def render_timeline_md(snapshots, out):
+    out.append("## Epoch timeline")
+    out.append("")
+    header = " | ".join(name for name, _, _ in TIMELINE_COLUMNS)
+    out.append(f"| {header} |")
+    out.append("|" + "|".join(["---"] * len(TIMELINE_COLUMNS)) + "|")
+    for snap in snapshots:
+        cells = []
+        for _, key, fmt in TIMELINE_COLUMNS:
+            value = snap.get(key, 0)
+            cells.append(format(int(value) if fmt == "d" else float(value), fmt))
+        out.append("| " + " | ".join(cells) + " |")
+    out.append("")
+
+
+def render_timeline_csv(snapshots, out):
+    out.append(",".join(key for _, key, _ in TIMELINE_COLUMNS))
+    for snap in snapshots:
+        out.append(",".join(str(snap.get(key, 0)) for _, key, _ in TIMELINE_COLUMNS))
+
+
+HEAT_GLYPHS = " .:-=+*#%@"
+
+
+def render_shard_heatmap(snapshots, out):
+    """Occupancy heat-map from the final snapshot: one glyph per shard,
+    scaled against the busiest shard, 64 shards per row; plus the probe
+    pressure leaders."""
+    if not snapshots or not snapshots[-1].get("shards"):
+        return
+    shards = snapshots[-1]["shards"]
+    peak = max(shard.get("users", 0) for shard in shards) or 1
+    out.append(f"## Shard heat-map ({len(shards)} shards, final snapshot)")
+    out.append("")
+    out.append(f"glyph = shard occupancy / busiest shard ({peak} users): "
+               f"'{HEAT_GLYPHS[1]}' low .. '{HEAT_GLYPHS[-1]}' high")
+    out.append("")
+    out.append("```")
+    for row_start in range(0, len(shards), 64):
+        row = shards[row_start : row_start + 64]
+        glyphs = []
+        for shard in row:
+            users = shard.get("users", 0)
+            index = 0 if users == 0 else 1 + (len(HEAT_GLYPHS) - 2) * users // peak
+            glyphs.append(HEAT_GLYPHS[min(index, len(HEAT_GLYPHS) - 1)])
+        out.append(f"{row_start:6d} {''.join(glyphs)}")
+    out.append("```")
+    out.append("")
+    ranked = sorted(enumerate(shards), key=lambda kv: -kv[1].get("probe_max", 0))[:5]
+    out.append("| shard | users | keyed | table slots | probe max | probe avg |")
+    out.append("|---|---|---|---|---|---|")
+    for index, shard in ranked:
+        users = shard.get("users", 0) or 1
+        out.append(
+            f"| {index} | {shard.get('users', 0)} | {shard.get('keyed', 0)} "
+            f"| {shard.get('table_slots', 0)} | {shard.get('probe_max', 0)} "
+            f"| {shard.get('probe_total', 0) / users:.2f} |"
+        )
+    out.append("")
+
+
+def render_alerts(alerts, out):
+    if not alerts:
+        return
+    out.append("## SLO alerts")
+    out.append("")
+    for alert in alerts:
+        state = "FIRING" if alert.get("firing") else "resolved"
+        out.append(
+            f"- epoch {alert.get('epoch', 0)}: **{alert.get('slo', '?')}** {state} "
+            f"(burn {alert.get('burn', 0.0):.2f}x over a "
+            f"{alert.get('window_epochs', 0)}-epoch window)"
+        )
+    out.append("")
+
+
+def render_ledger(ledger, out):
+    if not ledger:
+        return
+    tally = {}
+    for entry in ledger:
+        tally[entry["verdict"]] = tally.get(entry["verdict"], 0) + 1
+    out.append("## Verdict ledger")
+    out.append("")
+    out.append(f"{len(ledger)} records: " +
+               ", ".join(f"{count} {verdict}" for verdict, count in sorted(tally.items())))
+    out.append("")
+    flagged = [entry for entry in ledger if entry["verdict"] != "verified"]
+    if not flagged:
+        out.append("No non-verified entries — nothing to attribute.")
+        out.append("")
+        return
+    out.append("### Attribution (every non-verified entry)")
+    out.append("")
+    out.append("| epoch | user | version | batch | entry | verdict | "
+               "isolation path | batch pairings |")
+    out.append("|---|---|---|---|---|---|---|---|")
+    for entry in flagged:
+        batch = "-" if entry["batch"] == NO_BATCH else str(entry["batch"])
+        out.append(
+            f"| {entry['epoch']} | {entry['user']} | {entry['version']} | {batch} "
+            f"| {entry['entry_in_batch']} | {entry['verdict']} "
+            f"| {isolation_path_str(entry['isolation_depth'], entry['isolation_path'])} "
+            f"| {entry['batch_pairings']} |"
+        )
+    out.append("")
+
+
+def self_test() -> int:
+    """Synthetic round-trip: build a stream the way the C++ writers do,
+    render it, then verify torn-tail and corruption handling."""
+
+    def frame(rtype, stream_id, seq, payload):
+        body = HEADER.pack(MAGIC, VERSION, rtype, stream_id, seq, len(payload)) + payload
+        return body + hashlib.sha256(body).digest()[:CHECKSUM_BYTES]
+
+    snapshots = []
+    for epoch in range(3):
+        snapshots.append({
+            "epoch": epoch, "epoch_ms": 10.0 + epoch, "telemetry_ms": 0.05,
+            "requests": 8, "stale_rejected": 0, "unkeyed_rejected": 0,
+            "entries": 16, "batches": 2, "verified_requests": 8,
+            "failed_requests": 0, "byzantine_users": 0,
+            "assembly_pairings": 2, "verify_pairings": 4,
+            "pairings_per_batch": 2.0, "bisection_oracle_calls": 0,
+            "bisection_max_depth": 0, "queue_depth_at_drain": 8,
+            "queue_admitted": 8, "queue_rejected": 4 if epoch == 0 else 0,
+            "retry_after_epochs": 1,
+            "shards": [{"users": 4 * (index + 1), "keyed": 2, "table_slots": 64,
+                        "probe_max": index, "probe_total": 2 * index}
+                       for index in range(4)],
+            "counter_deltas": {"service.epochs": 1},
+        })
+    alert = {"slo": "admission_rejects", "epoch": 0, "firing": True,
+             "burn": 10.0, "window_epochs": 2}
+    stream = b"".join(
+        [frame(TYPE_EPOCH_SNAPSHOT, 7, 0, json.dumps(snapshots[0]).encode()),
+         frame(TYPE_SLO_ALERT, 7, 1, json.dumps(alert).encode())] +
+        [frame(TYPE_EPOCH_SNAPSHOT, 7, 2 + i, json.dumps(s).encode())
+         for i, s in enumerate(snapshots[1:])])
+
+    ledger_entries = [
+        LEDGER_PAYLOAD.pack(0, 42, 7, 1, 3, 0, 5, 2, 3, 0, 0b101, 9),
+        LEDGER_PAYLOAD.pack(0, 43, 7, NO_BATCH, 4, 0, 0, 3, 0, 0, 0, 0),
+        LEDGER_PAYLOAD.pack(1, 44, 8, 0, 0, 1, 1, 1, 0, 0, 0, 2),
+    ]
+    ledger_stream = b"".join(frame(TYPE_LEDGER_ENTRY, 7, seq, payload)
+                             for seq, payload in enumerate(ledger_entries))
+
+    failures = []
+
+    records, torn, clean = replay(stream)
+    if torn or len(records) != 4 or clean != len(stream):
+        failures.append(f"clean replay: torn={torn} records={len(records)}")
+    errors = []
+    snaps, alerts, _ = split_records(records, pathlib.Path("<self-test>"), errors)
+    if errors or len(snaps) != 3 or len(alerts) != 1:
+        failures.append(f"split: errors={errors} snaps={len(snaps)} alerts={len(alerts)}")
+
+    out = []
+    render_timeline_md(snaps, out)
+    render_shard_heatmap(snaps, out)
+    render_alerts(alerts, out)
+    if not any("| 2 |" in line for line in out):
+        failures.append("timeline render lost the final epoch")
+
+    lrecords, ltorn, _ = replay(ledger_stream)
+    errors = []
+    _, _, lentries = split_records(lrecords, pathlib.Path("<self-test>"), errors)
+    if ltorn or errors or len(lentries) != 3:
+        failures.append(f"ledger replay: torn={ltorn} errors={errors}")
+    else:
+        flagged = [e for e in lentries if e["verdict"] != "verified"]
+        if len(flagged) != 2 or flagged[0]["user"] != 42:
+            failures.append(f"ledger attribution: {flagged}")
+        if isolation_path_str(3, 0b101) != "RLR":
+            failures.append("isolation path rendering")
+
+    # Every truncation point must yield an intact prefix, never an error.
+    for cut in range(len(stream)):
+        records, torn, clean = replay(stream[:cut])
+        if clean > cut:
+            failures.append(f"truncation at {cut}: clean={clean} > cut")
+            break
+        if not torn and cut != clean:
+            failures.append(f"truncation at {cut}: not reported as torn")
+            break
+
+    # A flipped byte anywhere in a record kills that record and the rest.
+    corrupt = bytearray(stream)
+    corrupt[len(stream) // 2] ^= 0x01
+    records, torn, _ = replay(bytes(corrupt))
+    if not torn and len(records) == 4:
+        failures.append("corruption not detected")
+
+    if failures:
+        for failure in failures:
+            print(f"self-test FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("teldump self-test ok")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("streams", nargs="*", type=pathlib.Path,
+                        help="TEL_*.bin / LEDGER_*.bin streams to render")
+    parser.add_argument("--csv", action="store_true",
+                        help="emit the timeline as CSV instead of markdown")
+    parser.add_argument("--out", type=pathlib.Path,
+                        help="write the report here instead of stdout")
+    parser.add_argument("--allow-torn", action="store_true",
+                        help="accept a torn tail (render the intact prefix)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the synthetic round-trip checks and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.streams:
+        parser.error("no streams given (and --self-test not requested)")
+
+    errors = []
+    snapshots, alerts, ledger = [], [], []
+    for path in args.streams:
+        records = parse_stream(path, args.allow_torn, errors)
+        snaps, alrts, lentries = split_records(records, path, errors)
+        snapshots += snaps
+        alerts += alrts
+        ledger += lentries
+
+    out = []
+    if args.csv:
+        render_timeline_csv(snapshots, out)
+    else:
+        out.append("# SecCloud telemetry report")
+        out.append("")
+        out.append(f"Sources: {', '.join(str(p) for p in args.streams)}")
+        out.append("")
+        if snapshots:
+            render_timeline_md(snapshots, out)
+            render_shard_heatmap(snapshots, out)
+        render_alerts(alerts, out)
+        render_ledger(ledger, out)
+
+    report = "\n".join(out) + "\n"
+    if args.out:
+        args.out.write_text(report)
+        print(f"wrote {args.out} ({len(out)} lines)")
+    else:
+        sys.stdout.write(report)
+
+    if errors:
+        for error in errors:
+            print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
