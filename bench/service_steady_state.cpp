@@ -30,6 +30,7 @@
 #include "bench_support.h"
 #include "bigint/rng.h"
 #include "ibc/keys.h"
+#include "obs/journey.h"
 #include "obs/metrics.h"
 #include "obs/slo.h"
 #include "obs/telemetry.h"
@@ -58,6 +59,9 @@ struct SweepPoint {
   double epoch_ms_total = 0.0;
   double telemetry_ms_total = 0.0;
   std::size_t slo_alerts = 0;
+  /// The attribution of the worst epoch (largest p99 end-to-end) — where the
+  /// tail request actually spent its time. Zeroed without a journey recorder.
+  obs::JourneyAttribution worst_attribution;
 };
 
 /// Everything the telemetry pipeline needs at the sustained scale; nullptr
@@ -66,6 +70,7 @@ struct Telemetry {
   seccloud::obs::TelemetrySink* sink = nullptr;
   service::VerdictLedger* ledger = nullptr;
   seccloud::obs::SloTracker* slo = nullptr;
+  seccloud::obs::JourneyRecorder* journeys = nullptr;
 };
 
 /// p99 over a small sample = worst observation (8 epochs: index 7.92 -> max).
@@ -87,6 +92,7 @@ SweepPoint run_scale(const pairing::PairingGroup& g, const ibc::Sio& sio,
   if (bind_service_metrics) svc.bind_metrics(obs::default_registry(), "service");
   svc.attach_telemetry(tel.sink);
   svc.attach_ledger(tel.ledger);
+  svc.attach_journeys(tel.journeys);
 
   sim::FleetWorkload fleet{sio,
                            {.users = users,
@@ -130,6 +136,10 @@ SweepPoint run_scale(const pairing::PairingGroup& g, const ibc::Sio& sio,
     point.verify_pairings += report.verify_ops.pairings;
     point.epoch_ms_total += report.epoch_ms;
     point.telemetry_ms_total += report.telemetry_ms;
+    if (report.attribution.p99_end_to_end_us >
+        point.worst_attribution.p99_end_to_end_us) {
+      point.worst_attribution = report.attribution;
+    }
     if (report.failed_requests != 0 || !report.byzantine_users.empty()) std::abort();
 
     // SLO evidence for this epoch; fire/resolve transitions append to the
@@ -191,6 +201,11 @@ int main() {
   // Telemetry pipeline state for the sustained (largest) scale.
   obs::TelemetrySink sink{obs::default_registry(), {.ring_capacity = 64}};
   service::VerdictLedger ledger;
+  // Journey recorder with the default deterministic sampling policy: every
+  // rejected/bisected request plus the slowest of each epoch is kept, the
+  // rest pass the seeded 1-in-16 coin — so journey_records is replayable and
+  // pinned exactly in thresholds.json.
+  obs::JourneyRecorder journeys{{.ring_capacity = 4096, .stream_id = 1}};
   obs::SloTracker slo;
   // The epoch-0 backpressure probe doubles the submission wave, so the
   // reject objective burns 0.5/0.05 = 10x budget and deterministically
@@ -212,17 +227,19 @@ int main() {
   double bind_epoch_ms = 0.0;
   double bind_telemetry_ms = 0.0;
   std::size_t slo_alerts = 0;
+  obs::JourneyAttribution tail;
   for (const std::size_t users : scales) {
     // The largest (sustained) scale publishes the service.* metrics tree
-    // and runs the snapshot/ledger/SLO pipeline.
+    // and runs the snapshot/ledger/SLO/journey pipeline.
     const bool bind = users == scales.back();
     const SweepPoint p =
         run_scale(g, sio, da, cs, users, active, blocks, epochs, bind,
-                  bind ? Telemetry{&sink, &ledger, &slo} : Telemetry{});
+                  bind ? Telemetry{&sink, &ledger, &slo, &journeys} : Telemetry{});
     if (bind) {
       bind_epoch_ms = p.epoch_ms_total;
       bind_telemetry_ms = p.telemetry_ms_total;
       slo_alerts = p.slo_alerts;
+      tail = p.worst_attribution;
     }
     total_pairings += p.verify_pairings;
     total_batches += p.batches;
@@ -265,13 +282,19 @@ int main() {
     out.write(reinterpret_cast<const char*>(ledger.bytes().data()),
               static_cast<std::streamsize>(ledger.bytes().size()));
   }
+  {
+    std::ofstream out{"JOURNEY_service_steady_state.bin", std::ios::binary};
+    out.write(reinterpret_cast<const char*>(journeys.stream().data()),
+              static_cast<std::streamsize>(journeys.stream().size()));
+  }
   const double overhead_pct =
       bind_epoch_ms > 0.0 ? 100.0 * bind_telemetry_ms / bind_epoch_ms : 0.0;
   std::printf(
       "[bench] wrote TEL_service_steady_state.bin (%zu records), "
-      "LEDGER_service_steady_state.bin (%zu records) | telemetry overhead %.3f%% of "
+      "LEDGER_service_steady_state.bin (%zu records), "
+      "JOURNEY_service_steady_state.bin (%zu records) | telemetry overhead %.3f%% of "
       "epoch time\n",
-      sink.records(), ledger.records(), overhead_pct);
+      sink.records(), ledger.records(), journeys.records(), overhead_pct);
   // Overhead gate: in the full sweep (epochs are hundreds of ms of pairing
   // work) the snapshot+ledger pipeline must stay under 2% of epoch wall
   // time. Smoke epochs are a few ms, so a relative bound is meaningless
@@ -285,13 +308,34 @@ int main() {
   bench.value("users_peak", static_cast<double>(scales.back()));
   bench.value("tel_records", static_cast<double>(sink.records()));
   bench.value("ledger_records", static_cast<double>(ledger.records()));
+  bench.value("journey_records", static_cast<double>(journeys.records()));
   bench.value("slo_alerts", static_cast<double>(slo_alerts));
   bench.value("telemetry_overhead_pct", overhead_pct);
+  // Critical-path attribution of the worst epoch's p99 journey: which stage
+  // the tail request spent its time in, as a percentage of its end-to-end.
+  // Timing-derived, so gated warn-only (service_steady_state:values.p99_attribution_*).
+  for (std::size_t s = 0; s < obs::kJourneyStageCount; ++s) {
+    bench.value(std::string{"p99_attribution_"} +
+                    obs::to_string(static_cast<obs::JourneyStage>(s)) + "_pct",
+                100.0 * tail.p99_share[s]);
+  }
   bench.note("sweep", bench::smoke_mode() ? "smoke" : (xl_mode() ? "full+xl" : "full"));
   bench.note("invariant", "verify pairings == 2 x batches on honest traffic");
-  bench.note("telemetry", "TEL_/LEDGER_ streams from the sustained scale; see tools/teldump.py");
-  char headline[64];
-  std::snprintf(headline, sizeof headline, "pairings/batch=%.2f", pairings_per_batch);
+  bench.note("telemetry",
+             "TEL_/LEDGER_/JOURNEY_ streams from the sustained scale; see tools/teldump.py");
+  // The tail-attribution headline: where the worst epoch's p99 request spent
+  // its time. "queue" folds the enqueue+admit stages (pre-batch waiting).
+  const double queue_pct =
+      100.0 * (tail.p99_share[0] + tail.p99_share[1]);
+  const double verify_pct =
+      100.0 * tail.p99_share[static_cast<std::size_t>(obs::JourneyStage::kVerify)];
+  const double bisect_pct =
+      100.0 * tail.p99_share[static_cast<std::size_t>(obs::JourneyStage::kBisect)];
+  char headline[96];
+  std::snprintf(headline, sizeof headline,
+                "p99=%.0fms [queue %.0f%% verify %.0f%% bisect %.0f%%]",
+                static_cast<double>(tail.p99_end_to_end_us) / 1000.0, queue_pct,
+                verify_pct, bisect_pct);
   bench.headline(headline);
   return bench.finish();
 }

@@ -356,6 +356,18 @@ std::string metrics_to_json(const MetricsSnapshot& snapshot) {
     w.key("counts").begin_array();
     for (const std::uint64_t c : hist.counts) w.value(c);
     w.end_array();
+    if (!hist.exemplars.empty()) {
+      w.key("exemplars").begin_array();
+      for (const HistogramExemplar& e : hist.exemplars) {
+        w.begin_object();
+        w.key("bucket").value(e.bucket);
+        w.key("value").value(e.value);
+        w.key("request_id").value(e.request_id);
+        w.key("epoch").value(e.epoch);
+        w.end_object();
+      }
+      w.end_array();
+    }
     w.end_object();
   }
   w.end_object();
@@ -410,6 +422,23 @@ std::optional<MetricsSnapshot> metrics_from_json(std::string_view json) {
         hist.counts.push_back(static_cast<std::uint64_t>(c.number));
       }
       if (hist.counts.size() != hist.edges.size() + 1) return std::nullopt;
+      if (const JsonValue* exemplars = v.find("exemplars")) {
+        if (!exemplars->is_array()) return std::nullopt;
+        for (const JsonValue& e : exemplars->array) {
+          const JsonValue* bucket = e.find("bucket");
+          const JsonValue* value = e.find("value");
+          const JsonValue* request_id = e.find("request_id");
+          const JsonValue* epoch = e.find("epoch");
+          if (bucket == nullptr || value == nullptr || request_id == nullptr ||
+              epoch == nullptr) {
+            return std::nullopt;
+          }
+          hist.exemplars.push_back(HistogramExemplar{
+              static_cast<std::uint64_t>(bucket->number), value->number,
+              static_cast<std::uint64_t>(request_id->number),
+              static_cast<std::uint64_t>(epoch->number)});
+        }
+      }
       snap.histograms[name] = std::move(hist);
     }
   }

@@ -77,7 +77,21 @@ void atomic_max(std::atomic<double>& a, double v) noexcept {
   }
 }
 
+struct ExemplarContext {
+  std::uint64_t request_id = 0;
+  std::uint64_t epoch = 0;
+  bool active = false;
+};
+
+thread_local ExemplarContext t_exemplar_context;
+
 }  // namespace
+
+void set_exemplar_context(std::uint64_t request_id, std::uint64_t epoch) noexcept {
+  t_exemplar_context = ExemplarContext{request_id, epoch, true};
+}
+
+void clear_exemplar_context() noexcept { t_exemplar_context.active = false; }
 
 Histogram::Histogram(std::vector<double> edges) : edges_(std::move(edges)) {
   if (edges_.empty()) throw std::invalid_argument("Histogram: no bucket edges");
@@ -88,10 +102,32 @@ Histogram::Histogram(std::vector<double> edges) : edges_(std::move(edges)) {
   counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(edges_.size() + 1);
 }
 
+void Histogram::enable_exemplars() {
+  if (exemplars_enabled()) return;
+  std::lock_guard<std::mutex> lock(exemplar_init_m_);
+  if (exemplars_enabled()) return;
+  exemplar_storage_ = std::make_unique<ExemplarSlot[]>(edges_.size() + 1);
+  exemplars_.store(exemplar_storage_.get(), std::memory_order_release);
+}
+
 void Histogram::observe(double x) noexcept {
   const auto it = std::lower_bound(edges_.begin(), edges_.end(), x);
   const auto bucket = static_cast<std::size_t>(it - edges_.begin());
   counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  if (ExemplarSlot* slots = exemplars_.load(std::memory_order_acquire);
+      slots != nullptr && t_exemplar_context.active) {
+    ExemplarSlot& slot = slots[bucket];
+    // Seqlock write: CAS the even version odd; losing the race just skips
+    // (last-writer-wins breadcrumbs, never a spin on the hot path).
+    std::uint32_t v = slot.version.load(std::memory_order_relaxed);
+    if ((v & 1u) == 0 &&
+        slot.version.compare_exchange_strong(v, v + 1, std::memory_order_acquire)) {
+      slot.value.store(x, std::memory_order_relaxed);
+      slot.request_id.store(t_exemplar_context.request_id, std::memory_order_relaxed);
+      slot.epoch.store(t_exemplar_context.epoch, std::memory_order_relaxed);
+      slot.version.store(v + 2, std::memory_order_release);
+    }
+  }
   // First observation seeds min/max (count_ goes 0 → 1 exactly once; a
   // racing second observer may briefly see min 0.0, folded out by the
   // explicit min/max below because the seed is an observed value too).
@@ -115,6 +151,20 @@ HistogramSnapshot Histogram::snapshot() const {
   snap.sum = sum_.load(std::memory_order_relaxed);
   snap.min = min_.load(std::memory_order_relaxed);
   snap.max = max_.load(std::memory_order_relaxed);
+  if (const ExemplarSlot* slots = exemplars_.load(std::memory_order_acquire)) {
+    for (std::size_t i = 0; i <= edges_.size(); ++i) {
+      const ExemplarSlot& slot = slots[i];
+      const std::uint32_t before = slot.version.load(std::memory_order_acquire);
+      if (before == 0 || (before & 1u) != 0) continue;  // unwritten or mid-write
+      HistogramExemplar exemplar;
+      exemplar.bucket = i;
+      exemplar.value = slot.value.load(std::memory_order_relaxed);
+      exemplar.request_id = slot.request_id.load(std::memory_order_relaxed);
+      exemplar.epoch = slot.epoch.load(std::memory_order_relaxed);
+      if (slot.version.load(std::memory_order_acquire) != before) continue;  // torn read
+      snap.exemplars.push_back(exemplar);
+    }
+  }
   return snap;
 }
 
@@ -126,6 +176,11 @@ void Histogram::reset() noexcept {
   sum_.store(0.0, std::memory_order_relaxed);
   min_.store(0.0, std::memory_order_relaxed);
   max_.store(0.0, std::memory_order_relaxed);
+  if (ExemplarSlot* slots = exemplars_.load(std::memory_order_acquire)) {
+    for (std::size_t i = 0; i <= edges_.size(); ++i) {
+      slots[i].version.store(0, std::memory_order_relaxed);
+    }
+  }
 }
 
 double HistogramSnapshot::percentile(double q) const noexcept {

@@ -91,6 +91,19 @@ struct GaugeValue {
   bool operator==(const GaugeValue&) const = default;
 };
 
+/// One per-bucket exemplar: the most recent observation that landed in the
+/// bucket while an exemplar context (request id + epoch) was active. Links
+/// an aggregate bucket — "something was slow" — to a concrete journey
+/// record that says *what* was slow.
+struct HistogramExemplar {
+  std::uint64_t bucket = 0;  ///< bucket index (edges.size() == overflow)
+  double value = 0.0;        ///< the observed value itself
+  std::uint64_t request_id = 0;
+  std::uint64_t epoch = 0;
+
+  bool operator==(const HistogramExemplar&) const = default;
+};
+
 /// Aggregated view of one histogram: bucket i counts observations in
 /// (edges[i-1], edges[i]] (bucket 0 is (-inf, edges[0]], the last bucket is
 /// the overflow (edges.back(), +inf)).
@@ -101,6 +114,9 @@ struct HistogramSnapshot {
   double sum = 0.0;
   double min = 0.0;
   double max = 0.0;
+  /// Populated buckets' exemplars, ascending bucket index; empty unless the
+  /// histogram had exemplars enabled and contextual observations landed.
+  std::vector<HistogramExemplar> exemplars;
 
   double mean() const noexcept {
     return count == 0 ? 0.0 : sum / static_cast<double>(count);
@@ -115,6 +131,24 @@ struct HistogramSnapshot {
   bool saturated() const noexcept { return !counts.empty() && counts.back() > 0; }
 
   bool operator==(const HistogramSnapshot&) const = default;
+};
+
+/// Thread-local exemplar context: while set, any observe() on an
+/// exemplar-enabled histogram tags the bucket's exemplar slot with this
+/// request id + epoch. Kept thread-local so parallel batch workers each
+/// carry their own request attribution with zero synchronization.
+void set_exemplar_context(std::uint64_t request_id, std::uint64_t epoch) noexcept;
+void clear_exemplar_context() noexcept;
+
+/// RAII guard around set/clear: the common shape at observation sites.
+class ExemplarScope {
+ public:
+  ExemplarScope(std::uint64_t request_id, std::uint64_t epoch) noexcept {
+    set_exemplar_context(request_id, epoch);
+  }
+  ~ExemplarScope() { clear_exemplar_context(); }
+  ExemplarScope(const ExemplarScope&) = delete;
+  ExemplarScope& operator=(const ExemplarScope&) = delete;
 };
 
 /// Fixed-bucket histogram. Bucket edges are immutable after construction;
@@ -132,13 +166,35 @@ class Histogram {
   HistogramSnapshot snapshot() const;
   void reset() noexcept;
 
+  /// Allocates one exemplar slot per bucket (idempotent; safe to race).
+  /// Until enabled, observe() never touches exemplar state — the histogram
+  /// costs exactly what it did before this feature existed.
+  void enable_exemplars();
+  bool exemplars_enabled() const noexcept {
+    return exemplars_.load(std::memory_order_acquire) != nullptr;
+  }
+
  private:
+  /// Per-bucket last-writer-wins slot guarded by a seqlock version counter
+  /// (even = stable, 0 = never written). Writers CAS the version odd, store,
+  /// then publish even; a loser simply skips — exemplars are best-effort
+  /// breadcrumbs, not an audit trail.
+  struct ExemplarSlot {
+    std::atomic<std::uint32_t> version{0};
+    std::atomic<double> value{0.0};
+    std::atomic<std::uint64_t> request_id{0};
+    std::atomic<std::uint64_t> epoch{0};
+  };
+
   std::vector<double> edges_;
   std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;  ///< edges_.size() + 1
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
   std::atomic<double> min_{0.0};
   std::atomic<double> max_{0.0};
+  std::unique_ptr<ExemplarSlot[]> exemplar_storage_;
+  std::atomic<ExemplarSlot*> exemplars_{nullptr};
+  std::mutex exemplar_init_m_;
 };
 
 /// Everything the registry knows at one instant. Maps are ordered so the

@@ -118,17 +118,30 @@ std::string metrics_to_openmetrics(const MetricsSnapshot& snapshot, std::string_
   for (const auto& [raw, hist] : snapshot.histograms) {
     const std::string name = names.resolve(raw);
     emit_header(out, name, raw, "histogram");
+    // Bucket index → exemplar, for the OpenMetrics exemplar suffix on the
+    // bucket's own line (exemplars attach to the bucket the observation
+    // landed in, even though the series itself is cumulative).
+    std::map<std::uint64_t, const HistogramExemplar*> exemplars;
+    for (const HistogramExemplar& e : hist.exemplars) exemplars[e.bucket] = &e;
+    const auto exemplar_suffix = [&exemplars](std::size_t bucket) -> std::string {
+      const auto it = exemplars.find(bucket);
+      if (it == exemplars.end()) return "";
+      const HistogramExemplar& e = *it->second;
+      return " # {request_id=\"" + std::to_string(e.request_id) + "\",epoch=\"" +
+             std::to_string(e.epoch) + "\"} " + format_double(e.value);
+    };
     std::uint64_t cumulative = 0;
     for (std::size_t i = 0; i < hist.edges.size(); ++i) {
       cumulative += i < hist.counts.size() ? hist.counts[i] : 0;
       out += name + "_bucket{le=\"" + format_double(hist.edges[i]) + "\"} " +
-             std::to_string(cumulative) + "\n";
+             std::to_string(cumulative) + exemplar_suffix(i) + "\n";
     }
     // The +Inf cumulative is the total count, so saturation (observations
     // past the last finite edge — HistogramSnapshot::saturated()) shows up
     // as +Inf strictly exceeding the last finite bucket's cumulative; PromQL
     // quantiles over such a series are lower bounds, same as the JSON p99.
-    out += name + "_bucket{le=\"+Inf\"} " + std::to_string(hist.count) + "\n";
+    out += name + "_bucket{le=\"+Inf\"} " + std::to_string(hist.count) +
+           exemplar_suffix(hist.edges.size()) + "\n";
     out += name + "_sum " + format_double(hist.sum) + "\n";
     out += name + "_count " + std::to_string(hist.count) + "\n";
   }

@@ -11,16 +11,27 @@ AdmissionQueue::AdmissionQueue(EpochConfig config) : config_(config) {
 }
 
 Admission AdmissionQueue::submit(AuditRequest request) {
+  const auto t_entry = std::chrono::steady_clock::now();
   Admission admission;
+  admission.request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  const UserHandle user = request.user;
   std::size_t new_depth = 0;
   {
     std::lock_guard<std::mutex> lock(m_);
+    const auto now = std::chrono::steady_clock::now();
+    const double enqueue_us =
+        std::chrono::duration<double, std::micro>(now - t_entry).count();
     if (pending_.size() >= config_.queue_capacity) {
       admission.accepted = false;
       admission.epoch = epoch_;
       admission.retry_after_epochs = config_.retry_after_epochs;
+      if (rejected_log_.size() < kRejectedLogCapacity) {
+        rejected_log_.push_back({admission.request_id, user, epoch_,
+                                 admission.retry_after_epochs, enqueue_us});
+      }
     } else {
       pending_.push_back(std::move(request));
+      pending_meta_.push_back({admission.request_id, now, enqueue_us});
       admission.accepted = true;
       admission.epoch = epoch_;
       new_depth = pending_.size();
@@ -43,12 +54,26 @@ Admission AdmissionQueue::submit(AuditRequest request) {
   return admission;
 }
 
-std::vector<AuditRequest> AdmissionQueue::drain() {
+std::vector<AuditRequest> AdmissionQueue::drain(std::vector<RequestMeta>* meta,
+                                                std::vector<RejectedAdmission>* rejected) {
   std::vector<AuditRequest> drained;
   {
     std::lock_guard<std::mutex> lock(m_);
     drained.swap(pending_);
     pending_.reserve(config_.queue_capacity);
+    if (meta != nullptr) {
+      meta->clear();
+      meta->swap(pending_meta_);
+    } else {
+      pending_meta_.clear();
+    }
+    pending_meta_.reserve(config_.queue_capacity);
+    if (rejected != nullptr) {
+      rejected->clear();
+      rejected->swap(rejected_log_);
+    } else {
+      rejected_log_.clear();
+    }
     ++epoch_;
     depth_.store(0, std::memory_order_relaxed);
   }

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <mutex>
 #include <string_view>
@@ -57,20 +58,49 @@ struct Admission {
   bool accepted = false;
   std::uint64_t epoch = 0;               ///< epoch the request will verify in
   std::uint64_t retry_after_epochs = 0;  ///< nonzero iff rejected
+  std::uint64_t request_id = 0;          ///< global ordinal (journey tracing key)
+};
+
+/// Journey metadata for one admitted request, parallel to the drained
+/// request vector: the global request id, when it entered the queue, and
+/// how long the submit() call itself took.
+struct RequestMeta {
+  std::uint64_t request_id = 0;
+  std::chrono::steady_clock::time_point enqueued_at{};
+  double enqueue_us = 0.0;  ///< submit() wall time (the kEnqueue stage)
+};
+
+/// One backpressure-rejected admission, kept (bounded) so journey tracing
+/// can record rejected requests too — the "always sample rejects" rule.
+struct RejectedAdmission {
+  std::uint64_t request_id = 0;
+  UserHandle user = kInvalidUser;
+  std::uint64_t epoch = 0;  ///< the epoch that would have verified it
+  std::uint64_t retry_after_epochs = 0;
+  double enqueue_us = 0.0;
 };
 
 /// Thread-safe bounded queue of audit requests between epoch boundaries.
 class AdmissionQueue {
  public:
+  /// Rejected-admission records retained between drains; rejects past this
+  /// are tallied in rejected_total() but carry no journey metadata.
+  static constexpr std::size_t kRejectedLogCapacity = 65536;
+
   explicit AdmissionQueue(EpochConfig config = {});
 
   const EpochConfig& config() const noexcept { return config_; }
 
-  /// Admits or rejects (queue full) one request. Thread-safe.
+  /// Admits or rejects (queue full) one request. Thread-safe. Every call —
+  /// accepted or not — consumes one globally unique request id.
   Admission submit(AuditRequest request);
 
   /// Takes every pending request (admission order) and advances the epoch.
-  std::vector<AuditRequest> drain();
+  /// When `meta` is non-null it is filled with per-request journey metadata
+  /// parallel to the returned vector; when `rejected` is non-null it
+  /// receives (and clears) the bounded rejected-admission log.
+  std::vector<AuditRequest> drain(std::vector<RequestMeta>* meta = nullptr,
+                                  std::vector<RejectedAdmission>* rejected = nullptr);
 
   /// The epoch currently admitting (drained requests verified under it).
   std::uint64_t epoch() const noexcept;
@@ -95,6 +125,9 @@ class AdmissionQueue {
   EpochConfig config_;
   mutable std::mutex m_;
   std::vector<AuditRequest> pending_;
+  std::vector<RequestMeta> pending_meta_;      ///< parallel to pending_
+  std::vector<RejectedAdmission> rejected_log_;  ///< bounded, cleared on drain
+  std::atomic<std::uint64_t> next_request_id_{1};
   std::uint64_t epoch_ = 0;
   std::atomic<std::size_t> depth_{0};
   std::atomic<std::uint64_t> admitted_total_{0};

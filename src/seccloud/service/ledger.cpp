@@ -3,7 +3,7 @@
 namespace seccloud::service {
 namespace {
 
-constexpr std::size_t kPayloadBytes = 56;
+constexpr std::size_t kPayloadBytes = 64;
 
 void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
   for (int i = 0; i < 2; ++i) out.push_back(static_cast<std::uint8_t>(v >> (i * 8)));
@@ -57,6 +57,7 @@ std::vector<std::uint8_t> encode_ledger_entry(const LedgerEntry& entry) {
   put_u16(out, 0);  // reserved
   put_u32(out, entry.isolation_path);
   put_u64(out, entry.batch_pairings);
+  put_u64(out, entry.journey_id);
   return out;
 }
 
@@ -79,6 +80,7 @@ std::optional<LedgerEntry> decode_ledger_entry(std::span<const std::uint8_t> pay
   entry.isolation_depth = p[41];
   entry.isolation_path = get_u32(p + 44);
   entry.batch_pairings = get_u64(p + 48);
+  entry.journey_id = get_u64(p + 56);
   return entry;
 }
 

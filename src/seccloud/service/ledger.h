@@ -12,8 +12,12 @@
 // cost the isolation charged — no rerun, no logs, no registry access.
 //
 // Records ride the obs telemetry framing (kLedgerEntry) with a fixed
-// 56-byte little-endian payload, so the stream inherits the checksummed,
-// torn-tail-tolerant replay discipline of the PR-4 session journal.
+// 64-byte little-endian payload, so the stream inherits the checksummed,
+// torn-tail-tolerant replay discipline of the PR-4 session journal. Since
+// journey tracing landed, each record also carries the request's journey id
+// (= its global request id) when that request's journey was sampled into
+// the JOURNEY_* stream — the forensic join key between "what verdict did
+// this entry get" and "where did this request's time go".
 #pragma once
 
 #include <cstdint>
@@ -54,11 +58,15 @@ struct LedgerEntry {
   std::uint8_t isolation_depth = 0;  ///< bisection splits taken (0 = none)
   std::uint32_t isolation_path = 0;  ///< descent bits, LSB first, 0 = left
   std::uint64_t batch_pairings = 0;  ///< total pairings the batch spent
+  /// The request's journey id (global request id) when its journey record
+  /// was sampled into the JOURNEY_* stream; 0 when unsampled or when no
+  /// recorder was attached. Join key into the journey waterfall.
+  std::uint64_t journey_id = 0;
 
   bool operator==(const LedgerEntry&) const = default;
 };
 
-/// Payload codec: 56-byte little-endian layout, total decoder.
+/// Payload codec: 64-byte little-endian layout, total decoder.
 std::vector<std::uint8_t> encode_ledger_entry(const LedgerEntry& entry);
 std::optional<LedgerEntry> decode_ledger_entry(std::span<const std::uint8_t> payload);
 

@@ -75,8 +75,13 @@ EpochReport AuditService::run_epoch() {
   report.epoch = queue_.epoch();
   report.retry_after_epochs = queue_.config().retry_after_epochs;
   const std::size_t depth_at_drain = queue_.depth();
-  std::vector<AuditRequest> requests = queue_.drain();
+  std::vector<RequestMeta> meta;
+  std::vector<RejectedAdmission> rejected_admissions;
+  std::vector<AuditRequest> requests = queue_.drain(&meta, &rejected_admissions);
   report.requests = requests.size();
+  // Journey phase boundaries: a handful of steady_clock reads on the hot
+  // path; everything built from them happens after the t1 stamp.
+  const auto t_drain = std::chrono::steady_clock::now();
 
   // --- admission filter: stale replays and unkeyed users cost 0 pairings ---
   struct Admitted {
@@ -118,6 +123,7 @@ EpochReport AuditService::run_epoch() {
     admitted.push_back({r, *q_id});
     total_entries += request.blocks.size();
   }
+  const auto t_filter = std::chrono::steady_clock::now();
 
   // --- flatten admitted requests into one entry stream (admission order) ---
   // Reserved up front so spans/pointers into these vectors stay stable.
@@ -148,6 +154,7 @@ EpochReport AuditService::run_epoch() {
   const std::size_t cap = queue_.config().batch_capacity;
   const std::size_t batches = (entries.size() + cap - 1) / cap;
   report.batches = batches;
+  const auto t_flatten = std::chrono::steady_clock::now();
 
   // --- assembly: batch digests + deterministic epoch attestations ---------
   // The attestation over the batch digest is the service analogue of the
@@ -188,18 +195,32 @@ EpochReport AuditService::run_epoch() {
     attestations[i] = ibc::dv_transform(*group_, ibs, verifier_.q_id);
   }
   report.assembly_ops = group_->counters() - ops_before_assembly;
+  const auto t_attest = std::chrono::steady_clock::now();
 
   // --- verify: batches in parallel, each batch serial in its own slot -----
+  // Each worker carries the batch's first request id as its exemplar
+  // context, so the engine's pair_product_ms and the batch_verify_ms
+  // histogram both link their hot buckets to a concrete journey.
   const pairing::OpCounters ops_before_verify = group_->counters();
   std::vector<ibc::CrossUserVerdict> verdicts(batches);
   engine_.for_each(batches, [&](std::size_t i) {
+    const auto bt0 = std::chrono::steady_clock::now();
     const std::size_t lo = i * cap;
     const std::size_t hi = std::min(entries.size(), lo + cap);
+    const std::uint64_t first_request_id =
+        lo < refs.size() ? meta[refs[lo].request_index].request_id : 0;
+    obs::ExemplarScope exemplar{first_request_id, report.epoch};
     verdicts[i] = ibc::dv_cross_user_verify(
         *group_, std::span<const ibc::BatchEntry>{entries}.subspan(lo, hi - lo),
         verifier_, attestor_.q_id, attest_messages[i], attestations[i]);
+    if (auto* h = m_batch_verify_ms_.load(std::memory_order_acquire)) {
+      h->observe(std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - bt0)
+                     .count());
+    }
   });
   report.verify_ops = group_->counters() - ops_before_verify;
+  const auto t_verify = std::chrono::steady_clock::now();
 
   // --- map batch verdicts back to requests and users ----------------------
   std::vector<UserHandle> byzantine;
@@ -248,11 +269,164 @@ EpochReport AuditService::run_epoch() {
   const auto t1 = std::chrono::steady_clock::now();
   report.epoch_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
   if (auto* c = m_epochs_.load(std::memory_order_acquire)) c->inc();
-  if (auto* h = m_epoch_ms_.load(std::memory_order_acquire)) h->observe(report.epoch_ms);
+  if (auto* h = m_epoch_ms_.load(std::memory_order_acquire)) {
+    // The epoch's exemplar: the first admitted request — admission order
+    // means it waited longest, so the bucket links to the epoch's slowest
+    // end-to-end journey.
+    const std::uint64_t exemplar_request =
+        !admitted.empty() ? meta[admitted.front().request_index].request_id
+        : !meta.empty()   ? meta.front().request_id
+                          : 0;
+    obs::ExemplarScope exemplar{exemplar_request, report.epoch};
+    h->observe(report.epoch_ms);
+  }
 
-  // --- telemetry + forensic ledger: strictly after the epoch clock stops --
-  if (ledger_ != nullptr || telemetry_ != nullptr) {
+  // --- journeys + telemetry + forensic ledger: after the epoch clock stops -
+  // Journey id per drained request (nonzero iff that request's journey was
+  // sampled) — the ledger cross-link below stamps it into every record.
+  std::vector<std::uint64_t> journey_ids(requests.size(), 0);
+  if (journeys_ != nullptr || ledger_ != nullptr || telemetry_ != nullptr) {
     const auto tt0 = std::chrono::steady_clock::now();
+    if (journeys_ != nullptr) {
+      const auto us_between = [](std::chrono::steady_clock::time_point a,
+                                 std::chrono::steady_clock::time_point b) -> std::uint32_t {
+        const double us = std::chrono::duration<double, std::micro>(b - a).count();
+        return us <= 0.0 ? 0u : static_cast<std::uint32_t>(us);
+      };
+      // Epoch phase walls every admitted request telescopes through.
+      const std::uint32_t filter_us = us_between(t_drain, t_filter);
+      const std::uint32_t flatten_us = us_between(t_filter, t_flatten);
+      const std::uint32_t attest_us = us_between(t_flatten, t_attest);
+      const std::uint32_t verify_phase_us = us_between(t_attest, t_verify);
+      const std::uint32_t verdict_us = us_between(t_verify, t1);
+
+      // Request → first batch, own bisection descent, attestation outcome.
+      std::vector<std::uint32_t> req_batch(requests.size(), obs::kJourneyNoBatch);
+      std::vector<std::uint8_t> req_depth(requests.size(), 0);
+      std::vector<std::uint8_t> req_invalid(requests.size(), 0);
+      std::vector<std::uint8_t> req_attest_failed(requests.size(), 0);
+      for (std::size_t i = 0; i < report.results.size(); ++i) {
+        const BatchResult& br = report.results[i];
+        for (std::size_t k = 0; k < br.entries; ++k) {
+          const FlatRef& ref = refs[br.first_entry + k];
+          if (req_batch[ref.request_index] == obs::kJourneyNoBatch) {
+            req_batch[ref.request_index] = static_cast<std::uint32_t>(i);
+          }
+          if (!br.verdict.attestation_valid) req_attest_failed[ref.request_index] = 1;
+        }
+        for (const std::size_t idx : br.verdict.invalid_entries) {
+          const FlatRef& ref = refs[br.first_entry + idx];
+          req_invalid[ref.request_index] = 1;
+          req_depth[ref.request_index] =
+              std::max(req_depth[ref.request_index],
+                       bisection_path(idx, br.entries).depth);
+        }
+      }
+
+      std::vector<obs::JourneyRecord> journeys;
+      journeys.reserve(requests.size() + rejected_admissions.size());
+      for (std::size_t r = 0; r < requests.size(); ++r) {
+        obs::JourneyRecord j;
+        j.request_id = meta[r].request_id;
+        j.user = requests[r].user;
+        j.epoch = report.epoch;
+        j.request_index = static_cast<std::uint32_t>(r);
+        j.blocks = static_cast<std::uint32_t>(requests[r].blocks.size());
+        j.stage_us[static_cast<std::size_t>(obs::JourneyStage::kEnqueue)] =
+            static_cast<std::uint32_t>(meta[r].enqueue_us);
+        j.stage_us[static_cast<std::size_t>(obs::JourneyStage::kAdmit)] =
+            us_between(meta[r].enqueued_at, t_drain);
+        j.stage_us[static_cast<std::size_t>(obs::JourneyStage::kFilter)] = filter_us;
+        if (filter_reason[r] != 0) {
+          // Filtered pre-batch: the journey ends at the filter verdict, so
+          // later stages stay zero and the stage sum IS the end-to-end.
+          j.verdict = filter_reason[r] == kReasonStale ? obs::JourneyVerdict::kStaleReplay
+                                                       : obs::JourneyVerdict::kUnkeyed;
+          j.end_to_end_us = static_cast<std::uint32_t>(j.stage_sum_us());
+        } else {
+          const std::uint32_t batch = req_batch[r];
+          j.batch = batch;
+          const std::uint64_t oracle =
+              batch != obs::kJourneyNoBatch
+                  ? report.results[batch].verdict.bisection.oracle_calls
+                  : 0;
+          const std::uint64_t batch_pairings = 2 + oracle;
+          // The verify wall splits into shared-check vs bisection descent by
+          // the batch's pairing ratio, so the two stages still telescope to
+          // the whole phase.
+          const auto bisect_us = static_cast<std::uint32_t>(
+              static_cast<double>(verify_phase_us) * static_cast<double>(oracle) /
+              static_cast<double>(batch_pairings));
+          j.stage_us[static_cast<std::size_t>(obs::JourneyStage::kFlatten)] = flatten_us;
+          j.stage_us[static_cast<std::size_t>(obs::JourneyStage::kAttest)] = attest_us;
+          j.stage_us[static_cast<std::size_t>(obs::JourneyStage::kVerify)] =
+              verify_phase_us - bisect_us;
+          j.stage_us[static_cast<std::size_t>(obs::JourneyStage::kBisect)] = bisect_us;
+          j.stage_us[static_cast<std::size_t>(obs::JourneyStage::kVerdict)] = verdict_us;
+          if (batch != obs::kJourneyNoBatch) {
+            j.amortized_pairings_milli = static_cast<std::uint32_t>(
+                batch_pairings * 1000 / report.results[batch].entries);
+          }
+          j.bisection_depth = req_depth[r];
+          j.verdict = req_attest_failed[r] ? obs::JourneyVerdict::kAttestationFailed
+                      : req_invalid[r]     ? obs::JourneyVerdict::kInvalidSignature
+                                           : obs::JourneyVerdict::kVerified;
+          // Measured directly (entry → t1); the per-stage µs rounding keeps
+          // it within one quantum per stage of the stage sum.
+          j.end_to_end_us =
+              static_cast<std::uint32_t>(meta[r].enqueue_us) +
+              us_between(meta[r].enqueued_at, t1);
+        }
+        journeys.push_back(j);
+      }
+      for (const RejectedAdmission& rej : rejected_admissions) {
+        obs::JourneyRecord j;
+        j.request_id = rej.request_id;
+        j.user = rej.user;
+        j.epoch = rej.epoch;
+        j.retry_after_epochs = static_cast<std::uint32_t>(rej.retry_after_epochs);
+        j.verdict = obs::JourneyVerdict::kRejectedAdmission;
+        j.stage_us[static_cast<std::size_t>(obs::JourneyStage::kEnqueue)] =
+            static_cast<std::uint32_t>(rej.enqueue_us);
+        j.end_to_end_us = static_cast<std::uint32_t>(j.stage_sum_us());
+        journeys.push_back(j);
+      }
+
+      // Attribution runs over every journey, pre-sampling, so the
+      // percentiles are unbiased by the sampling policy.
+      report.attribution = obs::attribute_journeys(journeys);
+
+      // Sampling policy: always keep anything that did not verify cleanly
+      // (rejected, filtered, attestation-failed), anything bisection had to
+      // isolate, and the epoch's slowest journey; seeded coin for the rest.
+      std::size_t slowest = journeys.size();
+      for (std::size_t i = 0; i < journeys.size(); ++i) {
+        if (slowest == journeys.size() ||
+            journeys[i].end_to_end_us > journeys[slowest].end_to_end_us ||
+            (journeys[i].end_to_end_us == journeys[slowest].end_to_end_us &&
+             journeys[i].request_id < journeys[slowest].request_id)) {
+          slowest = i;
+        }
+      }
+      for (std::size_t i = 0; i < journeys.size(); ++i) {
+        obs::JourneyRecord& j = journeys[i];
+        std::uint8_t bits = 0;
+        if (j.verdict != obs::JourneyVerdict::kVerified) bits |= obs::kJourneySampledRejected;
+        if (j.verdict == obs::JourneyVerdict::kInvalidSignature) {
+          bits |= obs::kJourneySampledBisected;
+        }
+        if (i == slowest) bits |= obs::kJourneySampledSlowest;
+        if (journeys_->sample_probabilistic(j.epoch, j.request_id)) {
+          bits |= obs::kJourneySampledProbabilistic;
+        }
+        if (bits == 0) continue;
+        j.sampled = bits;
+        journeys_->record(j);
+        if (j.request_index != obs::kJourneyNoRequest) {
+          journey_ids[j.request_index] = j.request_id;
+        }
+      }
+    }
     if (ledger_ != nullptr) {
       // Requests filtered before batching: one record each, no batch id.
       for (std::size_t r = 0; r < requests.size(); ++r) {
@@ -265,6 +439,7 @@ EpochReport AuditService::run_epoch() {
         le.request_index = static_cast<std::uint32_t>(r);
         le.verdict = filter_reason[r] == kReasonStale ? LedgerVerdict::kStaleReplay
                                                       : LedgerVerdict::kUnkeyed;
+        le.journey_id = journey_ids[r];
         ledger_->append(le);
       }
       // Every flattened entry, batch by batch. Analytic pairing accounting:
@@ -287,6 +462,7 @@ EpochReport AuditService::run_epoch() {
           le.block_index = static_cast<std::uint32_t>(ref.block_index);
           le.entry_in_batch = static_cast<std::uint32_t>(k);
           le.batch_pairings = batch_pairings;
+          le.journey_id = journey_ids[ref.request_index];
           if (!br.verdict.attestation_valid) {
             le.verdict = LedgerVerdict::kAttestationFailed;
           } else if (next_invalid < br.verdict.invalid_entries.size() &&
@@ -369,6 +545,24 @@ std::string EpochReport::to_json() const {
   w.key("retry_after_epochs").value(retry_after_epochs);
   w.key("epoch_ms").value(epoch_ms);
   w.key("telemetry_ms").value(telemetry_ms);
+  w.key("p99_attribution").begin_object();
+  w.key("journeys").value(attribution.journeys);
+  w.key("p99_end_to_end_us").value(attribution.p99_end_to_end_us);
+  w.key("p99_request_id").value(attribution.p99_request_id);
+  w.key("stages").begin_array();
+  for (std::size_t i = 0; i < obs::kJourneyStageCount; ++i) {
+    w.begin_object();
+    w.key("stage").value(
+        std::string_view{to_string(static_cast<obs::JourneyStage>(i))});
+    w.key("p50_us").value(attribution.stages[i].p50_us);
+    w.key("p95_us").value(attribution.stages[i].p95_us);
+    w.key("p99_us").value(attribution.stages[i].p99_us);
+    w.key("total_us").value(attribution.stages[i].total_us);
+    w.key("p99_share").value(attribution.p99_share[i]);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
   w.end_object();
   return std::move(w).str();
 }
@@ -387,7 +581,16 @@ void AuditService::bind_metrics(obs::MetricsRegistry& registry,
   m_byzantine_.store(&registry.counter(p + ".byzantine_users"),
                      std::memory_order_release);
   m_epochs_.store(&registry.counter(p + ".epochs"), std::memory_order_release);
-  m_epoch_ms_.store(&registry.histogram(p + ".epoch_ms"), std::memory_order_release);
+  // Exemplar-enabled: the p99 buckets of these three link back to concrete
+  // journey records (request id + epoch) via the thread-local context the
+  // epoch driver and batch workers set.
+  obs::Histogram& epoch_ms = registry.histogram(p + ".epoch_ms");
+  epoch_ms.enable_exemplars();
+  m_epoch_ms_.store(&epoch_ms, std::memory_order_release);
+  obs::Histogram& batch_verify_ms = registry.histogram(p + ".batch_verify_ms");
+  batch_verify_ms.enable_exemplars();
+  m_batch_verify_ms_.store(&batch_verify_ms, std::memory_order_release);
+  registry.histogram(p + ".engine.pair_product_ms").enable_exemplars();
 }
 
 }  // namespace seccloud::service

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "ibc/dvs.h"
+#include "obs/journey.h"
 #include "pairing/parallel.h"
 #include "seccloud/service/epoch.h"
 #include "seccloud/service/registry.h"
@@ -101,10 +102,14 @@ struct EpochReport {
   ibc::BisectionStats bisection;     ///< summed over rejecting batches
   std::uint64_t retry_after_epochs = 0;  ///< backpressure hint in force
   double epoch_ms = 0.0;      ///< drain → verdict wall time (hot path)
-  double telemetry_ms = 0.0;  ///< snapshot + ledger capture (off path)
+  double telemetry_ms = 0.0;  ///< snapshot + ledger + journey capture (off path)
+  /// Critical-path decomposition over this epoch's journey records (all of
+  /// them, pre-sampling). Zeroed unless a JourneyRecorder is attached.
+  obs::JourneyAttribution attribution;
 
   /// One-object epoch summary (SessionReport::to_json-style) for logs and
-  /// dashboards; includes the retry-after hint and telemetry cost.
+  /// dashboards; includes the retry-after hint, telemetry cost, and the
+  /// p99_attribution block.
   std::string to_json() const;
 };
 
@@ -160,6 +165,14 @@ class AuditService {
   /// off-hot-path contract as attach_telemetry.
   void attach_ledger(VerdictLedger* ledger) noexcept { ledger_ = ledger; }
 
+  /// Attaches the journey recorder: after every run_epoch the service builds
+  /// one JourneyRecord per drained AND backpressure-rejected request, runs
+  /// the sampling policy, and records the kept journeys (plus the epoch's
+  /// attribution into the report). nullptr detaches. Same lifetime and
+  /// off-hot-path contract as attach_telemetry; when a ledger is also
+  /// attached, its records carry the journey id of sampled requests.
+  void attach_journeys(obs::JourneyRecorder* journeys) noexcept { journeys_ = journeys; }
+
  private:
   const PairingGroup* group_;
   ServiceConfig config_;
@@ -170,6 +183,7 @@ class AuditService {
   ParallelPairingEngine engine_;
   obs::TelemetrySink* telemetry_ = nullptr;
   VerdictLedger* ledger_ = nullptr;
+  obs::JourneyRecorder* journeys_ = nullptr;
   std::uint64_t last_queue_admitted_ = 0;
   std::uint64_t last_queue_rejected_ = 0;
 
@@ -179,6 +193,7 @@ class AuditService {
   std::atomic<obs::Counter*> m_byzantine_{nullptr};
   std::atomic<obs::Counter*> m_epochs_{nullptr};
   std::atomic<obs::Histogram*> m_epoch_ms_{nullptr};
+  std::atomic<obs::Histogram*> m_batch_verify_ms_{nullptr};
 };
 
 }  // namespace seccloud::service

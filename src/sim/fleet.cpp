@@ -64,6 +64,11 @@ void FleetWorkload::populate(service::AuditService& svc) {
   for (std::size_t i = config_.active_users; i < config_.users; ++i) {
     svc.register_user(user_id(i));
   }
+  // The unkeyed probe: an identity record with no bound key, so any traffic
+  // it submits must be rejected by the service's unkeyed filter.
+  probe_handle_ = config_.include_unkeyed_probe
+                      ? svc.register_user(config_.id_prefix + "unkeyed-probe")
+                      : service::kInvalidUser;
   versions_.assign(config_.active_users, 0);
   round_ = 0;
   obs::default_registry()
@@ -96,17 +101,25 @@ std::vector<service::AuditRequest> FleetWorkload::make_requests(
   auto& c_blocks = registry.counter("fleet.blocks_signed");
   auto& c_bad_sig = registry.counter("fleet.behavior.bad_signature");
   auto& c_stale = registry.counter("fleet.behavior.stale_replay");
+  auto& c_unkeyed = registry.counter("fleet.behavior.unkeyed_probe");
 
   std::vector<service::AuditRequest> requests;
   requests.reserve(config_.active_users);
   for (std::size_t i = 0; i < config_.active_users; ++i) {
-    const FleetBehavior b = behavior ? behavior(i) : FleetBehavior::kHonest;
+    FleetBehavior b = behavior ? behavior(i) : FleetBehavior::kHonest;
+    if (b == FleetBehavior::kUnkeyedProbe && probe_handle_ == service::kInvalidUser) {
+      b = FleetBehavior::kHonest;  // probe not configured: degrade gracefully
+    }
     c_requests.inc();
     c_blocks.inc(static_cast<std::uint64_t>(config_.blocks_per_request));
     if (b == FleetBehavior::kBadSignature) c_bad_sig.inc();
     if (b == FleetBehavior::kStaleReplay) c_stale.inc();
+    if (b == FleetBehavior::kUnkeyedProbe) c_unkeyed.inc();
     service::AuditRequest request;
-    request.user = handles_[i];
+    // Unkeyed-probe traffic is the i-th user's honest payload submitted
+    // under the probe's never-keyed handle — validly signed, but the
+    // service cannot resolve a Q_ID for it.
+    request.user = b == FleetBehavior::kUnkeyedProbe ? probe_handle_ : handles_[i];
     if (b == FleetBehavior::kStaleReplay) {
       request.version = versions_[i];  // last issued (0 = never audited)
     } else {

@@ -24,6 +24,10 @@ enum class FleetBehavior : std::uint8_t {
   /// Replays the user's last already-audited version (validly signed): must
   /// be filtered by the freshness high-water mark before costing a pairing.
   kStaleReplay,
+  /// Submits under the fleet's unkeyed probe identity (registered but never
+  /// key-bound): must be filtered as kUnkeyed before costing a pairing.
+  /// Requires FleetConfig::include_unkeyed_probe.
+  kUnkeyedProbe,
 };
 
 struct FleetConfig {
@@ -32,6 +36,11 @@ struct FleetConfig {
   std::size_t blocks_per_request = 4;
   std::uint64_t seed = 1;
   std::string id_prefix = "user-";
+  /// When set, populate() additionally registers one record-only
+  /// "<prefix>unkeyed-probe" identity that kUnkeyedProbe traffic submits
+  /// under, exercising the service's unkeyed filter (and the journey
+  /// pipeline's always-sample-rejects rule) deterministically.
+  bool include_unkeyed_probe = false;
 };
 
 class FleetWorkload {
@@ -50,6 +59,10 @@ class FleetWorkload {
     return handles_.at(active_index);
   }
 
+  /// Handle of the unkeyed probe identity (valid after populate() with
+  /// include_unkeyed_probe; kInvalidUser otherwise).
+  service::UserHandle unkeyed_probe_handle() const noexcept { return probe_handle_; }
+
   /// One request per active user for the next round. `behavior(i)` selects
   /// the i-th active user's behavior (all honest when empty). Honest and
   /// bad-signature users advance their freshness version; stale-replay
@@ -64,6 +77,7 @@ class FleetWorkload {
   std::vector<ibc::IdentityKey> active_keys_;
   std::vector<service::UserHandle> handles_;
   std::vector<std::uint64_t> versions_;  ///< per-active-user last version issued
+  service::UserHandle probe_handle_ = service::kInvalidUser;
   std::uint64_t round_ = 0;
 };
 

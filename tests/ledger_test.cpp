@@ -37,6 +37,7 @@ LedgerEntry sample_entry() {
   e.isolation_depth = 5;
   e.isolation_path = 0b10110;
   e.batch_pairings = 14;
+  e.journey_id = 0x0123456789abcdef;
   return e;
 }
 
@@ -45,7 +46,7 @@ LedgerEntry sample_entry() {
 TEST(LedgerCodec, EntryRoundTrips) {
   const LedgerEntry entry = sample_entry();
   const auto payload = encode_ledger_entry(entry);
-  EXPECT_EQ(payload.size(), 56u) << "fixed-width payload";
+  EXPECT_EQ(payload.size(), 64u) << "fixed-width payload";
   const auto decoded = decode_ledger_entry(payload);
   ASSERT_TRUE(decoded.has_value());
   EXPECT_EQ(*decoded, entry);
@@ -187,6 +188,7 @@ TEST_F(LedgerServiceFixture, EveryAuditedEntryGetsExactlyOneRecord) {
     EXPECT_EQ(entry.isolation_depth, 0u) << "clean entries take no descent";
     EXPECT_EQ(entry.batch_pairings, 2u) << "the clean-batch invariant";
     EXPECT_EQ(entry.version, 1u);
+    EXPECT_EQ(entry.journey_id, 0u) << "no journey recorder attached";
   }
 }
 

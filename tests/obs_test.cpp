@@ -101,6 +101,96 @@ TEST(Histogram, SaturatedFlagMarksOverflowBucketResidents) {
   EXPECT_EQ(over_snap.counts.back(), 2u);
 }
 
+// --- histogram exemplars ---------------------------------------------------
+
+TEST(HistogramExemplars, ObserveCapturesTheActiveContext) {
+  Histogram h{{10.0, 20.0}};
+  h.enable_exemplars();
+  h.observe(15.0);  // no context active: counted, but no exemplar
+  EXPECT_TRUE(h.snapshot().exemplars.empty());
+
+  {
+    ExemplarScope scope{42, 7};
+    h.observe(15.0);  // bucket 1: (10, 20]
+  }
+  HistogramSnapshot snap = h.snapshot();
+  ASSERT_EQ(snap.exemplars.size(), 1u);
+  EXPECT_EQ(snap.exemplars[0].bucket, 1u);
+  EXPECT_DOUBLE_EQ(snap.exemplars[0].value, 15.0);
+  EXPECT_EQ(snap.exemplars[0].request_id, 42u);
+  EXPECT_EQ(snap.exemplars[0].epoch, 7u);
+
+  // Last writer wins within a bucket; other buckets keep their own slot.
+  {
+    ExemplarScope scope{43, 8};
+    h.observe(12.0);   // bucket 1 again: overwrites
+    h.observe(999.0);  // overflow bucket (index == edges.size())
+  }
+  snap = h.snapshot();
+  ASSERT_EQ(snap.exemplars.size(), 2u);
+  EXPECT_EQ(snap.exemplars[0].bucket, 1u);
+  EXPECT_EQ(snap.exemplars[0].request_id, 43u);
+  EXPECT_DOUBLE_EQ(snap.exemplars[0].value, 12.0);
+  EXPECT_EQ(snap.exemplars[1].bucket, 2u) << "overflow bucket";
+  EXPECT_EQ(snap.exemplars[1].epoch, 8u);
+}
+
+TEST(HistogramExemplars, DisabledHistogramsRecordNothing) {
+  Histogram h{{10.0}};
+  ExemplarScope scope{1, 1};
+  h.observe(5.0);
+  EXPECT_TRUE(h.snapshot().exemplars.empty());
+  EXPECT_FALSE(h.exemplars_enabled());
+  h.enable_exemplars();
+  h.enable_exemplars();  // idempotent
+  EXPECT_TRUE(h.exemplars_enabled());
+}
+
+TEST(HistogramExemplars, ResetClearsTheSlots) {
+  Histogram h{{10.0}};
+  h.enable_exemplars();
+  {
+    ExemplarScope scope{5, 2};
+    h.observe(3.0);
+  }
+  ASSERT_EQ(h.snapshot().exemplars.size(), 1u);
+  h.reset();
+  EXPECT_TRUE(h.snapshot().exemplars.empty());
+}
+
+TEST(HistogramExemplars, ConcurrentContextualObservationsStayCoherent) {
+  // Parallel writers with distinct (request, epoch, value) triples: the
+  // seqlock must never let a snapshot see a torn slot — whatever exemplar
+  // wins, its three fields belong to the same observation.
+  Histogram h{{1e9}};
+  h.enable_exemplars();
+  constexpr std::uint64_t kPerThread = 2'000;
+  std::vector<std::thread> workers;
+  for (std::uint64_t t = 1; t <= 4; ++t) {
+    workers.emplace_back([&h, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        ExemplarScope scope{t * 1'000'000 + i, t};
+        h.observe(static_cast<double>(t * 1'000'000 + i));
+      }
+    });
+  }
+  std::thread reader{[&h] {
+    for (int i = 0; i < 200; ++i) {
+      const HistogramSnapshot snap = h.snapshot();
+      for (const HistogramExemplar& e : snap.exemplars) {
+        EXPECT_EQ(e.request_id, static_cast<std::uint64_t>(e.value));
+        EXPECT_EQ(e.epoch, e.request_id / 1'000'000);
+      }
+    }
+  }};
+  for (auto& w : workers) w.join();
+  reader.join();
+  const HistogramSnapshot snap = h.snapshot();
+  ASSERT_EQ(snap.exemplars.size(), 1u);
+  EXPECT_EQ(snap.exemplars[0].request_id,
+            static_cast<std::uint64_t>(snap.exemplars[0].value));
+}
+
 // --- counters and gauges ---------------------------------------------------
 
 TEST(Counter, ConcurrentIncrementsMatchSerialTotal) {
@@ -236,11 +326,16 @@ TEST(Export, SnapshotRoundTripsThroughJson) {
   registry.gauge("pool.queue_depth").add(5);
   registry.gauge("pool.queue_depth").add(-2);
   Histogram& h = registry.histogram("trial_ms", std::vector<double>{0.5, 1.5, 2.5});
+  h.enable_exemplars();
   h.observe(0.25);
-  h.observe(1.0);
-  h.observe(9.75);
+  {
+    ExemplarScope scope{77, 3};
+    h.observe(1.0);   // exemplar in bucket 1
+    h.observe(9.75);  // exemplar in the overflow bucket
+  }
 
   const MetricsSnapshot original = registry.snapshot();
+  ASSERT_EQ(original.histograms.at("trial_ms").exemplars.size(), 2u);
   const std::string json = metrics_to_json(original);
   const auto restored = metrics_from_json(json);
   ASSERT_TRUE(restored.has_value());

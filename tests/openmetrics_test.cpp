@@ -89,6 +89,32 @@ TEST(OpenMetrics, HistogramBucketsAreCumulative) {
   EXPECT_NE(text.find("seccloud_latency_ms_sum 506.2\n"), std::string::npos);
 }
 
+TEST(OpenMetrics, ExemplarSuffixLinksBucketsToJourneys) {
+  MetricsRegistry registry;
+  const double edges[] = {1.0, 10.0};
+  Histogram& hist = registry.histogram("epoch_ms", edges);
+  hist.enable_exemplars();
+  hist.observe(0.5);  // no context: bucket counts, no exemplar
+  {
+    ExemplarScope scope{4242, 9};
+    hist.observe(5.0);    // bucket le=10
+    hist.observe(500.0);  // overflow: exemplar rides the +Inf line
+  }
+  const std::string text = metrics_to_openmetrics(registry.snapshot());
+  // OpenMetrics exemplar syntax: `... # {label="v",...} value` appended to
+  // the bucket the observation landed in.
+  EXPECT_NE(text.find("seccloud_epoch_ms_bucket{le=\"1\"} 1\n"), std::string::npos)
+      << "context-free bucket stays bare: " << text;
+  EXPECT_NE(text.find("seccloud_epoch_ms_bucket{le=\"10\"} 2 "
+                      "# {request_id=\"4242\",epoch=\"9\"} 5\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("seccloud_epoch_ms_bucket{le=\"+Inf\"} 3 "
+                      "# {request_id=\"4242\",epoch=\"9\"} 500\n"),
+            std::string::npos)
+      << text;
+}
+
 TEST(OpenMetrics, CollidingSanitizedNamesAreDeduplicated) {
   MetricsRegistry registry;
   registry.counter("a.b").inc(1);

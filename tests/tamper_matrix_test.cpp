@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,7 @@
 #include "ibc/dvs.h"
 #include "ibc/ibs.h"
 #include "ibc/keys.h"
+#include "obs/journey.h"
 #include "pairing/group.h"
 #include "seccloud/service/ledger.h"
 #include "seccloud/service/service.h"
@@ -324,7 +326,9 @@ TEST(TamperMatrixTest, CrossUserByzantineSignersIsolatedInSharedBatch) {
   for (const auto& bad : kByzantineUserRows) {
     service::AuditService svc = fx.make_service();
     service::VerdictLedger ledger;
+    obs::JourneyRecorder journeys{{.sample_every = 1}};  // full-fidelity join
     svc.attach_ledger(&ledger);
+    svc.attach_journeys(&journeys);
     sim::FleetWorkload fleet{fx.sio,
                              {.users = kFleetUsers,
                               .active_users = kFleetUsers,
@@ -409,6 +413,41 @@ TEST(TamperMatrixTest, CrossUserByzantineSignersIsolatedInSharedBatch) {
     std::sort(flagged.begin(), flagged.end());
     EXPECT_EQ(flagged, expected_users)
         << "the ledger attributes exactly the Byzantine users";
+
+    // Journey↔ledger coherence: with full sampling, every ledger record
+    // links to a journey whose verdict agrees with the entry's, and a
+    // bisected journey's recorded depth is the deepest descent the ledger
+    // took over that request's own entries — the waterfall and the forensic
+    // paths tell one story.
+    const obs::JourneyReplay trail = obs::replay_journeys(journeys.stream());
+    EXPECT_FALSE(trail.torn_tail);
+    ASSERT_EQ(trail.records.size(), kFleetUsers) << "one journey per request";
+    std::map<std::uint64_t, const obs::JourneyRecord*> by_id;
+    for (const obs::JourneyRecord& j : trail.records) by_id[j.request_id] = &j;
+    std::map<std::uint32_t, std::uint8_t> deepest;  // request_index → max depth
+    for (const auto& entry : forensics.entries) {
+      deepest[entry.request_index] =
+          std::max(deepest[entry.request_index], entry.isolation_depth);
+    }
+    for (const auto& entry : forensics.entries) {
+      ASSERT_NE(entry.journey_id, 0u) << "full sampling: every entry joins";
+      const auto it = by_id.find(entry.journey_id);
+      ASSERT_NE(it, by_id.end());
+      const obs::JourneyRecord& j = *it->second;
+      EXPECT_EQ(j.user, entry.user);
+      EXPECT_EQ(j.request_index, entry.request_index);
+      if (entry.verdict == service::LedgerVerdict::kInvalidSignature) {
+        EXPECT_EQ(j.verdict, obs::JourneyVerdict::kInvalidSignature);
+        EXPECT_TRUE(j.sampled & obs::kJourneySampledBisected);
+        EXPECT_EQ(j.bisection_depth, deepest.at(entry.request_index))
+            << "journey depth = deepest descent over the request's entries";
+        EXPECT_GT(j.stage_us[static_cast<std::size_t>(obs::JourneyStage::kBisect)], 0u)
+            << "an isolated request must carry bisection time";
+      } else if (deepest.at(entry.request_index) == 0) {
+        EXPECT_EQ(j.verdict, obs::JourneyVerdict::kVerified);
+        EXPECT_EQ(j.bisection_depth, 0u);
+      }
+    }
   }
 }
 

@@ -32,12 +32,27 @@ normally, so a torn tail means a writer bug), hold at least one record,
 carry dense sequence numbers, and its epoch-snapshot ids must be strictly
 increasing. Ledger payloads must all decode.
 
+Every JOURNEY_*.bin stream (JourneyRecorder, magic 'SY') is replayed the
+same way and must additionally satisfy the journey schema: every payload
+decodes to an 88-byte record, request ids are strictly increasing (the
+global admission ordinal), and every record obeys the stage-sum identity —
+summed stage durations equal the end-to-end latency within the 8 us clock
+quantum. Every always-sample verdict (anything non-verified) must carry the
+'rejected' sample-reason bit.
+
+Every METRICS_*.prom OpenMetrics exposition is line-checked: histogram
+_bucket lines may carry an exemplar suffix, which must parse as
+` # {request_id="<n>",epoch="<n>"} <value>`, and
+METRICS_service_steady_state.prom must carry at least one exemplar (the
+service binds exemplar-enabled histograms at the sustained scale).
+
 Exits nonzero, listing every failure, if anything is wrong — CI runs this
 after the bench smoke pass.
 """
 
 import json
 import pathlib
+import re
 import sys
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
@@ -109,6 +124,17 @@ def check_service_bench(doc: dict, errors: list) -> None:
         )
     if "service.epoch_ms" not in doc.get("metrics", {}).get("histograms", {}):
         errors.append("service bench: missing histogram service.epoch_ms")
+    # The journey pipeline: a deterministic sampled-record count (pinned in
+    # thresholds.json) and the worst epoch's p99 stage attribution (one share
+    # per lifecycle stage, warn-only since it is timing-derived).
+    if not isinstance(values.get("journey_records"), (int, float)) or values.get(
+            "journey_records", 0) <= 0:
+        errors.append("service bench: values.journey_records missing or zero")
+    for stage in teldump.STAGE_NAMES:
+        key = f"p99_attribution_{stage}_pct"
+        share = values.get(key)
+        if not isinstance(share, (int, float)) or share < 0 or share > 100:
+            errors.append(f"service bench: values.{key} missing or out of [0, 100]")
 
 
 def check_file(path: pathlib.Path) -> list:
@@ -198,6 +224,87 @@ def check_stream(path: pathlib.Path) -> list:
     return errors
 
 
+def check_journey_stream(path: pathlib.Path) -> list:
+    """JOURNEY_*.bin schema: clean tail under the journey magic 'SY', dense
+    sequence numbers, strictly increasing request ids, the per-record
+    stage-sum identity (split_journeys enforces both), and the sampling
+    policy's always-sample contract — every non-verified journey must carry
+    the 'rejected' reason bit."""
+    errors = []
+    try:
+        data = path.read_bytes()
+    except OSError as exc:
+        return [f"unreadable: {exc}"]
+    records, torn, clean = teldump.replay(data, teldump.JOURNEY_MAGIC,
+                                          teldump.JOURNEY_TYPE_NAMES)
+    if torn:
+        errors.append(
+            f"torn tail: only {clean}/{len(data)} bytes replay cleanly "
+            f"({len(records)} intact records)"
+        )
+    if not records:
+        errors.append("no intact records")
+    for i, record in enumerate(records):
+        if record.seq != i:
+            errors.append(f"record #{i} has seq {record.seq} (not dense)")
+            break
+    stream_errors = []
+    journeys = teldump.split_journeys(records, path, stream_errors)
+    errors += [e.removeprefix(f"{path}: ") for e in stream_errors]
+    for journey in journeys:
+        if journey["sampled"] == 0:
+            errors.append(f"journey {journey['request_id']}: zero sampled bits")
+        if journey["verdict"] != "verified" and \
+                "rejected" not in journey["sampled_reasons"]:
+            errors.append(
+                f"journey {journey['request_id']}: verdict {journey['verdict']} "
+                f"without the always-sample 'rejected' bit"
+            )
+        if journey["verdict"] == "rejected-admission" and \
+                journey["retry_after_epochs"] == 0:
+            errors.append(
+                f"journey {journey['request_id']}: admission reject without a "
+                f"retry-after hint"
+            )
+    return errors
+
+
+# A histogram bucket line, optionally with an OpenMetrics exemplar suffix:
+#   name_bucket{le="0.25"} 17 # {request_id="42",epoch="3"} 0.21
+BUCKET_LINE = re.compile(
+    r'^[A-Za-z_:][A-Za-z0-9_:]*_bucket\{le="[^"]+"\} \d+'
+    r'( # \{request_id="\d+",epoch="\d+"\} -?[0-9.eE+-]+(Inf|NaN)?)?$'
+)
+
+
+def check_prom(path: pathlib.Path) -> list:
+    """METRICS_*.prom exemplar syntax: every _bucket line must match the
+    OpenMetrics shape (exemplar suffix optional but well-formed), and the
+    service bench's exposition must carry at least one exemplar, proving the
+    exemplar-enabled histograms really linked buckets to request journeys."""
+    errors = []
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        return [f"unreadable: {exc}"]
+    if not text.endswith("# EOF\n"):
+        errors.append("missing '# EOF' terminator")
+    exemplars = 0
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if "_bucket{" not in line:
+            continue
+        if not BUCKET_LINE.match(line):
+            errors.append(f"line {lineno}: malformed bucket/exemplar line: {line!r}")
+        elif " # {" in line:
+            exemplars += 1
+    if path.name == "METRICS_service_steady_state.prom" and exemplars == 0:
+        errors.append(
+            "no exemplars in the service exposition — the exemplar-enabled "
+            "histograms (service.epoch_ms / service.batch_verify_ms) recorded none"
+        )
+    return errors
+
+
 def check_trace(path: pathlib.Path) -> list:
     errors = []
     try:
@@ -258,11 +365,15 @@ def main() -> int:
         return 1
     trace_files = sorted(root.glob("TRACE_*.json"))
     stream_files = sorted(root.glob("TEL_*.bin")) + sorted(root.glob("LEDGER_*.bin"))
+    journey_files = sorted(root.glob("JOURNEY_*.bin"))
+    prom_files = sorted(root.glob("METRICS_*.prom"))
 
     failed = 0
     checks = [(path, check_file) for path in bench_files]
     checks += [(path, check_trace) for path in trace_files]
     checks += [(path, check_stream) for path in stream_files]
+    checks += [(path, check_journey_stream) for path in journey_files]
+    checks += [(path, check_prom) for path in prom_files]
     for path, checker in checks:
         errors = checker(path)
         if errors:
@@ -279,7 +390,8 @@ def main() -> int:
         return 1
     print(f"\nall {total} telemetry files valid "
           f"({len(bench_files)} bench, {len(trace_files)} trace, "
-          f"{len(stream_files)} stream)")
+          f"{len(stream_files)} stream, {len(journey_files)} journey, "
+          f"{len(prom_files)} prom)")
     return 0
 
 

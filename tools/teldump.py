@@ -1,10 +1,11 @@
 #!/usr/bin/env python3
-"""Render SecCloud telemetry streams (TEL_*.bin / LEDGER_*.bin) for humans.
+"""Render SecCloud telemetry streams (TEL_*.bin / LEDGER_*.bin / JOURNEY_*.bin).
 
 The audit service's TelemetrySink and VerdictLedger append checksummed,
 length-prefixed records (magic 'ST', 16-byte header, truncated-SHA-256
-trailer — the PR-4 journal framing with its own magic). This tool replays a
-stream and renders:
+trailer — the PR-4 journal framing with its own magic); the JourneyRecorder
+appends per-request lifecycle records under its own magic 'SY'. This tool
+replays a stream and renders:
 
   * a per-epoch markdown (or CSV with --csv) timeline: throughput, rejects,
     batches, pairings/batch, bisection, queue pressure, latency;
@@ -13,21 +14,28 @@ stream and renders:
   * the SLO alert transitions in stream order;
   * for ledger streams, a verdict summary and the full attribution table of
     every non-verified entry (user, epoch, batch, bisection path, pairing
-    cost) — the "why was user U flagged?" answer, from the bytes alone.
+    cost, linked journey id) — the "why was user U flagged?" answer, from
+    the bytes alone;
+  * for journey streams, a per-request waterfall (one bar per sampled
+    journey, stage-by-stage) and the critical-path attribution table:
+    per-stage p50/p95/p99 plus the p99 journey's stage shares.
 
 Replay is prefix-tolerant: a torn tail is reported (and, by default, fails
 the run — pass --allow-torn to accept the intact prefix). Any checksum
-mismatch mid-stream truncates there, exactly like the C++ replay.
+mismatch mid-stream truncates there, exactly like the C++ replay. Every
+journey record must satisfy the stage-sum identity: summed stage durations
+equal the end-to-end latency within the clock quantum (8 us).
 
 Usage:
-  teldump.py TEL_service_steady_state.bin [LEDGER_service_steady_state.bin]
+  teldump.py TEL_service_steady_state.bin [LEDGER_...bin] [JOURNEY_...bin]
   teldump.py --csv TEL_*.bin          # CSV timeline instead of markdown
+  teldump.py --json JOURNEY_*.bin     # machine-readable JSON report
   teldump.py --out report.md TEL_*.bin
   teldump.py --self-test              # synthetic round-trip + torn-tail check
 
 Exits nonzero on unreadable streams, torn tails (without --allow-torn),
-non-monotone epoch ids, or malformed payloads — CI runs it over the bench
-artifacts.
+non-monotone epoch ids, malformed payloads, or stage-sum violations — CI
+runs it over the bench artifacts.
 """
 
 import argparse
@@ -38,6 +46,7 @@ import struct
 import sys
 
 MAGIC = b"ST"
+JOURNEY_MAGIC = b"SY"
 VERSION = 1
 HEADER = struct.Struct("<2sBBIII")  # magic, version, type, stream, seq, len
 CHECKSUM_BYTES = 8
@@ -51,7 +60,10 @@ TYPE_NAMES = {
     TYPE_LEDGER_ENTRY: "ledger-entry",
 }
 
-LEDGER_PAYLOAD = struct.Struct("<QQQIIIIBBHIQ")  # 56 bytes
+TYPE_JOURNEY = 1
+JOURNEY_TYPE_NAMES = {TYPE_JOURNEY: "journey"}
+
+LEDGER_PAYLOAD = struct.Struct("<QQQIIIIBBHIQQ")  # 64 bytes
 VERDICT_NAMES = {
     1: "verified",
     2: "invalid-signature",
@@ -60,6 +72,22 @@ VERDICT_NAMES = {
     5: "attestation-failed",
 }
 NO_BATCH = 0xFFFFFFFF
+NO_REQUEST = 0xFFFFFFFF
+
+JOURNEY_PAYLOAD = struct.Struct("<QQQIIIIBBBBI8III")  # 88 bytes
+JOURNEY_VERDICT_NAMES = {**VERDICT_NAMES, 6: "rejected-admission"}
+STAGE_NAMES = [
+    "enqueue", "admit", "filter", "flatten", "attest", "verify", "bisect",
+    "verdict",
+]
+STAGE_GLYPHS = "eqflavbd"  # one per stage, for the waterfall bars
+SAMPLE_REASONS = [
+    (1 << 0, "rejected"),
+    (1 << 1, "bisected"),
+    (1 << 2, "slowest"),
+    (1 << 3, "coin"),
+]
+STAGE_SUM_QUANTUM_US = 8  # one us of truncation per stage boundary
 
 
 class Record:
@@ -72,9 +100,9 @@ class Record:
         self.payload = payload
 
 
-def replay(data: bytes):
-    """Mirror of obs::replay_telemetry: every intact record in order, then
-    (records, torn_tail, clean_bytes)."""
+def replay(data: bytes, magic: bytes = MAGIC, types=TYPE_NAMES):
+    """Mirror of obs::replay_telemetry / obs::replay_journeys: every intact
+    record in order, then (records, torn_tail, clean_bytes)."""
     records = []
     pos = 0
     torn = False
@@ -82,8 +110,8 @@ def replay(data: bytes):
         if len(data) - pos < HEADER.size + CHECKSUM_BYTES:
             torn = True
             break
-        magic, version, rtype, stream_id, seq, length = HEADER.unpack_from(data, pos)
-        if magic != MAGIC or version != VERSION or rtype not in TYPE_NAMES:
+        fmagic, version, rtype, stream_id, seq, length = HEADER.unpack_from(data, pos)
+        if fmagic != magic or version != VERSION or rtype not in types:
             torn = True
             break
         total = HEADER.size + length + CHECKSUM_BYTES
@@ -107,7 +135,7 @@ def decode_ledger_entry(payload: bytes):
         return None
     (epoch, user, version, batch, request_index, block_index, entry_in_batch,
      verdict, isolation_depth, _reserved, isolation_path,
-     batch_pairings) = LEDGER_PAYLOAD.unpack(payload)
+     batch_pairings, journey_id) = LEDGER_PAYLOAD.unpack(payload)
     if verdict not in VERDICT_NAMES:
         return None
     return {
@@ -122,6 +150,37 @@ def decode_ledger_entry(payload: bytes):
         "isolation_depth": isolation_depth,
         "isolation_path": isolation_path,
         "batch_pairings": batch_pairings,
+        "journey_id": journey_id,
+    }
+
+
+def decode_journey(payload: bytes):
+    """Mirror of obs::decode_journey_record; None on a malformed payload."""
+    if len(payload) != JOURNEY_PAYLOAD.size:
+        return None
+    fields = JOURNEY_PAYLOAD.unpack(payload)
+    (request_id, user, epoch, batch, request_index, blocks, retry_after,
+     verdict, sampled, bisection_depth, _reserved) = fields[:11]
+    amortized_milli = fields[11]
+    stage_us = list(fields[12:20])
+    end_to_end_us = fields[20]
+    if verdict not in JOURNEY_VERDICT_NAMES:
+        return None
+    return {
+        "request_id": request_id,
+        "user": user,
+        "epoch": epoch,
+        "batch": batch,
+        "request_index": request_index,
+        "blocks": blocks,
+        "retry_after_epochs": retry_after,
+        "verdict": JOURNEY_VERDICT_NAMES[verdict],
+        "sampled": sampled,
+        "sampled_reasons": [name for bit, name in SAMPLE_REASONS if sampled & bit],
+        "bisection_depth": bisection_depth,
+        "amortized_pairings_milli": amortized_milli,
+        "stage_us": stage_us,
+        "end_to_end_us": end_to_end_us,
     }
 
 
@@ -133,12 +192,18 @@ def isolation_path_str(depth: int, bits: int) -> str:
 
 
 def parse_stream(path: pathlib.Path, allow_torn: bool, errors: list):
+    """Sniffs the magic, replays, and validates dense seq numbers. Returns
+    (kind, records) where kind is "telemetry" or "journey"."""
     try:
         data = path.read_bytes()
     except OSError as exc:
         errors.append(f"{path}: unreadable: {exc}")
-        return []
-    records, torn, clean = replay(data)
+        return "telemetry", []
+    if data[:2] == JOURNEY_MAGIC:
+        kind, magic, types = "journey", JOURNEY_MAGIC, JOURNEY_TYPE_NAMES
+    else:
+        kind, magic, types = "telemetry", MAGIC, TYPE_NAMES
+    records, torn, clean = replay(data, magic, types)
     if torn and not allow_torn:
         errors.append(
             f"{path}: torn tail after {clean}/{len(data)} bytes "
@@ -150,7 +215,7 @@ def parse_stream(path: pathlib.Path, allow_torn: bool, errors: list):
         if record.seq != i:
             errors.append(f"{path}: record #{i} has seq {record.seq} (not dense)")
             break
-    return records
+    return kind, records
 
 
 def split_records(records, path, errors):
@@ -176,6 +241,78 @@ def split_records(records, path, errors):
     if epochs != sorted(epochs) or len(set(epochs)) != len(epochs):
         errors.append(f"{path}: snapshot epoch ids not strictly increasing: {epochs}")
     return snapshots, alerts, ledger
+
+
+def split_journeys(records, path, errors):
+    """Decodes journey records and enforces the invariants CI relies on:
+    strictly increasing request ids (the global admission ordinal) and the
+    stage-sum identity for every record."""
+    journeys = []
+    for record in records:
+        journey = decode_journey(record.payload)
+        if journey is None:
+            errors.append(f"{path}: journey seq {record.seq}: malformed payload")
+            continue
+        stage_sum = sum(journey["stage_us"])
+        if abs(stage_sum - journey["end_to_end_us"]) > STAGE_SUM_QUANTUM_US:
+            errors.append(
+                f"{path}: journey {journey['request_id']}: stage sum {stage_sum}us "
+                f"!= end-to-end {journey['end_to_end_us']}us (quantum "
+                f"{STAGE_SUM_QUANTUM_US}us)"
+            )
+        journeys.append(journey)
+    ids = [journey["request_id"] for journey in journeys]
+    if any(b <= a for a, b in zip(ids, ids[1:])):
+        errors.append(f"{path}: journey request ids not strictly increasing")
+    return journeys
+
+
+def nearest_rank(sorted_values, pct):
+    """Mirror of the C++ nearest-rank percentile (over a sorted list)."""
+    if not sorted_values:
+        return 0
+    rank = int((pct / 100.0) * len(sorted_values) + 0.5)
+    index = 0 if rank == 0 else rank - 1
+    return sorted_values[min(index, len(sorted_values) - 1)]
+
+
+def attribute(journeys):
+    """Mirror of obs::attribute_journeys over the replayed (sampled)
+    journeys: per-stage p50/p95/p99/total plus the p99 journey's shares."""
+    out = {
+        "journeys": len(journeys),
+        "stages": [],
+        "p99_end_to_end_us": 0,
+        "p99_request_id": 0,
+        "p99_share": [0.0] * len(STAGE_NAMES),
+    }
+    for index, name in enumerate(STAGE_NAMES):
+        values = sorted(journey["stage_us"][index] for journey in journeys)
+        out["stages"].append({
+            "stage": name,
+            "p50_us": nearest_rank(values, 50.0),
+            "p95_us": nearest_rank(values, 95.0),
+            "p99_us": nearest_rank(values, 99.0),
+            "total_us": sum(values),
+        })
+    if not journeys:
+        return out
+    e2e = sorted(journey["end_to_end_us"] for journey in journeys)
+    p99 = nearest_rank(e2e, 99.0)
+    out["p99_end_to_end_us"] = p99
+    pick = None
+    for journey in journeys:
+        if journey["end_to_end_us"] > p99:
+            continue
+        if (pick is None or journey["end_to_end_us"] > pick["end_to_end_us"] or
+                (journey["end_to_end_us"] == pick["end_to_end_us"] and
+                 journey["request_id"] < pick["request_id"])):
+            pick = journey
+    if pick is not None:
+        out["p99_request_id"] = pick["request_id"]
+        denom = max(sum(pick["stage_us"]), 1)
+        out["p99_share"] = [us / denom for us in pick["stage_us"]]
+    return out
 
 
 TIMELINE_COLUMNS = [
@@ -292,25 +429,91 @@ def render_ledger(ledger, out):
     out.append("### Attribution (every non-verified entry)")
     out.append("")
     out.append("| epoch | user | version | batch | entry | verdict | "
-               "isolation path | batch pairings |")
-    out.append("|---|---|---|---|---|---|---|---|")
+               "isolation path | batch pairings | journey |")
+    out.append("|---|---|---|---|---|---|---|---|---|")
     for entry in flagged:
         batch = "-" if entry["batch"] == NO_BATCH else str(entry["batch"])
+        journey = str(entry["journey_id"]) if entry["journey_id"] else "-"
         out.append(
             f"| {entry['epoch']} | {entry['user']} | {entry['version']} | {batch} "
             f"| {entry['entry_in_batch']} | {entry['verdict']} "
             f"| {isolation_path_str(entry['isolation_depth'], entry['isolation_path'])} "
-            f"| {entry['batch_pairings']} |"
+            f"| {entry['batch_pairings']} | {journey} |"
+        )
+    out.append("")
+
+
+WATERFALL_WIDTH = 40
+WATERFALL_MAX_ROWS = 40
+
+
+def waterfall_bar(journey) -> str:
+    """One proportional bar over the stage glyphs: 'qqqqqvvvbd' reads as
+    'mostly queued, then verify, a little bisect, verdict'."""
+    total = sum(journey["stage_us"]) or 1
+    bar = []
+    for glyph, us in zip(STAGE_GLYPHS, journey["stage_us"]):
+        if us == 0:
+            continue
+        cells = max(1, round(WATERFALL_WIDTH * us / total))
+        bar.append(glyph * cells)
+    return "".join(bar)[: WATERFALL_WIDTH + len(STAGE_NAMES)]
+
+
+def render_journeys(journeys, out):
+    if not journeys:
+        return
+    tally = {}
+    for journey in journeys:
+        tally[journey["verdict"]] = tally.get(journey["verdict"], 0) + 1
+    out.append("## Request journeys")
+    out.append("")
+    out.append(f"{len(journeys)} sampled records: " +
+               ", ".join(f"{count} {verdict}" for verdict, count in sorted(tally.items())))
+    out.append("")
+    out.append("### Waterfall (stage glyphs: " +
+               ", ".join(f"{g}={name}" for g, name in zip(STAGE_GLYPHS, STAGE_NAMES)) +
+               ")")
+    out.append("")
+    out.append("| request | user | epoch | batch | verdict | sampled | e2e ms | "
+               "waterfall |")
+    out.append("|---|---|---|---|---|---|---|---|")
+    for journey in journeys[:WATERFALL_MAX_ROWS]:
+        batch = "-" if journey["batch"] == NO_BATCH else str(journey["batch"])
+        out.append(
+            f"| {journey['request_id']} | {journey['user']} | {journey['epoch']} "
+            f"| {batch} | {journey['verdict']} "
+            f"| {'+'.join(journey['sampled_reasons']) or '-'} "
+            f"| {journey['end_to_end_us'] / 1000.0:.3f} "
+            f"| `{waterfall_bar(journey)}` |"
+        )
+    if len(journeys) > WATERFALL_MAX_ROWS:
+        out.append(f"| ... | | | | | | | {len(journeys) - WATERFALL_MAX_ROWS} more |")
+    out.append("")
+
+    attribution = attribute(journeys)
+    out.append("### Critical-path attribution (sampled journeys)")
+    out.append("")
+    out.append(f"p99 end-to-end {attribution['p99_end_to_end_us'] / 1000.0:.3f} ms, "
+               f"defined by request {attribution['p99_request_id']}")
+    out.append("")
+    out.append("| stage | p50 us | p95 us | p99 us | total us | p99 share |")
+    out.append("|---|---|---|---|---|---|")
+    for index, stage in enumerate(attribution["stages"]):
+        out.append(
+            f"| {stage['stage']} | {stage['p50_us']} | {stage['p95_us']} "
+            f"| {stage['p99_us']} | {stage['total_us']} "
+            f"| {100.0 * attribution['p99_share'][index]:.1f}% |"
         )
     out.append("")
 
 
 def self_test() -> int:
-    """Synthetic round-trip: build a stream the way the C++ writers do,
-    render it, then verify torn-tail and corruption handling."""
+    """Synthetic round-trip: build streams the way the C++ writers do,
+    render them, then verify torn-tail and corruption handling."""
 
-    def frame(rtype, stream_id, seq, payload):
-        body = HEADER.pack(MAGIC, VERSION, rtype, stream_id, seq, len(payload)) + payload
+    def frame(rtype, stream_id, seq, payload, magic=MAGIC):
+        body = HEADER.pack(magic, VERSION, rtype, stream_id, seq, len(payload)) + payload
         return body + hashlib.sha256(body).digest()[:CHECKSUM_BYTES]
 
     snapshots = []
@@ -339,12 +542,33 @@ def self_test() -> int:
          for i, s in enumerate(snapshots[1:])])
 
     ledger_entries = [
-        LEDGER_PAYLOAD.pack(0, 42, 7, 1, 3, 0, 5, 2, 3, 0, 0b101, 9),
-        LEDGER_PAYLOAD.pack(0, 43, 7, NO_BATCH, 4, 0, 0, 3, 0, 0, 0, 0),
-        LEDGER_PAYLOAD.pack(1, 44, 8, 0, 0, 1, 1, 1, 0, 0, 0, 2),
+        LEDGER_PAYLOAD.pack(0, 42, 7, 1, 3, 0, 5, 2, 3, 0, 0b101, 9, 101),
+        LEDGER_PAYLOAD.pack(0, 43, 7, NO_BATCH, 4, 0, 0, 3, 0, 0, 0, 0, 102),
+        LEDGER_PAYLOAD.pack(1, 44, 8, 0, 0, 1, 1, 1, 0, 0, 0, 2, 0),
     ]
     ledger_stream = b"".join(frame(TYPE_LEDGER_ENTRY, 7, seq, payload)
                              for seq, payload in enumerate(ledger_entries))
+
+    # Journey stream: two in-batch requests and one admission reject. The
+    # first journey's stage sum (60+940+3+2+5+80+8+2 = 1100) matches its
+    # end-to-end exactly; the second is off by 4 us (inside the quantum).
+    def journey_payload(request_id, epoch, batch, request_index, verdict,
+                        sampled, stage_us, end_to_end, retry=0, depth=0):
+        return JOURNEY_PAYLOAD.pack(
+            request_id, 1000 + request_id, epoch, batch, request_index, 4,
+            retry, verdict, sampled, depth, 0, 250, *stage_us, end_to_end, 0)
+
+    journey_payloads = [
+        journey_payload(101, 0, 0, 0, 2, 0b1011,
+                        [60, 940, 3, 2, 5, 80, 8, 2], 1100, depth=3),
+        journey_payload(102, 0, NO_BATCH, 1, 3, 0b0001,
+                        [55, 950, 3, 0, 0, 0, 0, 0], 1004),
+        journey_payload(103, 0, NO_BATCH, NO_REQUEST, 6, 0b0101,
+                        [45, 0, 0, 0, 0, 0, 0, 0], 45, retry=1),
+    ]
+    journey_stream = b"".join(
+        frame(TYPE_JOURNEY, 1, seq, payload, magic=JOURNEY_MAGIC)
+        for seq, payload in enumerate(journey_payloads))
 
     failures = []
 
@@ -372,18 +596,71 @@ def self_test() -> int:
         flagged = [e for e in lentries if e["verdict"] != "verified"]
         if len(flagged) != 2 or flagged[0]["user"] != 42:
             failures.append(f"ledger attribution: {flagged}")
+        if flagged[0]["journey_id"] != 101 or flagged[1]["journey_id"] != 102:
+            failures.append("ledger journey cross-link lost")
         if isolation_path_str(3, 0b101) != "RLR":
             failures.append("isolation path rendering")
 
+    # Journey replay: the magic sniff must reject 'ST' parsing, the decoder
+    # must round-trip every field, and the stage-sum identity must hold.
+    jrecords, jtorn, jclean = replay(journey_stream, JOURNEY_MAGIC,
+                                     JOURNEY_TYPE_NAMES)
+    if jtorn or len(jrecords) != 3 or jclean != len(journey_stream):
+        failures.append(f"journey replay: torn={jtorn} records={len(jrecords)}")
+    strecords, sttorn, _ = replay(journey_stream)  # wrong magic: torn at 0
+    if not sttorn or strecords:
+        failures.append("journey stream replayed under the telemetry magic")
+    errors = []
+    journeys = split_journeys(jrecords, pathlib.Path("<self-test>"), errors)
+    if errors or len(journeys) != 3:
+        failures.append(f"journey split: errors={errors} n={len(journeys)}")
+    else:
+        first = journeys[0]
+        if (first["request_id"] != 101 or first["verdict"] != "invalid-signature" or
+                first["stage_us"][1] != 940 or first["bisection_depth"] != 3 or
+                first["sampled_reasons"] != ["rejected", "bisected", "coin"] or
+                first["amortized_pairings_milli"] != 250):
+            failures.append(f"journey decode: {first}")
+        if journeys[2]["verdict"] != "rejected-admission" or \
+                journeys[2]["retry_after_epochs"] != 1:
+            failures.append("rejected-admission journey decode")
+        attribution = attribute(journeys)
+        # p99 over [45, 1004, 1100] nearest-rank -> 1100, request 101; its
+        # admit share is 940/1100.
+        if (attribution["p99_end_to_end_us"] != 1100 or
+                attribution["p99_request_id"] != 101 or
+                abs(attribution["p99_share"][1] - 940 / 1100) > 1e-9):
+            failures.append(f"attribution: {attribution}")
+        if attribution["stages"][1]["p50_us"] != 940 or \
+                attribution["stages"][1]["total_us"] != 940 + 950:
+            failures.append("stage percentile/total attribution")
+        out = []
+        render_journeys(journeys, out)
+        if not any("qq" in line and "| 101 |" in line for line in out):
+            failures.append("waterfall render lost the queue-dominated bar")
+
+    # A stage-sum violation (beyond the quantum) must be reported.
+    bad = journey_payload(104, 1, 0, 0, 1, 0b1000,
+                          [10, 10, 0, 0, 0, 0, 0, 0], 500)
+    bad_stream = frame(TYPE_JOURNEY, 1, 0, bad, magic=JOURNEY_MAGIC)
+    brecords, _, _ = replay(bad_stream, JOURNEY_MAGIC, JOURNEY_TYPE_NAMES)
+    errors = []
+    split_journeys(brecords, pathlib.Path("<self-test>"), errors)
+    if not any("stage sum" in e for e in errors):
+        failures.append("stage-sum violation not detected")
+
     # Every truncation point must yield an intact prefix, never an error.
-    for cut in range(len(stream)):
-        records, torn, clean = replay(stream[:cut])
-        if clean > cut:
-            failures.append(f"truncation at {cut}: clean={clean} > cut")
-            break
-        if not torn and cut != clean:
-            failures.append(f"truncation at {cut}: not reported as torn")
-            break
+    for name, data, magic, types in (
+            ("telemetry", stream, MAGIC, TYPE_NAMES),
+            ("journey", journey_stream, JOURNEY_MAGIC, JOURNEY_TYPE_NAMES)):
+        for cut in range(len(data)):
+            records, torn, clean = replay(data[:cut], magic, types)
+            if clean > cut:
+                failures.append(f"{name} truncation at {cut}: clean={clean} > cut")
+                break
+            if not torn and cut != clean:
+                failures.append(f"{name} truncation at {cut}: not reported as torn")
+                break
 
     # A flipped byte anywhere in a record kills that record and the rest.
     corrupt = bytearray(stream)
@@ -391,6 +668,11 @@ def self_test() -> int:
     records, torn, _ = replay(bytes(corrupt))
     if not torn and len(records) == 4:
         failures.append("corruption not detected")
+    jcorrupt = bytearray(journey_stream)
+    jcorrupt[len(journey_stream) // 2] ^= 0x01
+    jrecords, jtorn, _ = replay(bytes(jcorrupt), JOURNEY_MAGIC, JOURNEY_TYPE_NAMES)
+    if not jtorn and len(jrecords) == 3:
+        failures.append("journey corruption not detected")
 
     if failures:
         for failure in failures:
@@ -403,9 +685,11 @@ def self_test() -> int:
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("streams", nargs="*", type=pathlib.Path,
-                        help="TEL_*.bin / LEDGER_*.bin streams to render")
+                        help="TEL_*.bin / LEDGER_*.bin / JOURNEY_*.bin streams")
     parser.add_argument("--csv", action="store_true",
                         help="emit the timeline as CSV instead of markdown")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the full decoded report as JSON")
     parser.add_argument("--out", type=pathlib.Path,
                         help="write the report here instead of stdout")
     parser.add_argument("--allow-torn", action="store_true",
@@ -418,20 +702,35 @@ def main() -> int:
         return self_test()
     if not args.streams:
         parser.error("no streams given (and --self-test not requested)")
+    if args.csv and args.json:
+        parser.error("--csv and --json are mutually exclusive")
 
     errors = []
-    snapshots, alerts, ledger = [], [], []
+    snapshots, alerts, ledger, journeys = [], [], [], []
     for path in args.streams:
-        records = parse_stream(path, args.allow_torn, errors)
-        snaps, alrts, lentries = split_records(records, path, errors)
-        snapshots += snaps
-        alerts += alrts
-        ledger += lentries
+        kind, records = parse_stream(path, args.allow_torn, errors)
+        if kind == "journey":
+            journeys += split_journeys(records, path, errors)
+        else:
+            snaps, alrts, lentries = split_records(records, path, errors)
+            snapshots += snaps
+            alerts += alrts
+            ledger += lentries
 
-    out = []
-    if args.csv:
+    if args.json:
+        report = json.dumps({
+            "snapshots": snapshots,
+            "alerts": alerts,
+            "ledger": ledger,
+            "journeys": journeys,
+            "attribution": attribute(journeys) if journeys else None,
+        }, indent=2) + "\n"
+    elif args.csv:
+        out = []
         render_timeline_csv(snapshots, out)
+        report = "\n".join(out) + "\n"
     else:
+        out = []
         out.append("# SecCloud telemetry report")
         out.append("")
         out.append(f"Sources: {', '.join(str(p) for p in args.streams)}")
@@ -441,11 +740,12 @@ def main() -> int:
             render_shard_heatmap(snapshots, out)
         render_alerts(alerts, out)
         render_ledger(ledger, out)
+        render_journeys(journeys, out)
+        report = "\n".join(out) + "\n"
 
-    report = "\n".join(out) + "\n"
     if args.out:
         args.out.write_text(report)
-        print(f"wrote {args.out} ({len(out)} lines)")
+        print(f"wrote {args.out} ({len(report.splitlines())} lines)")
     else:
         sys.stdout.write(report)
 
